@@ -1,0 +1,127 @@
+"""Section 6.3: the (de)serialization overhead experiment.
+
+The paper's "short second experiment": keep the mapping fixed, replace the
+worst-case execution time of the software (de)serialization with the
+communication-assist times of [13], stop charging serialization to the
+processing element, and re-run the SDF3 analysis.  Result in the paper: up
+to 300 % more predicted throughput.
+
+The improvement depends entirely on how much processor time the software
+NI library burns relative to the actors.  Our default calibration is
+IDCT-dominated (chosen to land Fig. 6 in the paper's axis range), where
+serialization is a small fraction of the bottleneck tile -- so the bench
+also sweeps the experiment across NI-library cost regimes and actor-speed
+regimes, reproducing the paper's magnitude (~4x = +300 %) in the
+communication-dominated regime the original platform operated in.  See
+EXPERIMENTS.md for the discussion.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_results
+from repro.arch import architecture_from_template
+from repro.comm.serialization import CASerialization, PESerialization
+from repro.mapping import map_application
+from repro.mjpeg import MJPEGCostModel, build_mjpeg_application
+
+
+def guaranteed(app, arch, serialization):
+    overrides = {t: serialization for t in arch.tile_names()}
+    result = map_application(
+        app, arch, fixed={"VLD": "tile0"},
+        serialization_overrides=overrides,
+    )
+    return result.guaranteed_throughput
+
+
+def scaled_cost_model(divisor: int) -> MJPEGCostModel:
+    """Actor compute scaled down -- the 'optimized actors' regime where
+    communication dominates the processing elements."""
+    base = MJPEGCostModel()
+    return MJPEGCostModel(
+        vld_base=base.vld_base // divisor,
+        vld_per_block=base.vld_per_block // divisor,
+        vld_per_bit=max(1, base.vld_per_bit // divisor),
+        vld_per_coefficient=max(1, base.vld_per_coefficient // divisor),
+        vld_padding_block=max(1, base.vld_padding_block // divisor),
+        iqzz_base=base.iqzz_base // divisor,
+        iqzz_per_nonzero=max(1, base.iqzz_per_nonzero // divisor),
+        iqzz_padding=max(1, base.iqzz_padding // divisor),
+        idct_base=base.idct_base // divisor,
+        idct_per_nonzero=max(1, base.idct_per_nonzero // divisor),
+        idct_padding=max(1, base.idct_padding // divisor),
+        cc_base=base.cc_base // divisor,
+        cc_per_pixel=max(1, base.cc_per_pixel // divisor),
+        raster_base=base.raster_base // divisor,
+        raster_per_pixel=max(1, base.raster_per_pixel // divisor),
+    )
+
+
+def run_experiment(workloads):
+    """The experiment across regimes; returns report rows."""
+    encoded = workloads["gradient"]
+    arch = architecture_from_template(5, "fsl")
+    ca = CASerialization()
+    rows = []
+
+    # Regime 1: this repository's default calibration (IDCT-dominated).
+    app = build_mjpeg_application(encoded)
+    base = guaranteed(app, arch, PESerialization())
+    with_ca = guaranteed(app, arch, ca)
+    rows.append(("default calibration", PESerialization().cycles_per_word,
+                 float(with_ca / base)))
+
+    # Regime 2+: optimized actors with increasingly expensive NI software
+    # (per-token handshake + per-word copy loops), the regime the original
+    # MAMPS library operated in.  The last point reproduces the paper's
+    # headline: roughly a 4x prediction, i.e. "up to 300%" more throughput.
+    for divisor, setup, per_word in (
+        (24, 1000, 24),
+        (96, 2000, 48),
+        (96, 4000, 96),
+    ):
+        fast_app = build_mjpeg_application(
+            encoded, cost=scaled_cost_model(divisor)
+        )
+        software = PESerialization(
+            setup_cycles=setup, cycles_per_word=per_word
+        )
+        base = guaranteed(fast_app, arch, software)
+        with_ca = guaranteed(fast_app, arch, ca)
+        rows.append(
+            (f"actors/{divisor}, NI {setup}+{per_word}/word",
+             per_word, float(with_ca / base))
+        )
+    return rows
+
+
+def test_section63_ca_overhead(benchmark, workloads):
+    rows = benchmark.pedantic(
+        lambda: run_experiment(workloads), rounds=1, iterations=1
+    )
+
+    lines = [
+        f"{'regime':<40} {'speedup':>8} {'increase':>9}",
+        "-" * 60,
+    ]
+    for name, _per_word, speedup in rows:
+        lines.append(
+            f"{name:<40} {speedup:>7.2f}x {100 * (speedup - 1):>+8.0f}%"
+        )
+    table = "\n".join(lines)
+    path = write_results("section63_ca_overhead.txt", table)
+    print("\n" + table + f"\n-> {path}")
+
+    speedups = [s for _n, _w, s in rows]
+    # The CA never hurts, improvements grow with NI software cost, and the
+    # communication-dominated regime reaches the paper's magnitude
+    # (a multi-fold increase; paper: "up to 300%").
+    assert all(s >= 1.0 for s in speedups)
+    assert speedups == sorted(speedups), (
+        "improvement should grow with serialization cost"
+    )
+    # The paper's magnitude: "up to 300%" increase, i.e. roughly 4x.
+    assert 3.0 <= speedups[-1] <= 5.0, (
+        f"communication-dominated regime reached {speedups[-1]:.2f}x, "
+        "expected the paper's ~4x"
+    )

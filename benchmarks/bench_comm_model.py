@@ -1,0 +1,134 @@
+"""Figure 4: the parameterized communication model.
+
+The paper's claim for Fig. 4 is generality: "The model ... can be used for
+modeling communication over many different forms of interconnect by
+changing w, alpha_n, and the execution times of s1, c2, and d1 to
+appropriate values."  This bench exercises that parameterization on a
+communication-bound producer/consumer pipeline (tiny actor work, CA-based
+serialization so the channel itself is the bottleneck) and records the
+resulting throughput surface:
+
+* token size sweep -- fragmentation into N 32-bit words makes bigger
+  tokens proportionally slower;
+* latency sweep, unpipelined (w = 1) vs. pipelined (w = latency) -- the
+  in-flight budget ``w`` hides channel latency exactly as the paper's
+  "maximum number of words in simultaneous transmission" is meant to;
+* interconnect points -- FSL full rate vs. NoC connections whose
+  bandwidth is the number of assigned wires.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_results
+from repro.comm import CASerialization, ChannelParameters, expand_channel
+from repro.sdf import SDFGraph, analyze_throughput
+
+#: Small actor work so the channel dominates the pipeline.
+ACTOR_WORK = 100
+
+
+def pipeline_throughput(token_size, params):
+    g = SDFGraph("bench_pipe")
+    g.add_actor("P", execution_time=ACTOR_WORK)
+    g.add_actor("Q", execution_time=ACTOR_WORK)
+    g.add_edge("pq", "P", "Q", token_size=token_size)
+    expand_channel(
+        g, "pq", params, CASerialization(), alpha_src=2, alpha_dst=2
+    )
+    return float(analyze_throughput(g).throughput * 1e6)
+
+
+def fsl_like():
+    return ChannelParameters(
+        words_in_flight=2,
+        network_buffer_words=16,
+        injection_cycles_per_word=1,
+        channel_latency=2,
+    )
+
+
+def latency_point(latency, pipelined):
+    return ChannelParameters(
+        words_in_flight=max(latency, 1) if pipelined else 1,
+        network_buffer_words=4,
+        injection_cycles_per_word=1,
+        channel_latency=latency,
+    )
+
+
+def noc_like(hops=2, wires=8):
+    cycles_per_word = -(-32 // wires)
+    latency = 3 * hops
+    return ChannelParameters(
+        words_in_flight=max(1, latency // cycles_per_word),
+        network_buffer_words=2 * hops,
+        injection_cycles_per_word=cycles_per_word,
+        channel_latency=latency,
+    )
+
+
+def sweep():
+    token_rows = [
+        (size, pipeline_throughput(size, fsl_like()))
+        for size in (4, 16, 64, 256, 1024)
+    ]
+    latency_rows = [
+        (
+            latency,
+            pipeline_throughput(256, latency_point(latency, False)),
+            pipeline_throughput(256, latency_point(latency, True)),
+        )
+        for latency in (1, 2, 4, 8, 16)
+    ]
+    interconnect_rows = [
+        ("fsl 1w/cycle", pipeline_throughput(256, fsl_like())),
+        ("noc 1 hop, 8 wires", pipeline_throughput(256, noc_like(1, 8))),
+        ("noc 2 hops, 8 wires", pipeline_throughput(256, noc_like(2, 8))),
+        ("noc 2 hops, 32 wires", pipeline_throughput(256, noc_like(2, 32))),
+    ]
+    return token_rows, latency_rows, interconnect_rows
+
+
+def test_figure4_parameterization(benchmark):
+    token_rows, latency_rows, interconnect_rows = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+
+    lines = ["token size sweep (FSL channel):",
+             f"{'bytes':>6} {'iter/Mcycle':>12}"]
+    for size, throughput in token_rows:
+        lines.append(f"{size:>6} {throughput:>12.2f}")
+    lines.append("")
+    lines.append("latency sweep (256-byte tokens):")
+    lines.append(f"{'cycles':>6} {'w=1':>10} {'w=latency':>10}")
+    for latency, unpiped, piped in latency_rows:
+        lines.append(f"{latency:>6} {unpiped:>10.2f} {piped:>10.2f}")
+    lines.append("")
+    lines.append("interconnect points (256-byte tokens):")
+    for name, throughput in interconnect_rows:
+        lines.append(f"  {name:<22} {throughput:>10.2f}")
+    table = "\n".join(lines)
+    path = write_results("fig4_comm_model.txt", table)
+    print("\n" + table + f"\n-> {path}")
+
+    # Token fragmentation: bigger tokens are strictly slower once the
+    # channel dominates.
+    token_values = [t for _s, t in token_rows]
+    assert token_values[0] > token_values[-1]
+    assert all(
+        later <= earlier + 1e-9
+        for earlier, later in zip(token_values, token_values[1:])
+    )
+
+    # Unpipelined latency hurts; the in-flight budget w hides it.
+    for latency, unpiped, piped in latency_rows:
+        assert piped >= unpiped
+    unpiped_series = [u for _l, u, _p in latency_rows]
+    assert unpiped_series[0] > unpiped_series[-1]
+    piped_series = [p for _l, _u, p in latency_rows]
+    assert piped_series[-1] >= 0.8 * piped_series[0]
+
+    # SDM bandwidth: more wires -> faster; FSL dominates the NoC points.
+    by_name = dict(interconnect_rows)
+    assert by_name["fsl 1w/cycle"] >= by_name["noc 1 hop, 8 wires"]
+    assert by_name["noc 2 hops, 32 wires"] > by_name["noc 2 hops, 8 wires"]

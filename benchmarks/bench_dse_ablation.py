@@ -1,0 +1,65 @@
+"""Ablation: the architecture-template design space for the MJPEG decoder.
+
+Regenerates the "very fast design space exploration" the conclusion
+promises (Section 7): every template point (tile count x interconnect)
+evaluated by the conservative analysis alone, with the Pareto frontier
+over (guaranteed throughput, slices).  Also checks the design choices the
+paper motivates:
+
+* adding tiles never lowers guaranteed throughput, with diminishing
+  returns once every actor owns a tile;
+* FSL and NoC guarantees stay within a few % of each other on this
+  compute-bound application (why the paper's Fig. 6a/6b look alike).
+"""
+
+import pytest
+
+from benchmarks.conftest import write_results
+from repro.flow.dse import explore_design_space
+from repro.mjpeg import build_mjpeg_application
+
+
+def test_design_space_ablation(benchmark, workloads):
+    app = build_mjpeg_application(workloads["gradient"])
+
+    result = benchmark.pedantic(
+        lambda: explore_design_space(
+            app,
+            tile_counts=(1, 2, 3, 4, 5),
+            interconnects=("fsl", "noc"),
+            fixed={"VLD": "tile0"},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = result.as_table()
+    path = write_results("ablation_design_space.txt", table)
+    print("\n" + table + f"\n-> {path}")
+
+    assert not result.failures
+    by_key = {
+        (p.tiles, p.interconnect): p.throughput for p in result.points
+    }
+
+    # More tiles never hurt the guarantee (FSL series).
+    fsl_series = [by_key[(t, "fsl")] for t in (1, 2, 3, 4, 5)]
+    assert all(b >= a for a, b in zip(fsl_series, fsl_series[1:]))
+
+    # Diminishing returns: the 4->5 gain is no bigger than 1->2.
+    first_gain = fsl_series[1] - fsl_series[0]
+    last_gain = fsl_series[4] - fsl_series[3]
+    assert last_gain <= first_gain
+
+    # NoC tracks FSL within a few % at every multi-tile point.
+    for tiles in (2, 3, 4, 5):
+        fsl = by_key[(tiles, "fsl")]
+        noc = by_key[(tiles, "noc")]
+        assert noc <= fsl
+        assert float(noc / fsl) > 0.95
+
+    # The Pareto frontier exists and spans from cheapest to fastest.
+    frontier = result.pareto_frontier()
+    assert frontier[0].tiles == 1
+    assert frontier[-1].throughput == max(p.throughput
+                                          for p in result.points)

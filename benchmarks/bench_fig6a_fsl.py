@@ -1,0 +1,57 @@
+"""Figure 6a: measured vs. predicted worst-case throughput, FSL interconnect.
+
+Regenerates the left plot of Fig. 6: for the synthetic sequence and the
+five-test-sequence set, the worst-case analysis bound, the expected
+throughput (analysis with measured execution times) and the measured
+throughput of the running platform, on the 5-tile point-to-point FSL
+MPSoC.
+
+Shape checks (the paper's claims):
+* the worst-case bound is conservative for every workload;
+* the synthetic sequence runs closest to the bound, the structured test
+  set well above it;
+* expected tracks measured tightly for the low-variation synthetic input
+  (the "<1%" margin; we allow a few % for transient effects).
+"""
+
+from benchmarks.conftest import write_results
+from repro.flow import format_throughput_table
+
+
+def test_figure6a_fsl(benchmark, figure6_runner):
+    comparisons = benchmark.pedantic(
+        lambda: figure6_runner("fsl"), rounds=1, iterations=1
+    )
+
+    table = format_throughput_table(comparisons, unit_name="MCU/Mcycle")
+    path = write_results("fig6a_fsl.txt", table)
+    print("\n" + table + f"\n-> {path}")
+
+    by_name = {c.workload: c for c in comparisons}
+
+    # Conservativeness: the guarantee holds for every input.
+    for comparison in comparisons:
+        assert comparison.conservative(), (
+            f"worst-case bound violated on {comparison.workload!r}"
+        )
+
+    # The synthetic sequence sits closest to the worst-case line.
+    synthetic = by_name["synthetic"]
+    synthetic_headroom = synthetic.measured / synthetic.worst_case
+    for name, comparison in by_name.items():
+        if name == "synthetic":
+            continue
+        assert comparison.measured / comparison.worst_case >= (
+            synthetic_headroom
+        ), f"{name} runs closer to the bound than the synthetic input"
+
+    # The structured test set is substantially faster than worst case.
+    for name in ("gradient", "photo", "checkerboard", "text", "blobs"):
+        assert by_name[name].measured > 1.5 * by_name[name].worst_case
+
+    # Expected tracks measured tightly when execution times vary little:
+    # within a few % for the synthetic noise (residual variance comes from
+    # quantization still zeroing some coefficients) and within the paper's
+    # <1% for the constant-time gradient content.
+    assert synthetic.expected_margin() < 0.06
+    assert by_name["gradient"].expected_margin() < 0.01

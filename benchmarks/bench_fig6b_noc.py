@@ -1,0 +1,40 @@
+"""Figure 6b: measured vs. predicted worst-case throughput, SDM NoC.
+
+Same experiment as Fig. 6a on the NoC-interconnect platform.  Additional
+shape check: the NoC's higher latency and lower per-connection bandwidth
+never *increase* the throughput guarantee relative to FSL (Section 5.3.1:
+"more flexibility at the cost of a larger implementation and a higher
+latency").
+"""
+
+from benchmarks.conftest import write_results
+from repro.arch import architecture_from_template
+from repro.flow import format_throughput_table
+from repro.mapping import map_application
+from repro.mjpeg import build_mjpeg_application
+
+
+def test_figure6b_noc(benchmark, figure6_runner, workloads):
+    comparisons = benchmark.pedantic(
+        lambda: figure6_runner("noc"), rounds=1, iterations=1
+    )
+
+    table = format_throughput_table(comparisons, unit_name="MCU/Mcycle")
+    path = write_results("fig6b_noc.txt", table)
+    print("\n" + table + f"\n-> {path}")
+
+    for comparison in comparisons:
+        assert comparison.conservative(), (
+            f"worst-case bound violated on {comparison.workload!r}"
+        )
+
+    # Cross-interconnect shape: guaranteed throughput on the NoC never
+    # beats the FSL guarantee for the same application.
+    app = build_mjpeg_application(workloads["synthetic"])
+    fsl = map_application(
+        app, architecture_from_template(5, "fsl"), fixed={"VLD": "tile0"}
+    ).guaranteed_throughput
+    noc = map_application(
+        app, architecture_from_template(5, "noc"), fixed={"VLD": "tile0"}
+    ).guaranteed_throughput
+    assert noc <= fsl

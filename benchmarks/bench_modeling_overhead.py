@@ -1,0 +1,82 @@
+"""Section 6.3: modeling and implementation overhead of the SDF approach.
+
+Two quantities the paper reports for the running MJPEG system:
+
+* the subHeader initialization channels -- which a manual implementation
+  would send once per frame instead of once per MCU -- "are relatively
+  small and use only 1% of the communication";
+* the static-order scheduler "reduces the scheduler to a lookup table",
+  so its per-firing dispatch cost is a negligible share of processor time.
+
+Both are measured here on the running FSL platform.
+"""
+
+import pytest
+
+from benchmarks.conftest import (
+    MEASURE_ITERATIONS,
+    WARMUP_ITERATIONS,
+    write_results,
+)
+from repro.arch import architecture_from_template
+from repro.flow import DesignFlow
+from repro.mjpeg import build_mjpeg_application
+from repro.sdf.repetition import repetition_vector
+
+
+def run_platform(workloads):
+    encoded = workloads["gradient"]
+    app = build_mjpeg_application(encoded)
+    arch = architecture_from_template(5, "fsl")
+    flow = DesignFlow(app, arch, fixed={"VLD": "tile0"})
+    result = flow.run(
+        iterations=MEASURE_ITERATIONS, warmup_iterations=WARMUP_ITERATIONS
+    )
+    return app, arch, result
+
+
+def test_section63_modeling_overhead(benchmark, workloads):
+    app, arch, result = benchmark.pedantic(
+        lambda: run_platform(workloads), rounds=1, iterations=1
+    )
+    simulator = result.simulator
+
+    traffic = simulator.traffic()
+    subheader_share = traffic.share_of("subHeader1", "subHeader2")
+
+    # Scheduler (lookup table) overhead: dispatch cycles as a share of the
+    # cycles actors actually burned on the processing elements.
+    records = simulator.execution_time_records()
+    q = repetition_vector(app.graph)
+    dispatch_total = 0
+    actor_total = 0
+    for actor, cycles_list in records.items():
+        tile = arch.tile(result.mapping_result.mapping.tile_of(actor))
+        dispatch_total += (
+            tile.processor.context_switch_cycles * len(cycles_list)
+        )
+        actor_total += sum(cycles_list)
+    scheduling_share = dispatch_total / (actor_total + dispatch_total)
+
+    lines = [
+        "traffic per channel (bytes):",
+    ]
+    for channel, count in sorted(traffic.bytes_by_channel.items()):
+        lines.append(f"  {channel:<12} {count:>10}")
+    lines.append("")
+    lines.append(
+        f"subHeader share of communication: {100 * subheader_share:.2f}% "
+        "(paper: ~1%)"
+    )
+    lines.append(
+        f"static-order scheduling overhead: {100 * scheduling_share:.2f}% "
+        "of PE time (lookup-table dispatch)"
+    )
+    table = "\n".join(lines)
+    path = write_results("section63_modeling_overhead.txt", table)
+    print("\n" + table + f"\n-> {path}")
+
+    # Shapes: the subheader channels are a tiny share of the traffic, and
+    # the lookup-table scheduler costs almost nothing.
+    assert 0.0 < subheader_share < 0.02
+    assert scheduling_share < 0.01

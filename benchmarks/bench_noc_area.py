@@ -1,0 +1,53 @@
+"""Section 5.3.1: flow-control area overhead of the SDM NoC.
+
+"Flow-control was added as part of the integration of the NoC in the MAMPS
+platform.  The changes to the NoC required approximately 12% more slices on
+the FPGA when compared to the original implementation."
+
+Regenerated here from the per-component area model: router slices with and
+without the flow-control logic, per router and for whole meshes.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_results
+from repro.arch import SDMNoC, interconnect_area
+from repro.arch.area import NOC_FLOW_CONTROL_OVERHEAD, noc_router_slices
+
+
+def measure_overheads():
+    rows = []
+    for tiles in (2, 4, 9, 16):
+        names = [f"t{i}" for i in range(tiles)]
+        with_fc = interconnect_area(SDMNoC(names, flow_control=True))
+        without = interconnect_area(SDMNoC(names, flow_control=False))
+        overhead = (with_fc.slices - without.slices) / without.slices
+        rows.append((tiles, without.slices, with_fc.slices, overhead))
+    return rows
+
+
+def test_noc_flow_control_area_overhead(benchmark):
+    rows = benchmark(measure_overheads)
+
+    lines = [
+        f"{'tiles':>5} {'base slices':>12} {'with FC':>10} {'overhead':>9}",
+        "-" * 42,
+    ]
+    for tiles, base, with_fc, overhead in rows:
+        lines.append(
+            f"{tiles:>5} {base:>12} {with_fc:>10} {100 * overhead:>8.1f}%"
+        )
+    lines.append("")
+    lines.append(
+        f"per-router: {noc_router_slices(False)} -> "
+        f"{noc_router_slices(True)} slices "
+        f"(paper: approximately 12% more)"
+    )
+    table = "\n".join(lines)
+    path = write_results("section531_noc_area.txt", table)
+    print("\n" + table + f"\n-> {path}")
+
+    for _tiles, _base, _with_fc, overhead in rows:
+        assert overhead == pytest.approx(
+            NOC_FLOW_CONTROL_OVERHEAD, abs=0.005
+        )

@@ -1,0 +1,94 @@
+"""Table 1: designer effort -- timing of the automated flow steps.
+
+The manual steps (top half of Table 1) are the paper's reported human
+effort; the automated steps are measured here on the MJPEG case study:
+
+* generating the architecture model   (paper: 1 second)
+* mapping the design with SDF3        (paper: 1 minute)
+* generating the Xilinx project       (paper: 16 seconds)
+* synthesis of the system             (paper: 17 minutes, Xilinx tools)
+
+Shape check: every automated step is orders of magnitude below the manual
+effort, and project generation is cheap relative to mapping.  (Absolute
+times are not comparable: the paper's synthesis runs the full Xilinx
+backend; ours builds the simulator platform.)
+"""
+
+import pytest
+
+from benchmarks.conftest import write_results
+from repro.arch import architecture_from_template
+from repro.flow import DesignFlow
+from repro.mamps import generate_platform, synthesize
+from repro.mapping import map_application
+from repro.mjpeg import build_mjpeg_application
+
+
+@pytest.fixture(scope="module")
+def case_study(workloads):
+    encoded = workloads["gradient"]
+    app = build_mjpeg_application(encoded)
+    return app
+
+
+def test_table1_generating_architecture(benchmark, case_study):
+    """Row: 'Generating architecture model' (paper: 1 s, automated)."""
+    arch = benchmark(architecture_from_template, 5, "fsl")
+    assert len(arch.tiles) == 5
+
+
+def test_table1_mapping_sdf3(benchmark, case_study):
+    """Row: 'Mapping the design (SDF3)' (paper: 1 min, automated)."""
+    app = case_study
+
+    def do_mapping():
+        arch = architecture_from_template(5, "fsl")
+        return map_application(app, arch, fixed={"VLD": "tile0"})
+
+    result = benchmark.pedantic(do_mapping, rounds=3, iterations=1)
+    assert result.guaranteed_throughput > 0
+
+
+def test_table1_generating_project(benchmark, case_study):
+    """Row: 'Generating Xilinx project (MAMPS)' (paper: 16 s, automated)."""
+    app = case_study
+    arch = architecture_from_template(5, "fsl")
+    result = map_application(app, arch, fixed={"VLD": "tile0"})
+    project = benchmark(generate_platform, app, arch, result)
+    assert "system.mhs" in project.paths()
+
+
+def test_table1_synthesis(benchmark, case_study):
+    """Row: 'Synthesis of the system' (paper: 17 min of Xilinx tools; here
+    the construction of the runnable platform simulator)."""
+    app = case_study
+    arch = architecture_from_template(5, "fsl")
+    result = map_application(app, arch, fixed={"VLD": "tile0"})
+    simulator = benchmark.pedantic(
+        lambda: synthesize(app, arch, result), rounds=3, iterations=1
+    )
+    assert simulator is not None
+
+
+def test_table1_report(benchmark, case_study):
+    """Regenerate the full Table 1 via the flow driver and archive it."""
+    app = case_study
+    arch = architecture_from_template(5, "fsl")
+
+    def run_flow():
+        return DesignFlow(app, arch, fixed={"VLD": "tile0"}).run(
+            measure=False
+        )
+
+    result = benchmark.pedantic(run_flow, rounds=1, iterations=1)
+    table = result.effort.as_table()
+    path = write_results("table1_effort.txt", table)
+    print("\n" + table + f"\n-> {path}")
+
+    # Shape: all automated steps complete within seconds (vs. days of
+    # manual effort), and architecture generation is the fastest step.
+    total = result.effort.total_automated_seconds()
+    assert total < 60.0
+    arch_time = result.effort.seconds_of("Generating architecture model")
+    mapping_time = result.effort.seconds_of("Mapping the design (SDF3)")
+    assert arch_time <= mapping_time

@@ -1,0 +1,92 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper's evaluation
+(see DESIGN.md's experiment index).  Heavy artifacts -- encoded sequences,
+application models, mapping results -- are cached per session; each bench
+writes its regenerated rows to ``benchmarks/results/*.txt`` so the numbers
+survive the run.
+"""
+
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.appmodel import measure_execution_times
+from repro.arch import architecture_from_template
+from repro.flow import DesignFlow, compare_throughput
+from repro.flow.report import expected_throughput
+from repro.mjpeg import (
+    build_mjpeg_application,
+    encode_sequence,
+    synthetic_sequence,
+    test_set_sequences,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Iterations measured per workload (after warm-up); enough for the
+#: long-term average to settle while keeping the harness fast.
+MEASURE_ITERATIONS = 24
+WARMUP_ITERATIONS = 4
+
+
+def write_results(name: str, content: str) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(content + "\n", encoding="utf-8")
+    return path
+
+
+@pytest.fixture(scope="session")
+def workloads() -> Dict[str, object]:
+    """The case-study inputs: 5 test sequences + the synthetic sequence.
+
+    All streams use 10-block MCUs (h=4, v=2 luminance plus Cb and Cr) --
+    the paper's maximum ("MCUs consist of up to 10 blocks") -- so the fixed
+    VLD output rate involves no padding.  Structured content is encoded at
+    quality 75; the synthetic random sequence at quality 90 (high-entropy
+    data with fine quantization is what pushes the decoder toward its
+    worst case)."""
+    encoded = {}
+    for name, frames in test_set_sequences(n_frames=2).items():
+        encoded[name] = encode_sequence(frames, quality=75, h=4, v=2)
+    encoded["synthetic"] = encode_sequence(
+        synthetic_sequence(n_frames=2), quality=98, h=4, v=2
+    )
+    return encoded
+
+
+@pytest.fixture(scope="session")
+def figure6_runner(workloads):
+    """Callable regenerating one Fig. 6 sub-figure (one interconnect)."""
+
+    def run(interconnect: str):
+        comparisons = []
+        for name in ("synthetic", "gradient", "photo", "checkerboard",
+                     "text", "blobs"):
+            encoded = workloads[name]
+            app = build_mjpeg_application(encoded)
+            measured_times = measure_execution_times(
+                app, iterations=encoded.total_mcus
+            )
+            arch = architecture_from_template(5, interconnect)
+            flow = DesignFlow(app, arch, fixed={"VLD": "tile0"})
+            result = flow.run(
+                iterations=MEASURE_ITERATIONS,
+                warmup_iterations=WARMUP_ITERATIONS,
+            )
+            expected = expected_throughput(
+                app, arch, result.mapping_result, measured_times
+            )
+            comparisons.append(
+                compare_throughput(
+                    name,
+                    worst_case=result.guaranteed_throughput,
+                    expected=expected,
+                    measured=result.measured_throughput,
+                )
+            )
+        return comparisons
+
+    return run

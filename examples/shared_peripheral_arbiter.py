@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Sharing a peripheral predictably with a TDM arbiter (Section 7).
+
+The paper keeps its platform predictable by *not* sharing peripherals,
+and names the predictable arbiter of [1] as the future-work path to
+sharing.  This example builds that arbiter: three tiles share an SDRAM
+through a TDM slot table, and the worst-case access latency of each tile
+is computed in closed form -- the number a WCET analysis would add to any
+actor that touches the shared resource.
+
+Run:  python examples/shared_peripheral_arbiter.py
+"""
+
+from repro.arch import TDMArbiter, validate_shared_peripheral
+
+
+def main() -> None:
+    # tile0 is a heavy user (half the slots); tile1/tile2 share the rest.
+    arbiter = TDMArbiter(
+        resource="sdram",
+        slot_table=("tile0", "tile1", "tile0", "tile2"),
+        slot_cycles=32,
+    )
+    print(arbiter.describe())
+    print(f"frame length: {arbiter.frame_cycles} cycles")
+    print()
+
+    validate_shared_peripheral(
+        "sdram", ["tile0", "tile1", "tile2"], arbiter
+    )
+    print("admission check passed: every sharer owns a slot")
+    print()
+
+    header = (
+        f"{'tile':<7} {'bandwidth':>10} {'worst wait':>11} "
+        f"{'1-slot access':>14} {'4-slot access':>14}"
+    )
+    print(header)
+    print("-" * len(header))
+    for tile in arbiter.requesters():
+        print(
+            f"{tile:<7} "
+            f"{100 * arbiter.bandwidth_share(tile):>9.0f}% "
+            f"{arbiter.worst_case_wait(tile):>11} "
+            f"{arbiter.worst_case_access(tile):>14} "
+            f"{arbiter.worst_case_access(tile, service_slots=4):>14}"
+        )
+    print()
+    print(
+        "these bounds are what make the sharing predictable: add the\n"
+        "worst-case access time to the WCET of any actor using the\n"
+        "peripheral and the flow's throughput guarantee stays valid"
+    )
+
+
+if __name__ == "__main__":
+    main()

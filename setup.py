@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that editable
+installs work on environments whose setuptools predates PEP 660 (no
+``bdist_wheel``/editable-wheel support).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""Application model (paper Section 3).
+
+The application model joins the SDF graph with the actor implementations and
+their metrics: worst-case execution time (WCET), instruction and data memory
+requirements (kept separate for Harvard-architecture tiles) and token sizes.
+An actor may have *multiple* implementations, one per processing-element
+type, enabling mapping onto heterogeneous platforms; each implementation
+records how its function arguments relate to the graph's explicit edges.
+
+In the paper the implementations are C functions; here they are Python
+callables that return both the produced tokens and the cycle count of the
+firing (the stand-in for compiled-code timing, see DESIGN.md).  Purely
+timing-driven flows can omit the callable and rely on the WCET metric alone.
+"""
+
+from repro.appmodel.metrics import ImplementationMetrics, MemoryRequirements
+from repro.appmodel.implementation import (
+    ActorImplementation,
+    FiringContext,
+    FiringOutput,
+)
+from repro.appmodel.model import ApplicationModel
+from repro.appmodel.wcet import (
+    ExecutionTimeRecord,
+    MeasuredTimes,
+    measure_execution_times,
+)
+
+__all__ = [
+    "ImplementationMetrics",
+    "MemoryRequirements",
+    "ActorImplementation",
+    "FiringContext",
+    "FiringOutput",
+    "ApplicationModel",
+    "ExecutionTimeRecord",
+    "MeasuredTimes",
+    "measure_execution_times",
+]

@@ -1,0 +1,148 @@
+"""Actor implementations.
+
+Listing 1 of the paper shows the C shape of an actor: one implementation
+function whose parameters correspond one-to-one to the actor's *explicit*
+edges, plus an optional initialization function that produces the initial
+tokens on output edges (the ``actor_A_init`` example).  Implicit edges
+(state self-edges, buffer back-edges, static-order edges) get no parameter;
+actor state lives in static variables.
+
+The Python equivalents:
+
+* the implementation function receives a :class:`FiringContext` -- consumed
+  token values per explicit input edge plus a ``state`` dict standing in for
+  the C static variables -- and returns a :class:`FiringOutput` with the
+  produced token values per explicit output edge and the firing's cycle
+  count;
+* the init function receives the ``state`` dict and returns initial token
+  values for the output edges that carry initial tokens.
+
+Implementations are typed by processing element (``pe_type``); an actor may
+carry several, "where actor implementations for different processing
+elements are likely to have different metrics" (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.appmodel.metrics import ImplementationMetrics
+from repro.exceptions import GraphError
+
+
+@dataclass
+class FiringContext:
+    """Inputs of one firing.
+
+    Attributes
+    ----------
+    inputs:
+        Explicit input edge name -> list of exactly ``consumption`` token
+        values, in FIFO order.
+    state:
+        Mutable per-actor-instance dict; the stand-in for C static
+        variables (Listing 1's ``local_variable_A``).
+    firing_index:
+        Zero-based count of this actor's firings, handy for data-dependent
+        cost models.
+    """
+
+    inputs: Dict[str, List[object]] = field(default_factory=dict)
+    state: Dict[str, object] = field(default_factory=dict)
+    firing_index: int = 0
+
+    def single(self, edge_name: str) -> object:
+        """The sole token on an edge with consumption rate 1."""
+        tokens = self.inputs[edge_name]
+        if len(tokens) != 1:
+            raise GraphError(
+                f"edge {edge_name!r} delivered {len(tokens)} tokens; "
+                "single() expects a consumption rate of 1"
+            )
+        return tokens[0]
+
+
+@dataclass
+class FiringOutput:
+    """Result of one firing.
+
+    Attributes
+    ----------
+    outputs:
+        Explicit output edge name -> list of exactly ``production`` token
+        values.
+    cycles:
+        Execution time of this firing in PE clock cycles.  Must never
+        exceed the implementation's WCET metric; the platform simulator
+        checks this invariant at run time.
+    """
+
+    outputs: Dict[str, List[object]] = field(default_factory=dict)
+    cycles: int = 0
+
+
+ActorFunction = Callable[[FiringContext], FiringOutput]
+InitFunction = Callable[[Dict[str, object]], Dict[str, List[object]]]
+
+
+@dataclass
+class ActorImplementation:
+    """One implementation of an actor for one processing-element type.
+
+    Parameters
+    ----------
+    actor:
+        Name of the SDF actor this implements.
+    pe_type:
+        Processing-element type the implementation targets (must match a
+        PE type in the architecture template, e.g. ``"microblaze"``).
+    metrics:
+        WCET and memory metrics on that PE type.
+    function:
+        Optional functional model; ``None`` gives a timing-only actor
+        (the simulator then busy-waits for the WCET and moves opaque
+        tokens).
+    init_function:
+        Optional initializer producing the initial token *values* for
+        output edges that carry initial tokens (Listing 1's
+        ``actor_A_init``).
+    argument_order:
+        Explicit edge names in the order of the C function's parameters --
+        the "relation between the function arguments of the implementation
+        and the edges of the graph".  Used by the MAMPS code generator to
+        emit the wrapper call.
+    name:
+        Identifier of the implementation; defaults to
+        ``"{actor}_{pe_type}"``.
+    """
+
+    actor: str
+    pe_type: str
+    metrics: ImplementationMetrics
+    function: Optional[ActorFunction] = None
+    init_function: Optional[InitFunction] = None
+    argument_order: List[str] = field(default_factory=list)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.actor:
+            raise GraphError("implementation must name its actor")
+        if not self.pe_type:
+            raise GraphError(
+                f"implementation for {self.actor!r} must name a PE type"
+            )
+        if not self.name:
+            self.name = f"{self.actor}_{self.pe_type}"
+
+    @property
+    def wcet(self) -> int:
+        return self.metrics.wcet
+
+    def fire(self, context: FiringContext) -> FiringOutput:
+        """Execute the functional model (requires ``function``)."""
+        if self.function is None:
+            raise GraphError(
+                f"implementation {self.name!r} has no functional model"
+            )
+        return self.function(context)

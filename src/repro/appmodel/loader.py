@@ -1,0 +1,130 @@
+"""JSON persistence for application models.
+
+The paper's flow hinges on "a common input format for both the mapping and
+platform generation tools" (Section 2).  Graphs persist as SDF3-style XML
+(:mod:`repro.sdf.io_sdf3`); this module persists the rest of the
+application model -- implementations, metrics, argument bindings, the
+throughput constraint -- as JSON.  Functional models are code and do not
+serialize; on load they re-attach by implementation name through the
+``functions``/``init_functions`` registries.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from pathlib import Path
+from typing import Callable, Dict, Optional, Union
+
+from repro.appmodel.implementation import ActorImplementation
+from repro.appmodel.metrics import ImplementationMetrics, MemoryRequirements
+from repro.appmodel.model import ApplicationModel
+from repro.exceptions import GraphError
+from repro.sdf.graph import SDFGraph
+from repro.sdf.io_sdf3 import graph_from_xml, graph_to_xml
+
+import xml.etree.ElementTree as ET
+
+FORMAT_VERSION = 1
+
+
+def model_to_dict(app: ApplicationModel) -> dict:
+    """Serialize the model (graph embedded as SDF3-style XML text)."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": app.name,
+        "graph_xml": ET.tostring(
+            graph_to_xml(app.graph), encoding="unicode"
+        ),
+        "throughput_constraint": (
+            None
+            if app.throughput_constraint is None
+            else [
+                app.throughput_constraint.numerator,
+                app.throughput_constraint.denominator,
+            ]
+        ),
+        "implementations": [
+            {
+                "name": impl.name,
+                "actor": impl.actor,
+                "pe_type": impl.pe_type,
+                "wcet": impl.metrics.wcet,
+                "instruction_bytes": (
+                    impl.metrics.memory.instruction_bytes
+                ),
+                "data_bytes": impl.metrics.memory.data_bytes,
+                "argument_order": list(impl.argument_order),
+                "functional": impl.function is not None,
+            }
+            for impl in app.implementations
+        ],
+    }
+
+
+def model_from_dict(
+    data: dict,
+    functions: Optional[Dict[str, Callable]] = None,
+    init_functions: Optional[Dict[str, Callable]] = None,
+) -> ApplicationModel:
+    """Rebuild a model; ``functions``/``init_functions`` re-attach the
+    functional implementations by implementation name."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise GraphError(
+            f"unsupported application-model format version {version!r}"
+        )
+    graph = graph_from_xml(ET.fromstring(data["graph_xml"]))
+    constraint = data.get("throughput_constraint")
+    implementations = []
+    for entry in data["implementations"]:
+        name = entry["name"]
+        function = (functions or {}).get(name)
+        if entry.get("functional") and function is None and functions:
+            raise GraphError(
+                f"stored model marks {name!r} functional but no function "
+                "was supplied for it"
+            )
+        implementations.append(
+            ActorImplementation(
+                actor=entry["actor"],
+                pe_type=entry["pe_type"],
+                metrics=ImplementationMetrics(
+                    wcet=entry["wcet"],
+                    memory=MemoryRequirements(
+                        instruction_bytes=entry["instruction_bytes"],
+                        data_bytes=entry["data_bytes"],
+                    ),
+                ),
+                function=function,
+                init_function=(init_functions or {}).get(name),
+                argument_order=list(entry.get("argument_order", [])),
+                name=name,
+            )
+        )
+    return ApplicationModel(
+        graph=graph,
+        implementations=implementations,
+        throughput_constraint=(
+            None if constraint is None
+            else Fraction(constraint[0], constraint[1])
+        ),
+        name=data.get("name", graph.name),
+    )
+
+
+def save_model(app: ApplicationModel, path: Union[str, Path]) -> None:
+    Path(path).write_text(
+        json.dumps(model_to_dict(app), indent=2), encoding="utf-8"
+    )
+
+
+def load_model(
+    path: Union[str, Path],
+    functions: Optional[Dict[str, Callable]] = None,
+    init_functions: Optional[Dict[str, Callable]] = None,
+) -> ApplicationModel:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return model_from_dict(
+        data, functions=functions, init_functions=init_functions
+    )

@@ -1,0 +1,58 @@
+"""Metric records for actor implementations.
+
+The tool flow uses these metrics to (a) size each tile's instruction and
+data memories automatically and (b) feed SDF3's worst-case throughput
+analysis (paper Section 3: "These metrics include the Worst-Case Execution
+Time (WCET), required memory sizes, and the size of communicated tokens").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import GraphError
+
+
+@dataclass(frozen=True)
+class MemoryRequirements:
+    """Memory footprint of one actor implementation, in bytes.
+
+    Instruction and data requirements are kept separate "in order to
+    facilitate processing elements that use a Harvard architecture"
+    (Section 3).
+    """
+
+    instruction_bytes: int = 0
+    data_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.instruction_bytes < 0 or self.data_bytes < 0:
+            raise GraphError("memory requirements must be >= 0")
+
+    @property
+    def total_bytes(self) -> int:
+        return self.instruction_bytes + self.data_bytes
+
+    def __add__(self, other: "MemoryRequirements") -> "MemoryRequirements":
+        return MemoryRequirements(
+            self.instruction_bytes + other.instruction_bytes,
+            self.data_bytes + other.data_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class ImplementationMetrics:
+    """WCET and memory metrics of one actor implementation.
+
+    ``wcet`` is in clock cycles of the target processing element.  A good
+    estimate matters: the paper derives its throughput *guarantee* from
+    these values, so they must upper-bound every real firing (the WCET
+    harness in :mod:`repro.appmodel.wcet` checks this).
+    """
+
+    wcet: int
+    memory: MemoryRequirements = MemoryRequirements()
+
+    def __post_init__(self) -> None:
+        if self.wcet < 0:
+            raise GraphError(f"WCET must be >= 0, got {self.wcet}")

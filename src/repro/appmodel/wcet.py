@@ -1,0 +1,203 @@
+"""WCET measurement harness.
+
+The paper obtains actor WCETs with "a method based on [4] combined with
+execution time measurement" (Section 6) and, for the *expected* throughput
+of Fig. 6, feeds SDF3 with "WCET metrics obtained through execution time
+measurement of the actor code using the test-data used for the FPGA
+measurement".  This module provides that measurement side: it executes the
+functional actor implementations over a token stream and records
+min/avg/max cycles per actor.
+
+* ``max`` over the test data = the measured execution time used for the
+  *expected* prediction;
+* the implementation's declared WCET metric must dominate every
+  measurement, otherwise the throughput guarantee would be unsound --
+  :func:`measure_execution_times` verifies this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.appmodel.implementation import FiringContext
+from repro.appmodel.model import ApplicationModel
+from repro.exceptions import GraphError, SimulationError
+from repro.sdf.repetition import repetition_vector
+
+
+@dataclass
+class ExecutionTimeRecord:
+    """Cycle statistics of one actor over a measurement run."""
+
+    actor: str
+    firings: int = 0
+    total_cycles: int = 0
+    min_cycles: Optional[int] = None
+    max_cycles: Optional[int] = None
+
+    def add(self, cycles: int) -> None:
+        self.firings += 1
+        self.total_cycles += cycles
+        if self.min_cycles is None or cycles < self.min_cycles:
+            self.min_cycles = cycles
+        if self.max_cycles is None or cycles > self.max_cycles:
+            self.max_cycles = cycles
+
+    @property
+    def average_cycles(self) -> float:
+        if self.firings == 0:
+            return 0.0
+        return self.total_cycles / self.firings
+
+
+@dataclass
+class MeasuredTimes:
+    """Measurement result over a whole application."""
+
+    records: Dict[str, ExecutionTimeRecord] = field(default_factory=dict)
+
+    def measured_wcet(self) -> Dict[str, int]:
+        """Per-actor maximum observed cycles (the 'expected' model input)."""
+        return {
+            name: rec.max_cycles or 0 for name, rec in self.records.items()
+        }
+
+    def record(self, actor: str) -> ExecutionTimeRecord:
+        return self.records[actor]
+
+
+def measure_execution_times(
+    app: ApplicationModel,
+    iterations: int,
+    pe_type_of: Optional[Dict[str, str]] = None,
+    check_wcet: bool = True,
+) -> MeasuredTimes:
+    """Functionally execute ``iterations`` graph iterations and record times.
+
+    The graph is executed untimed (sequential, dependency-driven) -- only
+    the per-firing cycle counts matter here, not their overlap.  Token
+    *values* flow through explicit edges; implicit edges are counted but
+    carry no values.
+
+    Raises
+    ------
+    SimulationError
+        When a firing reports more cycles than its implementation's WCET
+        metric (and ``check_wcet``), or when the actor produces a wrong
+        number of tokens.
+    """
+    app.validate()
+    if not app.is_functional():
+        raise GraphError(
+            f"application {app.name!r} has no functional model to measure"
+        )
+
+    graph = app.graph
+    q = repetition_vector(graph)
+    explicit = {e.name for e in graph.explicit_edges()}
+
+    impl_of = {}
+    for actor in graph:
+        impl = None
+        if pe_type_of and actor.name in pe_type_of:
+            impl = app.implementation_for(actor.name, pe_type_of[actor.name])
+        else:
+            candidates = [
+                i for i in app.implementations_of(actor.name)
+                if i.function is not None
+            ]
+            impl = candidates[0] if candidates else None
+        if impl is None or impl.function is None:
+            raise GraphError(
+                f"no functional implementation for actor {actor.name!r}"
+            )
+        impl_of[actor.name] = impl
+
+    counts = {e.name: e.initial_tokens for e in graph.edges}
+    values: Dict[str, List[object]] = {name: [] for name in explicit}
+    states: Dict[str, Dict[str, object]] = {a.name: {} for a in graph}
+    firing_index = {a.name: 0 for a in graph}
+
+    # Initial token values on explicit edges come from init functions.
+    for actor in graph:
+        impl = impl_of[actor.name]
+        initial_values = {}
+        if impl.init_function is not None:
+            initial_values = impl.init_function(states[actor.name])
+        for edge in graph.out_edges(actor.name):
+            if edge.name not in explicit or edge.initial_tokens == 0:
+                continue
+            provided = initial_values.get(edge.name)
+            if provided is None:
+                raise GraphError(
+                    f"edge {edge.name!r} carries {edge.initial_tokens} "
+                    f"initial token(s) but the init function of "
+                    f"{actor.name!r} provides no values for it"
+                )
+            if len(provided) != edge.initial_tokens:
+                raise GraphError(
+                    f"init function of {actor.name!r} provided "
+                    f"{len(provided)} token(s) for {edge.name!r}, expected "
+                    f"{edge.initial_tokens}"
+                )
+            values[edge.name].extend(provided)
+
+    measured = MeasuredTimes(
+        records={a.name: ExecutionTimeRecord(a.name) for a in graph}
+    )
+    remaining = {a.name: q[a.name] * iterations for a in graph}
+
+    progress = True
+    while progress and any(remaining.values()):
+        progress = False
+        for actor in graph:
+            name = actor.name
+            while remaining[name] > 0 and all(
+                counts[e.name] >= e.consumption
+                for e in graph.in_edges(name)
+            ):
+                context = FiringContext(
+                    inputs={},
+                    state=states[name],
+                    firing_index=firing_index[name],
+                )
+                for e in graph.in_edges(name):
+                    counts[e.name] -= e.consumption
+                    if e.name in explicit:
+                        context.inputs[e.name] = [
+                            values[e.name].pop(0)
+                            for _ in range(e.consumption)
+                        ]
+                impl = impl_of[name]
+                output = impl.fire(context)
+                if check_wcet and output.cycles > impl.wcet:
+                    raise SimulationError(
+                        f"firing {firing_index[name]} of {name!r} took "
+                        f"{output.cycles} cycles, above the declared WCET "
+                        f"{impl.wcet} -- the throughput guarantee would be "
+                        "unsound; fix the WCET metric or the cost model"
+                    )
+                for e in graph.out_edges(name):
+                    counts[e.name] += e.production
+                    if e.name in explicit:
+                        produced = output.outputs.get(e.name)
+                        if produced is None or len(produced) != e.production:
+                            raise SimulationError(
+                                f"actor {name!r} produced "
+                                f"{0 if produced is None else len(produced)} "
+                                f"token(s) on {e.name!r}, expected "
+                                f"{e.production}"
+                            )
+                        values[e.name].extend(produced)
+                measured.records[name].add(output.cycles)
+                firing_index[name] += 1
+                remaining[name] -= 1
+                progress = True
+
+    if any(remaining.values()):
+        raise SimulationError(
+            f"functional execution of {app.name!r} deadlocked with "
+            f"pending firings {remaining}"
+        )
+    return measured

@@ -1,0 +1,59 @@
+"""MAMPS architecture template (paper Section 4 and 5.3).
+
+An architecture is a set of *tiles* connected by an *interconnect* through a
+standardized network interface (NI).  Tiles contain a processing element
+(PE), local instruction/data memories (modified Harvard, up to 256 kB),
+optional peripherals (master tiles only) and optionally a communication
+assist (CA).  Two interconnects are modelled, matching Section 5.3.1:
+point-to-point Xilinx FSL links and the SDM mesh NoC of [17] (with the
+flow-control extension the paper adds).
+
+:func:`architecture_from_template` is the automated "Generating
+architecture model" step of Table 1.
+"""
+
+from repro.arch.components import (
+    CommunicationAssist,
+    Memory,
+    NetworkInterface,
+    Peripheral,
+    ProcessorType,
+    MICROBLAZE,
+)
+from repro.arch.tile import Tile, ip_tile, master_tile, slave_tile
+from repro.arch.interconnect import FSLInterconnect, Interconnect
+from repro.arch.noc import SDMNoC, mesh_dimensions
+from repro.arch.platform import ArchitectureModel
+from repro.arch.template import architecture_from_template
+from repro.arch.area import (
+    AreaEstimate,
+    interconnect_area,
+    platform_area,
+    tile_area,
+)
+from repro.arch.arbiter import TDMArbiter, validate_shared_peripheral
+
+__all__ = [
+    "ProcessorType",
+    "MICROBLAZE",
+    "Memory",
+    "NetworkInterface",
+    "Peripheral",
+    "CommunicationAssist",
+    "Tile",
+    "master_tile",
+    "slave_tile",
+    "ip_tile",
+    "Interconnect",
+    "FSLInterconnect",
+    "SDMNoC",
+    "mesh_dimensions",
+    "ArchitectureModel",
+    "architecture_from_template",
+    "AreaEstimate",
+    "tile_area",
+    "interconnect_area",
+    "platform_area",
+    "TDMArbiter",
+    "validate_shared_peripheral",
+]

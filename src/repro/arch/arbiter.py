@@ -1,0 +1,176 @@
+"""Predictable TDM arbitration for shared resources (Section 7 future work).
+
+The paper keeps the platform predictable "by avoiding the sharing of
+peripherals over tiles" and points at Akesson's Predator controller [1] as
+the way to share predictably: a time-division arbiter whose worst-case
+access latency is a closed-form function of the slot table.  "Adding a
+predictable arbiter could enable multiple tiles in accessing peripherals
+while keeping a predictable system."
+
+This module provides that arbiter model:
+
+* a slot table assigning each requesting tile a number of TDM slots;
+* exact worst-case latency/completion bounds per requester (the longest
+  wait until the requester's next slot window, from any phase);
+* an admission check used by the architecture model: a peripheral *may*
+  be shared when every sharer holds at least one slot.
+
+The bound follows the standard TDM argument: a request issued at the
+worst phase waits for the longest gap between the requester's consecutive
+slots, then occupies ``service_cycles`` per slot it owns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import ArchitectureError
+
+
+@dataclass
+class TDMArbiter:
+    """A time-division-multiplexed arbiter over one shared resource.
+
+    Parameters
+    ----------
+    resource:
+        Name of the shared resource (e.g. ``"sdram"`` or ``"uart"``).
+    slot_table:
+        The TDM frame: a sequence of requester names, one per slot.  A
+        requester may own several slots (more bandwidth, lower worst-case
+        latency).
+    slot_cycles:
+        Length of one slot in clock cycles (service unit granted per slot).
+    """
+
+    resource: str
+    slot_table: Tuple[str, ...]
+    slot_cycles: int = 16
+
+    def __post_init__(self) -> None:
+        if not self.resource:
+            raise ArchitectureError("arbiter needs a resource name")
+        if not self.slot_table:
+            raise ArchitectureError(
+                f"arbiter for {self.resource!r} needs a non-empty slot table"
+            )
+        if self.slot_cycles < 1:
+            raise ArchitectureError("slot length must be >= 1 cycle")
+        self.slot_table = tuple(self.slot_table)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def frame_cycles(self) -> int:
+        """Length of one full TDM frame in cycles."""
+        return len(self.slot_table) * self.slot_cycles
+
+    def requesters(self) -> Tuple[str, ...]:
+        seen: List[str] = []
+        for name in self.slot_table:
+            if name not in seen:
+                seen.append(name)
+        return tuple(seen)
+
+    def slots_of(self, requester: str) -> Tuple[int, ...]:
+        """Slot indices owned by ``requester``."""
+        return tuple(
+            index for index, name in enumerate(self.slot_table)
+            if name == requester
+        )
+
+    def bandwidth_share(self, requester: str) -> float:
+        """Guaranteed fraction of the resource for ``requester``."""
+        return len(self.slots_of(requester)) / len(self.slot_table)
+
+    # ------------------------------------------------------------------
+    # worst-case bounds
+    # ------------------------------------------------------------------
+    def worst_case_wait(self, requester: str) -> int:
+        """Worst-case cycles until the requester's next slot *starts*.
+
+        The request may arrive one cycle into its own slot (too late to
+        use it), so the bound is the maximum gap between consecutive owned
+        slots, measured start-to-start, minus nothing -- i.e. up to a full
+        frame when the requester owns a single slot.
+        """
+        slots = self.slots_of(requester)
+        if not slots:
+            raise ArchitectureError(
+                f"{requester!r} owns no slot on arbiter {self.resource!r}"
+            )
+        n = len(self.slot_table)
+        worst_gap_slots = 0
+        for index, slot in enumerate(slots):
+            next_slot = slots[(index + 1) % len(slots)]
+            gap = (next_slot - slot) % n
+            if gap == 0:
+                gap = n  # single slot: a full frame back to itself
+            worst_gap_slots = max(worst_gap_slots, gap)
+        return worst_gap_slots * self.slot_cycles
+
+    def worst_case_access(self, requester: str,
+                          service_slots: int = 1) -> int:
+        """Worst-case completion time of a request needing
+        ``service_slots`` slots of service.
+
+        Wait for the worst-phase slot, then account the spacing between
+        the requester's owned slots until enough service accumulated.
+        """
+        if service_slots < 1:
+            raise ArchitectureError("a request needs >= 1 service slot")
+        slots = self.slots_of(requester)
+        if not slots:
+            raise ArchitectureError(
+                f"{requester!r} owns no slot on arbiter {self.resource!r}"
+            )
+        n = len(self.slot_table)
+        worst = 0
+        # Try every starting slot of the requester (the wait already
+        # covers the arrival phase); walk service_slots owned slots.
+        for start_position, start_slot in enumerate(slots):
+            elapsed = self.slot_cycles  # the first service slot itself
+            position = start_position
+            current_slot = start_slot
+            for _ in range(service_slots - 1):
+                next_position = (position + 1) % len(slots)
+                gap = (slots[next_position] - current_slot) % n
+                if gap == 0:
+                    gap = n
+                elapsed += gap * self.slot_cycles
+                position = next_position
+                current_slot = slots[next_position]
+            worst = max(worst, elapsed)
+        return self.worst_case_wait(requester) + worst
+
+    def describe(self) -> str:
+        shares = ", ".join(
+            f"{name}: {len(self.slots_of(name))}/{len(self.slot_table)}"
+            for name in self.requesters()
+        )
+        return (
+            f"TDM arbiter for {self.resource!r}: frame of "
+            f"{len(self.slot_table)} x {self.slot_cycles} cycles ({shares})"
+        )
+
+
+def validate_shared_peripheral(
+    peripheral: str,
+    sharers: Sequence[str],
+    arbiter: TDMArbiter,
+) -> None:
+    """Admission check: sharing is predictable iff every sharer owns at
+    least one slot of the peripheral's arbiter."""
+    if arbiter.resource != peripheral:
+        raise ArchitectureError(
+            f"arbiter serves {arbiter.resource!r}, not {peripheral!r}"
+        )
+    for tile in sharers:
+        if not arbiter.slots_of(tile):
+            raise ArchitectureError(
+                f"tile {tile!r} shares peripheral {peripheral!r} but owns "
+                f"no slot on its arbiter -- the access latency would be "
+                "unbounded (Section 4's predictability argument)"
+            )

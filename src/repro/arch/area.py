@@ -1,0 +1,100 @@
+"""FPGA resource model (Virtex-6 flavoured).
+
+The paper reports area only in derived terms -- most prominently that
+adding flow control to the NoC "required approximately 12% more slices"
+(Section 5.3.1).  This module provides a per-component slice/BRAM model so
+that number (and platform-level utilisation in the examples) can be
+computed.  The absolute constants are calibration points typical of
+Virtex-6-era soft cores, not measurements of the original bitstreams; the
+*relative* quantities (the 12 % surcharge, CA vs. NI library sizes) are the
+reproduced facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.interconnect import FSLInterconnect, Interconnect
+from repro.arch.noc import SDMNoC
+from repro.arch.platform import ArchitectureModel
+from repro.arch.tile import Tile
+
+#: Slices of one Microblaze soft core (area-optimised configuration).
+MICROBLAZE_SLICES = 1400
+#: Slices of the network-interface glue per tile.
+NI_SLICES = 150
+#: Slices of one peripheral controller.
+PERIPHERAL_SLICES = 200
+#: Slices of the communication assist of [13].
+CA_SLICES = 450
+#: Slices of one FSL FIFO link.
+FSL_LINK_SLICES = 60
+#: Slices of one SDM router *without* flow control (base design of [17]).
+NOC_ROUTER_BASE_SLICES = 800
+#: Flow-control surcharge the paper measured when integrating the NoC.
+NOC_FLOW_CONTROL_OVERHEAD = 0.12
+#: Bytes held by one 36 kbit block RAM.
+BRAM_BYTES = 4608
+
+
+@dataclass(frozen=True)
+class AreaEstimate:
+    """FPGA resources: logic slices and block RAMs."""
+
+    slices: int
+    brams: int
+
+    def __add__(self, other: "AreaEstimate") -> "AreaEstimate":
+        return AreaEstimate(
+            self.slices + other.slices, self.brams + other.brams
+        )
+
+
+def memory_brams(capacity_bytes: int) -> int:
+    """BRAMs needed for a memory of the given capacity."""
+    return -(-capacity_bytes // BRAM_BYTES)  # ceil division
+
+
+def tile_area(tile: Tile) -> AreaEstimate:
+    """Area of one tile: PE + NI + memories + peripherals + optional CA."""
+    slices = NI_SLICES
+    if tile.processor is not None:
+        slices += MICROBLAZE_SLICES
+    slices += PERIPHERAL_SLICES * len(tile.peripherals)
+    if tile.has_ca:
+        slices += CA_SLICES
+    brams = memory_brams(tile.instruction_memory.capacity_bytes)
+    brams += memory_brams(tile.data_memory.capacity_bytes)
+    return AreaEstimate(slices=slices, brams=brams)
+
+
+def noc_router_slices(flow_control: bool = True) -> int:
+    """Slices of one SDM router, with or without the flow-control logic
+    the paper added (Section 5.3.1: ~12 % more slices)."""
+    base = NOC_ROUTER_BASE_SLICES
+    if flow_control:
+        return round(base * (1.0 + NOC_FLOW_CONTROL_OVERHEAD))
+    return base
+
+
+def interconnect_area(interconnect: Interconnect) -> AreaEstimate:
+    """Area of the interconnect as currently allocated/configured."""
+    if isinstance(interconnect, FSLInterconnect):
+        links = len(interconnect.allocated_connections())
+        return AreaEstimate(slices=FSL_LINK_SLICES * max(links, 0), brams=0)
+    if isinstance(interconnect, SDMNoC):
+        per_router = noc_router_slices(interconnect.flow_control)
+        return AreaEstimate(
+            slices=per_router * interconnect.router_count(), brams=0
+        )
+    return AreaEstimate(slices=0, brams=0)
+
+
+def platform_area(architecture: ArchitectureModel) -> AreaEstimate:
+    """Total platform area: all tiles plus the interconnect."""
+    total = AreaEstimate(slices=0, brams=0)
+    for tile in architecture.tiles:
+        total = total + tile_area(tile)
+    if architecture.interconnect is not None:
+        total = total + interconnect_area(architecture.interconnect)
+    return total

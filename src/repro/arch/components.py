@@ -1,0 +1,97 @@
+"""Architecture component library.
+
+The building blocks of the template: processing-element types, memories,
+peripherals, the network interface and the communication assist.  All sizes
+are bytes, all times are cycles of the single system clock that the design
+flow uses as its base time unit (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.exceptions import ArchitectureError
+
+
+@dataclass(frozen=True)
+class ProcessorType:
+    """A processing-element type available in the template.
+
+    ``name`` ties actor implementations (their ``pe_type``) to tiles.
+    ``context_switch_cycles`` is the static-order scheduler's per-firing
+    dispatch overhead (a table lookup plus a function call, Section 6.3:
+    "reduces the scheduler to a lookup table").
+    """
+
+    name: str
+    context_switch_cycles: int = 12
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ArchitectureError("processor type needs a name")
+        if self.context_switch_cycles < 0:
+            raise ArchitectureError("context switch cycles must be >= 0")
+
+
+#: The Xilinx Microblaze soft core used by the current MAMPS tile library.
+MICROBLAZE = ProcessorType(name="microblaze", context_switch_cycles=12)
+
+
+@dataclass(frozen=True)
+class Memory:
+    """A local tile memory (instruction or data side)."""
+
+    capacity_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ArchitectureError("memory capacity must be positive")
+
+
+@dataclass(frozen=True)
+class NetworkInterface:
+    """The standardized NI: 32-bit-word FSL-style streaming ports.
+
+    ``fifo_depth_words`` is the depth of the NI's word FIFOs -- the source
+    of the ``alpha_n`` buffering in the communication model.
+    """
+
+    fifo_depth_words: int = 16
+
+    def __post_init__(self) -> None:
+        if self.fifo_depth_words < 1:
+            raise ArchitectureError("NI FIFO depth must be >= 1")
+
+
+@dataclass(frozen=True)
+class Peripheral:
+    """A board peripheral (UART, timer, compact flash...).
+
+    Peripherals are never shared between tiles -- predictability on the
+    MAMPS platform "is guaranteed by avoiding the sharing of peripherals
+    over tiles" (Section 4).
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ArchitectureError("peripheral needs a name")
+
+
+@dataclass(frozen=True)
+class CommunicationAssist:
+    """Dedicated (de)serialization hardware (the CA of [13], Fig. 3 Tile 3).
+
+    Modelled as announced future work in the paper (Section 7) and used by
+    the Section 6.3 experiment: the CA streams a word per cycle after a
+    short setup and frees the PE from serialization work.
+    """
+
+    setup_cycles: int = 8
+    cycles_per_word: int = 1
+
+    def __post_init__(self) -> None:
+        if self.setup_cycles < 0 or self.cycles_per_word < 0:
+            raise ArchitectureError("CA costs must be >= 0")

@@ -1,0 +1,125 @@
+"""Interconnect base class and the FSL point-to-point interconnect.
+
+Both interconnect variants implement the same contract (Section 4: "All
+tile and interconnect variants use this same network interface"): given a
+connection between two tiles they provide :class:`ChannelParameters` for the
+Fig. 4 communication model, and they can account for the resources a
+connection claims (FSL: one dedicated FIFO per connection; NoC: wires along
+a route -- see :mod:`repro.arch.noc`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.comm.params import ChannelParameters
+from repro.exceptions import ArchitectureError, RoutingError
+
+
+@dataclass(frozen=True)
+class Connection:
+    """A point-to-point logical connection request between two tiles."""
+
+    name: str
+    src_tile: str
+    dst_tile: str
+
+    def __post_init__(self) -> None:
+        if self.src_tile == self.dst_tile:
+            raise ArchitectureError(
+                f"connection {self.name!r}: both ends on tile "
+                f"{self.src_tile!r}; tile-local channels do not use the "
+                "interconnect"
+            )
+
+
+class Interconnect:
+    """Common interface of the MAMPS interconnect variants."""
+
+    kind: str = "abstract"
+
+    def allocate(self, connection: Connection) -> ChannelParameters:
+        """Reserve resources for ``connection`` and return its channel
+        parameters.  Raises :class:`RoutingError` when the interconnect
+        cannot accept the connection."""
+        raise NotImplementedError
+
+    def release_all(self) -> None:
+        """Forget all allocations (used when the mapper retries)."""
+        raise NotImplementedError
+
+    def allocated_connections(self) -> Tuple[Connection, ...]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable summary for reports."""
+        raise NotImplementedError
+
+
+class FSLInterconnect(Interconnect):
+    """Point-to-point Xilinx Fast Simplex Links (Section 5.3.1).
+
+    Every connection gets a dedicated unidirectional FIFO link: full word
+    rate (one word per cycle), a latency of a couple of cycles, and
+    ``fifo_depth_words`` of buffering.  The only capacity limit is the
+    number of FSL ports per processor (8 masters + 8 slaves on a
+    Microblaze), checked per tile.
+
+    Parameters are calibration points for the Fig. 4 model: ``w`` (words in
+    simultaneous transmission) is the link pipeline depth.
+    """
+
+    kind = "fsl"
+
+    def __init__(
+        self,
+        fifo_depth_words: int = 16,
+        latency_cycles: int = 2,
+        max_links_per_tile: int = 8,
+    ) -> None:
+        if fifo_depth_words < 1:
+            raise ArchitectureError("FSL FIFO depth must be >= 1")
+        if latency_cycles < 1:
+            raise ArchitectureError("FSL latency must be >= 1")
+        self.fifo_depth_words = fifo_depth_words
+        self.latency_cycles = latency_cycles
+        self.max_links_per_tile = max_links_per_tile
+        self._connections: List[Connection] = []
+
+    def allocate(self, connection: Connection) -> ChannelParameters:
+        out_links = sum(
+            1 for c in self._connections if c.src_tile == connection.src_tile
+        )
+        in_links = sum(
+            1 for c in self._connections if c.dst_tile == connection.dst_tile
+        )
+        if out_links >= self.max_links_per_tile:
+            raise RoutingError(
+                f"tile {connection.src_tile!r} has no free master FSL port "
+                f"for {connection.name!r} (limit {self.max_links_per_tile})"
+            )
+        if in_links >= self.max_links_per_tile:
+            raise RoutingError(
+                f"tile {connection.dst_tile!r} has no free slave FSL port "
+                f"for {connection.name!r} (limit {self.max_links_per_tile})"
+            )
+        self._connections.append(connection)
+        return ChannelParameters(
+            words_in_flight=self.latency_cycles,
+            network_buffer_words=self.fifo_depth_words,
+            injection_cycles_per_word=1,
+            channel_latency=self.latency_cycles,
+        )
+
+    def release_all(self) -> None:
+        self._connections.clear()
+
+    def allocated_connections(self) -> Tuple[Connection, ...]:
+        return tuple(self._connections)
+
+    def describe(self) -> str:
+        return (
+            f"FSL point-to-point ({len(self._connections)} links, depth "
+            f"{self.fifo_depth_words} words, latency {self.latency_cycles})"
+        )

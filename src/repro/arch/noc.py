@@ -1,0 +1,237 @@
+"""The SDM (spatial division multiplexing) mesh NoC of [17], Section 5.3.1.
+
+One router per tile, arranged in a 2-D mesh "kept as close to square as
+possible to reduce the maximum distance between two tiles".  Connections are
+programmed point-to-point: each gets a number of *wires* on every link along
+its XY route; wires are exclusive to one connection, so bandwidth is
+guaranteed by construction (SDM).  A 32-bit word crosses a link in
+``ceil(32 / wires)`` cycles; each router adds a fixed pipeline latency.
+
+Flow control was "added as part of the integration of the NoC in the MAMPS
+platform" and costs about 12 % extra slices (Section 5.3.1) -- modelled here
+as a constructor flag that area accounting (:mod:`repro.arch.area`) and the
+channel parameters both honour.  Without flow control a connection gets no
+in-network buffering credit (``alpha_n = 0``) *and* the platform cannot
+guarantee freedom from word loss, so the generator refuses it; the flag
+exists to reproduce the area comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.interconnect import Connection, Interconnect
+from repro.comm.params import ChannelParameters, WORD_BITS
+from repro.exceptions import ArchitectureError, RoutingError
+
+Coordinate = Tuple[int, int]  # (column, row)
+
+
+def mesh_dimensions(n_tiles: int) -> Tuple[int, int]:
+    """(columns, rows) of the near-square mesh for ``n_tiles`` tiles."""
+    if n_tiles < 1:
+        raise ArchitectureError("mesh needs at least one tile")
+    columns = math.ceil(math.sqrt(n_tiles))
+    rows = math.ceil(n_tiles / columns)
+    return columns, rows
+
+
+def xy_route(src: Coordinate, dst: Coordinate) -> List[Coordinate]:
+    """Deterministic XY route: horizontal first, then vertical.
+
+    Returns the router coordinates visited, endpoints included.
+    """
+    (x, y), (dx, dy) = src, dst
+    path = [(x, y)]
+    while x != dx:
+        x += 1 if dx > x else -1
+        path.append((x, y))
+    while y != dy:
+        y += 1 if dy > y else -1
+        path.append((x, y))
+    return path
+
+
+@dataclass(frozen=True)
+class NoCAllocation:
+    """Bookkeeping for one allocated connection."""
+
+    connection: Connection
+    path: Tuple[Coordinate, ...]
+    wires: int
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+
+class SDMNoC(Interconnect):
+    """The SDM mesh NoC.
+
+    Parameters
+    ----------
+    tile_names:
+        Tiles in placement order; tile ``i`` sits at router
+        ``(i % columns, i // columns)`` (row-major).
+    wires_per_link:
+        Physical wires per directed link between adjacent routers.
+    default_connection_wires:
+        Wires a connection is assigned unless ``allocate`` overrides it.
+    router_latency:
+        Pipeline cycles per router traversal.
+    buffer_words_per_hop:
+        Flow-controlled buffering per traversed router (the ``alpha_n``
+        contribution).
+    flow_control:
+        Include the flow-control logic the paper added to [17].
+    """
+
+    kind = "noc"
+
+    def __init__(
+        self,
+        tile_names: Sequence[str],
+        wires_per_link: int = 32,
+        default_connection_wires: int = 8,
+        router_latency: int = 3,
+        buffer_words_per_hop: int = 2,
+        flow_control: bool = True,
+    ) -> None:
+        if not tile_names:
+            raise ArchitectureError("NoC needs at least one tile")
+        if len(set(tile_names)) != len(tile_names):
+            raise ArchitectureError("duplicate tile names in NoC placement")
+        if wires_per_link < 1 or default_connection_wires < 1:
+            raise ArchitectureError("wire counts must be >= 1")
+        if default_connection_wires > wires_per_link:
+            raise ArchitectureError(
+                "a connection cannot use more wires than a link has"
+            )
+        if router_latency < 1:
+            raise ArchitectureError("router latency must be >= 1")
+
+        self.columns, self.rows = mesh_dimensions(len(tile_names))
+        self.wires_per_link = wires_per_link
+        self.default_connection_wires = default_connection_wires
+        self.router_latency = router_latency
+        self.buffer_words_per_hop = buffer_words_per_hop
+        self.flow_control = flow_control
+
+        self._position: Dict[str, Coordinate] = {
+            name: (i % self.columns, i // self.columns)
+            for i, name in enumerate(tile_names)
+        }
+        # directed link (from, to) -> wires still free
+        self._free_wires: Dict[Tuple[Coordinate, Coordinate], int] = {}
+        for x in range(self.columns):
+            for y in range(self.rows):
+                for nx, ny in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+                    if 0 <= nx < self.columns and 0 <= ny < self.rows:
+                        self._free_wires[((x, y), (nx, ny))] = wires_per_link
+        self._allocations: List[NoCAllocation] = []
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def position_of(self, tile: str) -> Coordinate:
+        try:
+            return self._position[tile]
+        except KeyError:
+            raise ArchitectureError(
+                f"tile {tile!r} is not placed on this NoC"
+            ) from None
+
+    def hop_distance(self, src_tile: str, dst_tile: str) -> int:
+        (x1, y1) = self.position_of(src_tile)
+        (x2, y2) = self.position_of(dst_tile)
+        return abs(x1 - x2) + abs(y1 - y2)
+
+    def router_count(self) -> int:
+        return self.columns * self.rows
+
+    def link_count(self) -> int:
+        return len(self._free_wires)
+
+    def free_wires(self, src: Coordinate, dst: Coordinate) -> int:
+        return self._free_wires[(src, dst)]
+
+    def allocations(self) -> Tuple[NoCAllocation, ...]:
+        return tuple(self._allocations)
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def allocate(
+        self, connection: Connection, wires: Optional[int] = None
+    ) -> ChannelParameters:
+        """Route ``connection`` over XY and claim wires on every link.
+
+        Raises :class:`RoutingError` when any link on the route lacks the
+        requested wires (SDM wires are exclusive; the paper's efficiency
+        comes precisely from this static assignment).
+        """
+        if not self.flow_control:
+            raise RoutingError(
+                "the MAMPS integration requires the flow-controlled NoC; "
+                "the flow_control=False variant exists only for area "
+                "comparison (Section 5.3.1)"
+            )
+        wanted = wires if wires is not None else self.default_connection_wires
+        if wanted < 1 or wanted > self.wires_per_link:
+            raise RoutingError(
+                f"connection {connection.name!r} requests {wanted} wires; "
+                f"links have {self.wires_per_link}"
+            )
+        src = self.position_of(connection.src_tile)
+        dst = self.position_of(connection.dst_tile)
+        path = xy_route(src, dst)
+        links = list(zip(path, path[1:]))
+        for link in links:
+            if self._free_wires[link] < wanted:
+                raise RoutingError(
+                    f"link {link[0]}->{link[1]} has only "
+                    f"{self._free_wires[link]} free wires; connection "
+                    f"{connection.name!r} needs {wanted} (SDM wires are "
+                    "exclusive)"
+                )
+        for link in links:
+            self._free_wires[link] -= wanted
+        allocation = NoCAllocation(
+            connection=connection, path=tuple(path), wires=wanted
+        )
+        self._allocations.append(allocation)
+        return self._parameters(allocation)
+
+    def _parameters(self, allocation: NoCAllocation) -> ChannelParameters:
+        hops = allocation.hops
+        cycles_per_word = math.ceil(WORD_BITS / allocation.wires)
+        latency = self.router_latency * max(hops, 1)
+        # One word can occupy each router stage of the route.
+        words_in_flight = max(
+            1, math.ceil(latency / max(cycles_per_word, 1))
+        )
+        buffering = self.buffer_words_per_hop * hops
+        return ChannelParameters(
+            words_in_flight=words_in_flight,
+            network_buffer_words=buffering,
+            injection_cycles_per_word=cycles_per_word,
+            channel_latency=latency,
+        )
+
+    def release_all(self) -> None:
+        for link in self._free_wires:
+            self._free_wires[link] = self.wires_per_link
+        self._allocations.clear()
+
+    def allocated_connections(self) -> Tuple[Connection, ...]:
+        return tuple(a.connection for a in self._allocations)
+
+    def describe(self) -> str:
+        return (
+            f"SDM NoC {self.columns}x{self.rows} mesh, "
+            f"{self.wires_per_link} wires/link, "
+            f"{len(self._allocations)} connections, flow control "
+            f"{'on' if self.flow_control else 'off'}"
+        )

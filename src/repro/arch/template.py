@@ -1,0 +1,90 @@
+"""Architecture generation from the template.
+
+The "Generating architecture model" step of Table 1 (1 second, automated):
+given a requested tile count and interconnect kind, instantiate a platform
+with one master tile (board peripherals) and slave tiles, connected by FSL
+links or an SDM mesh NoC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.interconnect import FSLInterconnect
+from repro.arch.noc import SDMNoC
+from repro.arch.platform import ArchitectureModel
+from repro.arch.tile import master_tile, slave_tile
+from repro.exceptions import ArchitectureError
+
+
+def architecture_from_template(
+    tiles: int,
+    interconnect: str = "fsl",
+    name: Optional[str] = None,
+    instruction_kb: int = 128,
+    data_kb: int = 128,
+    with_ca: bool = False,
+    noc_wires_per_link: int = 32,
+    noc_connection_wires: int = 8,
+    fsl_fifo_depth: int = 16,
+) -> ArchitectureModel:
+    """Instantiate a platform from the MAMPS template.
+
+    Parameters
+    ----------
+    tiles:
+        Number of tiles; tile 0 becomes the master (peripheral owner).
+    interconnect:
+        ``"fsl"`` for point-to-point links, ``"noc"`` for the SDM mesh.
+        Single-tile platforms take no interconnect.
+    with_ca:
+        Equip every tile with a communication assist (the Section 6.3
+        what-if; the paper's current library has none, so the default is
+        False).
+
+    Returns a validated :class:`ArchitectureModel`.
+    """
+    if tiles < 1:
+        raise ArchitectureError("a platform needs at least one tile")
+    if interconnect not in ("fsl", "noc"):
+        raise ArchitectureError(
+            f"unknown interconnect {interconnect!r}; the template offers "
+            "'fsl' and 'noc' (Section 5.3.1)"
+        )
+
+    tile_list = [
+        master_tile(
+            "tile0",
+            instruction_kb=instruction_kb,
+            data_kb=data_kb,
+            with_ca=with_ca,
+        )
+    ]
+    for index in range(1, tiles):
+        tile_list.append(
+            slave_tile(
+                f"tile{index}",
+                instruction_kb=instruction_kb,
+                data_kb=data_kb,
+                with_ca=with_ca,
+            )
+        )
+
+    if tiles == 1:
+        fabric = None
+    elif interconnect == "fsl":
+        fabric = FSLInterconnect(fifo_depth_words=fsl_fifo_depth)
+    else:
+        fabric = SDMNoC(
+            [t.name for t in tile_list],
+            wires_per_link=noc_wires_per_link,
+            default_connection_wires=noc_connection_wires,
+        )
+
+    model = ArchitectureModel(
+        name=name or f"mamps_{tiles}t_{interconnect}",
+        tiles=tile_list,
+        interconnect=fabric,
+    )
+    model.validate()
+    return model

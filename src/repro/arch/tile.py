@@ -1,0 +1,160 @@
+"""Tile templates (Fig. 3).
+
+A tile bundles a processing element, local instruction/data memories, a
+network interface, optional peripherals (master tiles) and an optional
+communication assist.  MAMPS currently ships two tile types (Section 5.3.2):
+the *master* tile (Microblaze, up to 256 kB modified-Harvard memory, board
+peripherals) and the *slave* tile (the same without peripherals); the
+template additionally models the CA-extended tile (Fig. 3, Tile 3) and the
+hardware-IP tile (Fig. 3, Tile 4) so the Section 6.3 experiment and the
+paper's future-work variants can be expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.arch.components import (
+    CommunicationAssist,
+    Memory,
+    MICROBLAZE,
+    NetworkInterface,
+    Peripheral,
+    ProcessorType,
+)
+from repro.exceptions import ArchitectureError
+
+#: Memory ceiling of the Microblaze tile template (Section 5.3.2:
+#: "includes up to 256kB memory in a Modified Harvard configuration").
+MAX_TILE_MEMORY_BYTES = 256 * 1024
+
+
+@dataclass
+class Tile:
+    """One tile of the platform.
+
+    Parameters
+    ----------
+    name:
+        Unique tile name (becomes the processor name in mappings).
+    processor:
+        The PE type, or ``None`` for a hardware-IP tile (Fig. 3, Tile 4)
+        whose actor is implemented directly in logic.
+    instruction_memory, data_memory:
+        The modified-Harvard local memories.
+    network_interface:
+        The standardized NI.
+    peripherals:
+        Board peripherals; only master tiles have any.
+    communication_assist:
+        Present on CA tiles; offloads (de)serialization from the PE.
+    role:
+        "master", "slave" or "ip" -- the template variant.
+    """
+
+    name: str
+    processor: Optional[ProcessorType] = MICROBLAZE
+    instruction_memory: Memory = field(
+        default_factory=lambda: Memory(128 * 1024)
+    )
+    data_memory: Memory = field(default_factory=lambda: Memory(128 * 1024))
+    network_interface: NetworkInterface = field(
+        default_factory=NetworkInterface
+    )
+    peripherals: Tuple[Peripheral, ...] = ()
+    communication_assist: Optional[CommunicationAssist] = None
+    role: str = "slave"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ArchitectureError("tile needs a name")
+        if self.role not in ("master", "slave", "ip"):
+            raise ArchitectureError(
+                f"tile {self.name!r}: unknown role {self.role!r}"
+            )
+        if self.role == "ip" and self.processor is not None:
+            raise ArchitectureError(
+                f"tile {self.name!r}: IP tiles have no processor"
+            )
+        if self.role != "ip" and self.processor is None:
+            raise ArchitectureError(
+                f"tile {self.name!r}: non-IP tiles need a processor"
+            )
+        if self.peripherals and self.role != "master":
+            raise ArchitectureError(
+                f"tile {self.name!r}: only master tiles may own "
+                "peripherals (predictability by not sharing them)"
+            )
+        total = (
+            self.instruction_memory.capacity_bytes
+            + self.data_memory.capacity_bytes
+        )
+        if self.role != "ip" and total > MAX_TILE_MEMORY_BYTES:
+            raise ArchitectureError(
+                f"tile {self.name!r}: {total} bytes of memory exceeds the "
+                f"{MAX_TILE_MEMORY_BYTES} byte template ceiling"
+            )
+
+    @property
+    def pe_type(self) -> Optional[str]:
+        """Processing-element type name, for implementation matching."""
+        return self.processor.name if self.processor else None
+
+    @property
+    def has_ca(self) -> bool:
+        return self.communication_assist is not None
+
+    @property
+    def memory_capacity(self) -> int:
+        return (
+            self.instruction_memory.capacity_bytes
+            + self.data_memory.capacity_bytes
+        )
+
+
+def master_tile(
+    name: str,
+    peripherals: Tuple[Peripheral, ...] = (Peripheral("uart"),),
+    instruction_kb: int = 128,
+    data_kb: int = 128,
+    with_ca: bool = False,
+) -> Tile:
+    """The master tile of Section 5.3.2: Microblaze + peripherals."""
+    return Tile(
+        name=name,
+        processor=MICROBLAZE,
+        instruction_memory=Memory(instruction_kb * 1024),
+        data_memory=Memory(data_kb * 1024),
+        peripherals=peripherals,
+        communication_assist=CommunicationAssist() if with_ca else None,
+        role="master",
+    )
+
+
+def slave_tile(
+    name: str,
+    instruction_kb: int = 128,
+    data_kb: int = 128,
+    with_ca: bool = False,
+) -> Tile:
+    """The slave tile: a master without peripheral access."""
+    return Tile(
+        name=name,
+        processor=MICROBLAZE,
+        instruction_memory=Memory(instruction_kb * 1024),
+        data_memory=Memory(data_kb * 1024),
+        communication_assist=CommunicationAssist() if with_ca else None,
+        role="slave",
+    )
+
+
+def ip_tile(name: str) -> Tile:
+    """A hardware-IP tile (Fig. 3 Tile 4): an actor in logic behind an NI."""
+    return Tile(
+        name=name,
+        processor=None,
+        instruction_memory=Memory(1024),
+        data_memory=Memory(1024),
+        role="ip",
+    )

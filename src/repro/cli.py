@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the tool invocations of the original flow:
+
+* ``analyze <graph.xml>`` -- SDF3-style analysis of a graph file:
+  repetition vector, liveness, throughput (the graph must be bounded,
+  e.g. carry buffer back-edges);
+* ``demo [sequence] [--tiles N] [--interconnect fsl|noc]`` -- run the
+  MJPEG case study end to end and print the Fig. 6-style numbers plus
+  Table 1;
+* ``dse [sequence] [--max-tiles N]`` -- explore the template design
+  space for the MJPEG decoder and print the Pareto table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.arch import architecture_from_template
+from repro.exceptions import ReproError
+from repro.sdf import (
+    analyze_throughput,
+    is_deadlock_free,
+    repetition_vector,
+)
+from repro.sdf.io_sdf3 import load_graph
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    print(f"graph {graph.name!r}: {len(graph)} actors, "
+          f"{len(graph.edges)} edges")
+    q = repetition_vector(graph)
+    print("repetition vector:")
+    for name, count in sorted(q.items()):
+        print(f"  {name}: {count}")
+    live = is_deadlock_free(graph)
+    print(f"deadlock-free: {'yes' if live else 'NO'}")
+    if live:
+        result = analyze_throughput(graph)
+        print(
+            f"throughput: {result.throughput} iterations/cycle "
+            f"({result.per_mega_cycle():.4f} per Mcycle; period "
+            f"{result.period} cycles)"
+        )
+    return 0
+
+
+def _load_case_study(sequence: str, quality: Optional[int] = None):
+    from repro.mjpeg import (
+        build_mjpeg_application,
+        encode_sequence,
+        synthetic_sequence,
+        test_set_sequences,
+    )
+
+    if sequence == "synthetic":
+        frames = synthetic_sequence(n_frames=2)
+        quality = quality or 98
+    else:
+        sequences = test_set_sequences(n_frames=2)
+        if sequence not in sequences:
+            raise ReproError(
+                f"unknown sequence {sequence!r}; pick from "
+                f"{sorted(sequences) + ['synthetic']}"
+            )
+        frames = sequences[sequence]
+        quality = quality or 75
+    encoded = encode_sequence(frames, quality=quality, h=4, v=2)
+    return build_mjpeg_application(encoded)
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.flow import DesignFlow
+
+    app = _load_case_study(args.sequence)
+    arch = architecture_from_template(args.tiles, args.interconnect)
+    flow = DesignFlow(app, arch, fixed={"VLD": "tile0"})
+    result = flow.run(iterations=args.iterations)
+    print(result.summary())
+    if args.output:
+        root = result.project.write_to(args.output)
+        print(f"\nproject written to {root}")
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from repro.flow import explore_design_space
+
+    app = _load_case_study(args.sequence)
+    result = explore_design_space(
+        app,
+        tile_counts=tuple(range(1, args.max_tiles + 1)),
+        interconnects=("fsl", "noc"),
+        fixed={"VLD": "tile0"},
+    )
+    print(result.as_table())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Automated flow to map throughput-constrained applications "
+            "to a MPSoC (Jordans et al., PPES 2011 -- reproduction)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze = commands.add_parser(
+        "analyze", help="analyze an SDF3-style XML graph"
+    )
+    analyze.add_argument("graph", help="path to the graph XML file")
+    analyze.set_defaults(handler=_cmd_analyze)
+
+    demo = commands.add_parser(
+        "demo", help="run the MJPEG case study end to end"
+    )
+    demo.add_argument("sequence", nargs="?", default="gradient")
+    demo.add_argument("--tiles", type=int, default=5)
+    demo.add_argument(
+        "--interconnect", choices=("fsl", "noc"), default="fsl"
+    )
+    demo.add_argument("--iterations", type=int, default=16)
+    demo.add_argument(
+        "--output", help="write the generated project under this directory"
+    )
+    demo.set_defaults(handler=_cmd_demo)
+
+    dse = commands.add_parser(
+        "dse", help="explore the template design space for the case study"
+    )
+    dse.add_argument("sequence", nargs="?", default="gradient")
+    dse.add_argument("--max-tiles", type=int, default=5)
+    dse.set_defaults(handler=_cmd_dse)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

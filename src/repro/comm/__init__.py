@@ -1,0 +1,37 @@
+"""Communication modelling (paper Section 4.1-4.2, Fig. 4).
+
+The interconnect is abstracted by a standardized network interface moving
+32-bit words.  Sending a token means serializing it into ``N`` words,
+pushing the words through a latency-rate channel, and deserializing on the
+far side.  :mod:`repro.comm.model` expands a mapped SDF edge into the
+8-actor parameterized model of Fig. 4; :mod:`repro.comm.params` holds the
+per-channel interconnect parameters (``w``, ``alpha_n``, latency, rate) and
+:mod:`repro.comm.serialization` the PE-based vs. CA-based (de)serialization
+cost models used by the Section 6.3 overhead experiment.
+"""
+
+from repro.comm.params import (
+    WORD_BITS,
+    WORD_BYTES,
+    ChannelParameters,
+    words_per_token,
+)
+from repro.comm.serialization import (
+    CASerialization,
+    PESerialization,
+    SerializationModel,
+)
+from repro.comm.model import CommActorNames, expand_channel, expanded_names
+
+__all__ = [
+    "WORD_BITS",
+    "WORD_BYTES",
+    "ChannelParameters",
+    "words_per_token",
+    "SerializationModel",
+    "PESerialization",
+    "CASerialization",
+    "CommActorNames",
+    "expand_channel",
+    "expanded_names",
+]

@@ -1,0 +1,275 @@
+"""The Fig. 4 parameterized communication model.
+
+:func:`expand_channel` replaces a mapped SDF edge by the 8-actor model of
+the paper (serialization ``s1 s2 s3`` on the sending tile, latency-rate
+channel ``c1 c2`` on the interconnect, deserialization ``d1 d2 d3`` on the
+receiving tile) plus the buffer-credit structure (``alpha_src``,
+``alpha_dst``) and the in-flight/in-network word budget (``w + alpha_n``).
+
+Concrete instantiation (granularity ``n = 1`` token per serialization
+batch; all derived actors carry ``group=<edge name>``):
+
+* ``asrc -> s1`` -- the source-side buffer; holds up to ``alpha_src``
+  tokens, enforced by the credit back-edge ``s3 -> asrc``.
+* ``s1`` serializes one token into ``N`` 32-bit words
+  (execution time ``serialize_cycles(N)``).
+* ``s2`` (0 time) pumps words one at a time into the network interface and
+  signals ``s3``; ``s3`` (0 time) returns one source-buffer credit after
+  all ``N`` words of a token have left the tile.
+* ``c1`` models the rate of the connection (one firing per word, execution
+  time = injection cycles per word); ``c2`` models its latency, with
+  per-actor concurrency ``w`` so words pipeline.  ``alpha_n`` words of
+  network buffering sit between ``s2`` and ``c1`` (the connection's FIFO);
+  the in-flight budget ``w`` is enforced by a credit edge closed at ``d1``.
+* ``d1`` (one firing per word) models per-word reception cost and returns
+  the network credit (flow control); it only drains a word when the
+  destination buffer has room for it (word-granular ``alpha_dst`` credits
+  via ``d3``).  ``d2`` reassembles ``N`` words into a token (execution time
+  = deserialize setup) and deposits it in the destination buffer.
+
+Initial tokens of the original edge are placed in the *destination* buffer
+(``d2 -> adst``), mirroring the generated communication-initialisation code
+that pre-loads destination buffers before the schedule starts (Section 5.2),
+and are subtracted from the destination credits.
+
+Which tile resource executes ``s1``/``d1``/``d2`` depends on the
+serialization model: PE-based serialization runs on the tile processor
+(claiming cycles that "can not be spent on running actor code"), a CA runs
+concurrently.  The expansion itself is purely structural; the mapping layer
+binds these actors to resources (see
+:func:`repro.mapping.bound_graph.build_bound_graph`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.comm.params import ChannelParameters, words_per_token
+from repro.comm.serialization import SerializationModel
+from repro.exceptions import ArchitectureError, GraphError
+from repro.sdf.graph import SDFGraph
+
+
+@dataclass(frozen=True)
+class CommActorNames:
+    """Names of the 8 actors (and the key edges) a channel expands into."""
+
+    edge: str
+    s1: str
+    s2: str
+    s3: str
+    c1: str
+    c2: str
+    d1: str
+    d2: str
+    d3: str
+    source_edge: str
+    destination_edge: str
+
+    @property
+    def all_actors(self) -> tuple:
+        return (
+            self.s1, self.s2, self.s3, self.c1, self.c2,
+            self.d1, self.d2, self.d3,
+        )
+
+    @property
+    def serialization_actors(self) -> tuple:
+        """Actors whose time is (de)serialization work of the tiles."""
+        return (self.s1, self.d1, self.d2)
+
+
+def expanded_names(edge_name: str) -> CommActorNames:
+    """The deterministic naming scheme of :func:`expand_channel`."""
+    return CommActorNames(
+        edge=edge_name,
+        s1=f"{edge_name}__s1",
+        s2=f"{edge_name}__s2",
+        s3=f"{edge_name}__s3",
+        c1=f"{edge_name}__c1",
+        c2=f"{edge_name}__c2",
+        d1=f"{edge_name}__d1",
+        d2=f"{edge_name}__d2",
+        d3=f"{edge_name}__d3",
+        source_edge=f"{edge_name}__src",
+        destination_edge=f"{edge_name}__dst",
+    )
+
+
+def expand_channel(
+    graph: SDFGraph,
+    edge_name: str,
+    channel: ChannelParameters,
+    serialization: SerializationModel,
+    alpha_src: int,
+    alpha_dst: int,
+    deserialization: Optional[SerializationModel] = None,
+) -> CommActorNames:
+    """Replace ``edge_name`` in ``graph`` (in place) by the Fig. 4 model.
+
+    ``alpha_src`` / ``alpha_dst`` are the source/destination buffer
+    capacities in tokens.  The edge must be an explicit inter-actor edge
+    with a positive token size.  ``serialization`` models the sending tile;
+    ``deserialization`` the receiving tile (defaults to the same model --
+    pass a different one when the two tiles differ, e.g. CA on one side
+    only).
+
+    Returns the names of the added actors/edges.
+    """
+    if deserialization is None:
+        deserialization = serialization
+    edge = graph.edge(edge_name)
+    if edge.is_self_edge or edge.implicit:
+        raise GraphError(
+            f"edge {edge_name!r} is implicit or a self-edge; only explicit "
+            "inter-tile data edges cross the interconnect"
+        )
+    n_words = words_per_token(edge.token_size)
+    p, q, d0 = edge.production, edge.consumption, edge.initial_tokens
+
+    if alpha_src < p:
+        raise ArchitectureError(
+            f"source buffer of {edge_name!r} ({alpha_src} tokens) cannot "
+            f"hold one production burst of {p}"
+        )
+    if alpha_dst < q:
+        raise ArchitectureError(
+            f"destination buffer of {edge_name!r} ({alpha_dst} tokens) "
+            f"cannot hold one consumption burst of {q}"
+        )
+    if alpha_dst < d0:
+        raise ArchitectureError(
+            f"destination buffer of {edge_name!r} ({alpha_dst} tokens) "
+            f"cannot hold the {d0} initial token(s)"
+        )
+
+    names = expanded_names(edge_name)
+    tag = edge_name
+
+    graph.remove_edge(edge_name)
+
+    graph.add_actor(
+        names.s1,
+        execution_time=serialization.serialize_cycles(n_words),
+        group=tag,
+    )
+    graph.add_actor(names.s2, execution_time=0, group=tag)
+    graph.add_actor(names.s3, execution_time=0, group=tag)
+    graph.add_actor(
+        names.c1,
+        execution_time=channel.injection_cycles_per_word,
+        group=tag,
+    )
+    graph.add_actor(
+        names.c2,
+        execution_time=channel.channel_latency,
+        group=tag,
+        concurrency=channel.words_in_flight,
+    )
+    graph.add_actor(
+        names.d1,
+        execution_time=deserialization.deserialize_cycles_per_word,
+        group=tag,
+    )
+    graph.add_actor(
+        names.d2,
+        execution_time=deserialization.deserialize_setup_cycles,
+        group=tag,
+    )
+    graph.add_actor(names.d3, execution_time=0, group=tag)
+
+    # --- source side -------------------------------------------------
+    graph.add_edge(
+        names.source_edge,
+        edge.src,
+        names.s1,
+        production=p,
+        consumption=1,
+        token_size=edge.token_size,
+    )
+    graph.add_edge(
+        f"{tag}__ser", names.s1, names.s2,
+        production=n_words, consumption=1,
+        token_size=4,
+    )
+    graph.add_edge(
+        f"{tag}__sig", names.s2, names.s3,
+        production=1, consumption=n_words,
+        implicit=True,
+    )
+    graph.add_edge(
+        f"{tag}__scredit", names.s3, edge.src,
+        production=1, consumption=p,
+        initial_tokens=alpha_src,
+        implicit=True,
+    )
+
+    # --- interconnect ------------------------------------------------
+    graph.add_edge(
+        f"{tag}__inj", names.s2, names.c1,
+        production=1, consumption=1,
+        token_size=4,
+    )
+    # s2 (the PE/CA writing into the NI transmit port) blocks when the
+    # connection's network buffering is exhausted -- alpha_n words (at
+    # least one: the port register itself).  Credits return when c1
+    # injects the word into the link.
+    graph.add_edge(
+        f"{tag}__txcredit", names.c1, names.s2,
+        production=1, consumption=1,
+        initial_tokens=max(1, channel.network_buffer_words),
+        implicit=True,
+    )
+    graph.add_edge(
+        f"{tag}__chan", names.c1, names.c2,
+        production=1, consumption=1,
+        token_size=4,
+    )
+    # At most w words are in simultaneous transmission (the paper's initial
+    # token count on the interconnect back-edge); the credit returns when
+    # d1 *drains* the word on the receiving tile, which is what propagates
+    # backpressure (flow control, Section 5.3.1) all the way to the source.
+    graph.add_edge(
+        f"{tag}__ncredit", names.d1, names.c1,
+        production=1, consumption=1,
+        initial_tokens=channel.words_in_flight,
+        implicit=True,
+    )
+
+    # --- destination side ---------------------------------------------
+    graph.add_edge(
+        f"{tag}__rcv", names.c2, names.d1,
+        production=1, consumption=1,
+        token_size=4,
+    )
+    graph.add_edge(
+        f"{tag}__word", names.d1, names.d2,
+        production=1, consumption=n_words,
+        token_size=4,
+    )
+    graph.add_edge(
+        names.destination_edge,
+        names.d2,
+        edge.dst,
+        production=1,
+        consumption=q,
+        initial_tokens=d0,
+        token_size=edge.token_size,
+    )
+    graph.add_edge(
+        f"{tag}__dsig", edge.dst, names.d3,
+        production=q, consumption=1,
+        implicit=True,
+    )
+    # Destination-buffer credits are word-granular and gate d1: a word may
+    # only leave the network when its token's slot in the destination
+    # buffer has room (d1 writes words straight into the slot).  One token
+    # slot = N word credits, returned by d3 when adst consumes a token.
+    graph.add_edge(
+        f"{tag}__dcredit", names.d3, names.d1,
+        production=n_words, consumption=1,
+        initial_tokens=(alpha_dst - d0) * n_words,
+        implicit=True,
+    )
+    return names

@@ -1,0 +1,83 @@
+"""Channel parameters for the Fig. 4 communication model.
+
+The network interface moves 32-bit words (Section 4.1: the Xilinx Fast
+Simplex Link interface "limits the network interface to communicating
+32-bit words").  A token of ``s`` bytes therefore fragments into
+``N = ceil(s / 4)`` words -- the token fragmentation that the paper adds
+over the CA-MPSoC model.
+
+Fig. 4's tunables, quoting Section 4.2: "The model in Figure 4 can be used
+for modeling communication over many different forms of interconnect by
+changing ``w``, ``alpha_n``, and the execution times of ``s1``, ``c2``, and
+``d1`` to appropriate values."  :class:`ChannelParameters` carries exactly
+the interconnect-side knobs (``w``, ``alpha_n``, and the latency-rate pair
+for ``c1``/``c2``); the serialization-side times (``s1``, ``d1``) live in
+:mod:`repro.comm.serialization` because they belong to the tile, not the
+link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ArchitectureError
+
+WORD_BITS = 32
+WORD_BYTES = WORD_BITS // 8
+
+
+def words_per_token(token_size_bytes: int) -> int:
+    """Number of 32-bit words needed for a token of the given size (N)."""
+    if token_size_bytes <= 0:
+        raise ArchitectureError(
+            f"token size must be positive, got {token_size_bytes}"
+        )
+    return -(-token_size_bytes // WORD_BYTES)  # ceil division
+
+
+@dataclass(frozen=True)
+class ChannelParameters:
+    """Interconnect-side parameters of one connection (Fig. 4).
+
+    Attributes
+    ----------
+    words_in_flight:
+        ``w`` -- the maximum number of words in simultaneous transmission
+        (initial tokens on the ``c2 -> c1`` back-edge).
+    network_buffer_words:
+        ``alpha_n`` -- words of buffering the connection provides inside
+        the network, added to the same back-edge.
+    injection_cycles_per_word:
+        Execution time of ``c1``: the rate component of the latency-rate
+        server (cycles between word injections; 1 for a full-width FSL,
+        ``ceil(32 / wires)`` for an SDM NoC connection).
+    channel_latency:
+        Execution time of ``c2``: the latency component (propagation time
+        of one word through the channel).
+    """
+
+    words_in_flight: int
+    network_buffer_words: int
+    injection_cycles_per_word: int
+    channel_latency: int
+
+    def __post_init__(self) -> None:
+        if self.words_in_flight < 1:
+            raise ArchitectureError(
+                f"w must be >= 1, got {self.words_in_flight}"
+            )
+        if self.network_buffer_words < 0:
+            raise ArchitectureError(
+                f"alpha_n must be >= 0, got {self.network_buffer_words}"
+            )
+        if self.injection_cycles_per_word < 0:
+            raise ArchitectureError("injection rate must be >= 0")
+        if self.channel_latency < 0:
+            raise ArchitectureError("channel latency must be >= 0")
+
+    def word_transfer_cycles(self, n_words: int) -> int:
+        """Lower bound on moving ``n_words`` through the channel: pipelined
+        injection plus one final propagation."""
+        if n_words <= 0:
+            return 0
+        return self.injection_cycles_per_word * n_words + self.channel_latency

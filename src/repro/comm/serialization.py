@@ -1,0 +1,106 @@
+"""(De)serialization cost models: processing element vs. communication assist.
+
+Section 4.1: serialization "can either be performed by the processing
+element of the tile ..., or by the addition of some dedicated communication
+hardware".  The choice matters twice:
+
+* the *cost per token* (cycles for ``s1``/``d1`` in the Fig. 4 model);
+* *who pays it*: PE-based serialization consumes processor time that
+  "can not be spent on running actor code", so it serializes with actor
+  firings on the tile; a CA runs concurrently with the PE.
+
+The Section 6.3 experiment swaps :class:`PESerialization` for
+:class:`CASerialization` with the CA execution times of [13] and observes an
+SDF3-predicted throughput increase of up to 300 %.
+
+Default constants model a Microblaze software loop (a per-token function
+call overhead plus a load/store-FSL-put per word) and a CA that streams a
+word per cycle after a small setup; they are calibration points, not
+measurements of the original boards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ArchitectureError
+
+
+@dataclass(frozen=True)
+class SerializationModel:
+    """Cycles to (de)serialize a token of ``n`` words, and who executes it.
+
+    ``serialize_cycles(n) = setup + per_word * n`` and likewise for
+    deserialization.  ``occupies_pe`` decides whether those cycles run on
+    the tile's processor (True: software NI library) or on dedicated
+    hardware concurrent with the PE (False: communication assist).
+    """
+
+    name: str
+    setup_cycles: int
+    cycles_per_word: int
+    deserialize_setup_cycles: int
+    deserialize_cycles_per_word: int
+    occupies_pe: bool
+
+    def __post_init__(self) -> None:
+        if min(
+            self.setup_cycles,
+            self.cycles_per_word,
+            self.deserialize_setup_cycles,
+            self.deserialize_cycles_per_word,
+        ) < 0:
+            raise ArchitectureError("serialization costs must be >= 0")
+
+    def serialize_cycles(self, n_words: int) -> int:
+        """Execution time of ``s1`` for an ``n_words`` token."""
+        if n_words <= 0:
+            raise ArchitectureError("token must serialize to >= 1 word")
+        return self.setup_cycles + self.cycles_per_word * n_words
+
+    def deserialize_cycles(self, n_words: int) -> int:
+        """Execution time of ``d1``-side reassembly for an ``n_words``
+        token (charged per token, after its last word arrives)."""
+        if n_words <= 0:
+            raise ArchitectureError("token must deserialize from >= 1 word")
+        return (
+            self.deserialize_setup_cycles
+            + self.deserialize_cycles_per_word * n_words
+        )
+
+
+def PESerialization(
+    setup_cycles: int = 40,
+    cycles_per_word: int = 6,
+) -> SerializationModel:
+    """Software (de)serialization on the Microblaze (the current MAMPS tile
+    library, Section 5.3.2: "a software library implementing
+    (de-)serialization").
+
+    Defaults: ~40 cycles call/bookkeeping overhead per token and 6 cycles
+    per word (load, FSL put, loop) -- a plausible Microblaze inner loop.
+    """
+    return SerializationModel(
+        name="pe-software",
+        setup_cycles=setup_cycles,
+        cycles_per_word=cycles_per_word,
+        deserialize_setup_cycles=setup_cycles,
+        deserialize_cycles_per_word=cycles_per_word,
+        occupies_pe=True,
+    )
+
+
+def CASerialization(
+    setup_cycles: int = 8,
+    cycles_per_word: int = 1,
+) -> SerializationModel:
+    """Hardware communication assist per [13]: streams one word per cycle
+    after a short configuration, and runs concurrently with the PE."""
+    return SerializationModel(
+        name="communication-assist",
+        setup_cycles=setup_cycles,
+        cycles_per_word=cycles_per_word,
+        deserialize_setup_cycles=setup_cycles,
+        deserialize_cycles_per_word=cycles_per_word,
+        occupies_pe=False,
+    )

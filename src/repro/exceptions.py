@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the failing subsystem.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed SDF graphs (unknown actors, duplicate names...)."""
+
+
+class InconsistentGraphError(GraphError):
+    """Raised when an SDF graph has no non-trivial repetition vector.
+
+    An inconsistent graph cannot execute periodically with bounded memory,
+    so none of the mapping or analysis algorithms accept one.
+    """
+
+
+class DeadlockError(ReproError):
+    """Raised when an SDF graph (or a mapped graph) deadlocks."""
+
+
+class ArchitectureError(ReproError):
+    """Raised for malformed or infeasible architecture descriptions."""
+
+class RoutingError(ArchitectureError):
+    """Raised when a channel cannot be routed on the interconnect."""
+
+
+class MappingError(ReproError):
+    """Raised when the mapping flow cannot produce a valid binding."""
+
+
+class ThroughputConstraintError(MappingError):
+    """Raised when no mapping meets the requested throughput constraint."""
+
+
+class GenerationError(ReproError):
+    """Raised when MAMPS platform generation fails."""
+
+
+class SimulationError(ReproError):
+    """Raised for platform-simulator inconsistencies (e.g. buffer overflow
+    in a supposedly deadlock-free design, which indicates a modelling bug)."""
+
+
+class BitstreamError(ReproError):
+    """Raised by the MJPEG codec for malformed bitstreams."""

@@ -1,0 +1,42 @@
+"""The end-to-end design flow of Fig. 1.
+
+:class:`~repro.flow.design_flow.DesignFlow` chains the whole pipeline --
+application model + architecture -> SDF3 mapping -> MAMPS generation ->
+synthesis (platform simulator) -> measurement -- and records the wall-clock
+time of each automated step (the lower half of Table 1).
+"""
+
+from repro.flow.design_flow import DesignFlow, FlowResult
+from repro.flow.effort import EffortReport, StepTiming, TABLE1_MANUAL_STEPS
+from repro.flow.report import (
+    ThroughputComparison,
+    compare_throughput,
+    format_throughput_table,
+)
+from repro.flow.dse import (
+    DesignPoint,
+    ExplorationResult,
+    explore_design_space,
+)
+from repro.flow.usecases import (
+    UseCaseMapping,
+    generate_use_case_platform,
+    map_use_cases,
+)
+
+__all__ = [
+    "DesignFlow",
+    "FlowResult",
+    "EffortReport",
+    "StepTiming",
+    "TABLE1_MANUAL_STEPS",
+    "ThroughputComparison",
+    "compare_throughput",
+    "format_throughput_table",
+    "DesignPoint",
+    "ExplorationResult",
+    "explore_design_space",
+    "UseCaseMapping",
+    "map_use_cases",
+    "generate_use_case_platform",
+]

@@ -1,0 +1,132 @@
+"""The Fig. 1 flow driver.
+
+``DesignFlow(app, arch).run()`` executes, in order:
+
+1. architecture validation (the template instantiation of Table 1);
+2. SDF3 mapping: binding, routing, buffers, schedules, throughput
+   guarantee;
+3. MAMPS generation: netlist, software, XPS project;
+4. synthesis: the runnable platform (simulator);
+5. optional measurement on the synthesized platform.
+
+Each automated step is timed into an :class:`EffortReport`, reproducing
+the bottom half of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional
+
+from repro.appmodel.model import ApplicationModel
+from repro.arch.platform import ArchitectureModel
+from repro.comm.serialization import SerializationModel
+from repro.flow.effort import EffortReport
+from repro.mamps.generator import generate_platform, synthesize
+from repro.mamps.project import PlatformProject
+from repro.mapping.flow import map_application
+from repro.mapping.spec import MappingResult
+from repro.sim.platform_sim import MeasuredThroughput, PlatformSimulator
+
+
+@dataclass
+class FlowResult:
+    """Everything the flow produced."""
+
+    mapping_result: MappingResult
+    project: PlatformProject
+    simulator: Optional[PlatformSimulator]
+    measured: Optional[MeasuredThroughput]
+    effort: EffortReport
+
+    @property
+    def guaranteed_throughput(self) -> Fraction:
+        return self.mapping_result.guaranteed_throughput
+
+    @property
+    def measured_throughput(self) -> Optional[Fraction]:
+        return self.measured.throughput if self.measured else None
+
+    def summary(self) -> str:
+        lines = [
+            f"guaranteed: {float(self.guaranteed_throughput * 1e6):.4f} "
+            "iterations/Mcycle",
+        ]
+        if self.measured is not None:
+            lines.append(
+                f"measured:   {self.measured.per_mega_cycle():.4f} "
+                "iterations/Mcycle"
+            )
+        lines.append("")
+        lines.append(self.effort.as_table())
+        return "\n".join(lines)
+
+
+class DesignFlow:
+    """The automated flow: application + architecture -> running platform."""
+
+    def __init__(
+        self,
+        app: ApplicationModel,
+        arch: ArchitectureModel,
+        constraint: Optional[Fraction] = None,
+        fixed: Optional[Dict[str, str]] = None,
+        serialization_overrides: Optional[
+            Dict[str, SerializationModel]
+        ] = None,
+    ) -> None:
+        self.app = app
+        self.arch = arch
+        self.constraint = constraint
+        self.fixed = fixed
+        self.serialization_overrides = serialization_overrides
+
+    def run(
+        self,
+        measure: bool = True,
+        iterations: int = 30,
+        warmup_iterations: int = 4,
+    ) -> FlowResult:
+        """Execute the full flow; ``measure=False`` stops after synthesis
+        (e.g. for timing-only studies on non-functional models)."""
+        effort = EffortReport()
+
+        with effort.step("Generating architecture model"):
+            self.arch.validate()
+
+        with effort.step("Mapping the design (SDF3)"):
+            mapping_result = map_application(
+                self.app,
+                self.arch,
+                constraint=self.constraint,
+                fixed=self.fixed,
+                serialization_overrides=self.serialization_overrides,
+            )
+
+        with effort.step("Generating Xilinx project (MAMPS)"):
+            project = generate_platform(self.app, self.arch, mapping_result)
+
+        simulator = None
+        measured = None
+        can_run = self.app.is_functional()
+        with effort.step("Synthesis of the system"):
+            if can_run:
+                simulator = synthesize(
+                    self.app,
+                    self.arch,
+                    mapping_result,
+                    serialization_overrides=self.serialization_overrides,
+                )
+        if measure and simulator is not None:
+            measured = simulator.measure_throughput(
+                iterations=iterations,
+                warmup_iterations=warmup_iterations,
+            )
+        return FlowResult(
+            mapping_result=mapping_result,
+            project=project,
+            simulator=simulator,
+            measured=measured,
+            effort=effort,
+        )

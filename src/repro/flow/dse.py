@@ -1,0 +1,142 @@
+"""Automated design-space exploration (paper Section 7, future work).
+
+"For future work we would like to offer an improved automated design space
+exploration" -- this module provides it: sweep the architecture template
+over tile counts, interconnect kinds and CA usage, evaluate each point
+with the conservative mapping analysis (no synthesis, no simulation), and
+return the Pareto-optimal set over (guaranteed throughput, FPGA area).
+
+Because every point costs one mapping run (sub-second), the whole space
+of the template explores in seconds -- the "very fast design space
+exploration" the conclusion promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.appmodel.model import ApplicationModel
+from repro.arch.area import AreaEstimate, platform_area
+from repro.arch.template import architecture_from_template
+from repro.exceptions import MappingError, ReproError, RoutingError
+from repro.mapping.flow import map_application
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration of the template."""
+
+    tiles: int
+    interconnect: str
+    with_ca: bool
+    throughput: Fraction
+    area: AreaEstimate
+    constraint_met: bool
+
+    @property
+    def label(self) -> str:
+        suffix = "+CA" if self.with_ca else ""
+        return f"{self.tiles}t/{self.interconnect}{suffix}"
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance: no worse in both objectives, better in one.
+        Throughput is maximized, slice count minimized."""
+        no_worse = (
+            self.throughput >= other.throughput
+            and self.area.slices <= other.area.slices
+        )
+        better = (
+            self.throughput > other.throughput
+            or self.area.slices < other.area.slices
+        )
+        return no_worse and better
+
+
+@dataclass
+class ExplorationResult:
+    """All evaluated points plus the Pareto frontier."""
+
+    points: List[DesignPoint]
+    failures: List[Tuple[str, str]]  # (label, reason)
+
+    def pareto_frontier(self) -> List[DesignPoint]:
+        frontier = [
+            p for p in self.points
+            if not any(q.dominates(p) for q in self.points)
+        ]
+        return sorted(frontier, key=lambda p: p.area.slices)
+
+    def best_meeting_constraint(self) -> Optional[DesignPoint]:
+        """Smallest design point that meets the throughput constraint."""
+        feasible = [p for p in self.points if p.constraint_met]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda p: (p.area.slices, -p.throughput))
+
+    def as_table(self) -> str:
+        header = (
+            f"{'point':<12} {'throughput/Mcycle':>18} {'slices':>8} "
+            f"{'BRAMs':>6} {'meets':>6} {'pareto':>7}"
+        )
+        frontier = set(p.label for p in self.pareto_frontier())
+        lines = [header, "-" * len(header)]
+        for p in sorted(self.points,
+                        key=lambda p: (p.tiles, p.interconnect, p.with_ca)):
+            lines.append(
+                f"{p.label:<12} {float(p.throughput * 1e6):>18.4f} "
+                f"{p.area.slices:>8} {p.area.brams:>6} "
+                f"{'yes' if p.constraint_met else 'no':>6} "
+                f"{'*' if p.label in frontier else '':>7}"
+            )
+        for label, reason in self.failures:
+            lines.append(f"{label:<12} infeasible: {reason}")
+        return "\n".join(lines)
+
+
+def explore_design_space(
+    app: ApplicationModel,
+    tile_counts: Sequence[int] = (1, 2, 3, 4, 5),
+    interconnects: Sequence[str] = ("fsl", "noc"),
+    ca_options: Sequence[bool] = (False,),
+    constraint: Optional[Fraction] = None,
+    fixed: Optional[Dict[str, str]] = None,
+) -> ExplorationResult:
+    """Evaluate every template configuration in the sweep.
+
+    Points whose mapping fails (memory infeasible, unroutable) are
+    recorded as failures rather than raising -- an exploration should
+    report the whole space.
+    """
+    points: List[DesignPoint] = []
+    failures: List[Tuple[str, str]] = []
+    for tiles in tile_counts:
+        for interconnect in interconnects:
+            if tiles == 1 and interconnect != interconnects[0]:
+                continue  # single tile has no interconnect; dedupe
+            for with_ca in ca_options:
+                label = (
+                    f"{tiles}t/{interconnect}{'+CA' if with_ca else ''}"
+                )
+                try:
+                    arch = architecture_from_template(
+                        tiles, interconnect, with_ca=with_ca
+                    )
+                    result = map_application(
+                        app, arch, constraint=constraint, fixed=fixed
+                    )
+                except (MappingError, RoutingError) as error:
+                    failures.append((label, str(error)))
+                    continue
+                points.append(
+                    DesignPoint(
+                        tiles=tiles,
+                        interconnect=interconnect,
+                        with_ca=with_ca,
+                        throughput=result.guaranteed_throughput,
+                        area=platform_area(arch),
+                        constraint_met=result.constraint_met,
+                    )
+                )
+    return ExplorationResult(points=points, failures=failures)

@@ -1,0 +1,109 @@
+"""Reporting helpers for the Fig. 6 style comparisons.
+
+A :class:`ThroughputComparison` holds, for one workload, the three values
+Fig. 6 plots: the worst-case analysis bound, the *expected* throughput
+(the same analysis fed with execution times measured on the workload) and
+the *measured* throughput of the running platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from repro.appmodel.model import ApplicationModel
+from repro.appmodel.wcet import MeasuredTimes
+from repro.arch.platform import ArchitectureModel
+from repro.mapping.bound_graph import build_bound_graph
+from repro.mapping.spec import MappingResult
+from repro.sdf.throughput import analyze_throughput
+
+
+@dataclass(frozen=True)
+class ThroughputComparison:
+    """One Fig. 6 bar group (one workload on one platform)."""
+
+    workload: str
+    worst_case: Fraction
+    expected: Fraction
+    measured: Fraction
+
+    def conservative(self) -> bool:
+        """The guarantee must never exceed what the platform achieves."""
+        return self.worst_case <= self.measured
+
+    def expected_margin(self) -> float:
+        """Relative gap |measured - expected| / expected -- the "margin of
+        the used models" the paper quotes (<1% for synthetic data)."""
+        if self.expected == 0:
+            return float("inf")
+        return abs(float(self.measured - self.expected)) / float(
+            self.expected
+        )
+
+
+def expected_throughput(
+    app: ApplicationModel,
+    arch: ArchitectureModel,
+    result: MappingResult,
+    measured_times: MeasuredTimes,
+    **bound_kwargs,
+) -> Fraction:
+    """The 'expected' prediction: the worst-case analysis re-run with the
+    measured execution times of the test data (Section 6.1)."""
+    bound = build_bound_graph(
+        app,
+        arch,
+        result.mapping.actor_binding,
+        result.mapping.implementations,
+        result.mapping.channels,
+        time_overrides=measured_times.measured_wcet(),
+        **bound_kwargs,
+    )
+    analysis = analyze_throughput(
+        bound.graph,
+        processor_of=bound.processor_of,
+        static_order=result.mapping.static_orders,
+        reference_actor=bound.app_actors[0],
+    )
+    return analysis.throughput
+
+
+def compare_throughput(
+    workload: str,
+    worst_case: Fraction,
+    expected: Fraction,
+    measured: Fraction,
+) -> ThroughputComparison:
+    return ThroughputComparison(
+        workload=workload,
+        worst_case=worst_case,
+        expected=expected,
+        measured=measured,
+    )
+
+
+def format_throughput_table(
+    comparisons: List[ThroughputComparison],
+    unit_scale: int = 1_000_000,
+    unit_name: str = "iterations/Mcycle",
+) -> str:
+    """Fig. 6 as text: one row per workload, three value columns."""
+    name_width = max(
+        [len(c.workload) for c in comparisons] + [len("workload")]
+    )
+    header = (
+        f"{'workload':<{name_width}}  {'worst-case':>10}  "
+        f"{'expected':>10}  {'measured':>10}   [{unit_name}]"
+    )
+    lines = [header, "-" * len(header)]
+    for c in comparisons:
+        lines.append(
+            f"{c.workload:<{name_width}}  "
+            f"{float(c.worst_case * unit_scale):>10.4f}  "
+            f"{float(c.expected * unit_scale):>10.4f}  "
+            f"{float(c.measured * unit_scale):>10.4f}"
+            + ("" if c.conservative() else "   ** BOUND VIOLATED **")
+        )
+    return "\n".join(lines)

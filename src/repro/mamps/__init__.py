@@ -1,0 +1,31 @@
+"""MAMPS platform generation (paper Section 5.2).
+
+Combines the application model, the architecture model and SDF3's mapping
+output into a complete platform project:
+
+* hardware: template components instantiated and connected, memory sizes
+  computed per tile, interconnect configured and routed
+  (:mod:`repro.mamps.hardware`, :mod:`repro.mamps.memory_map`);
+* software: per-tile actor wrappers, the static-order schedule translated
+  to C, communication initialisation
+  (:mod:`repro.mamps.software`);
+* project glue: the XPS TCL script that assembles everything
+  (:mod:`repro.mamps.xps`).
+
+:func:`generate_platform` produces the on-disk project bundle;
+:func:`synthesize` turns it into a runnable
+:class:`~repro.sim.PlatformSimulator` -- this repository's substitute for
+bitstream synthesis (see DESIGN.md).
+"""
+
+from repro.mamps.memory_map import TileMemoryMap, compute_memory_maps
+from repro.mamps.project import PlatformProject
+from repro.mamps.generator import generate_platform, synthesize
+
+__all__ = [
+    "TileMemoryMap",
+    "compute_memory_maps",
+    "PlatformProject",
+    "generate_platform",
+    "synthesize",
+]

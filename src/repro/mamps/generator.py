@@ -1,0 +1,113 @@
+"""Platform generation orchestration.
+
+:func:`generate_platform` performs the MAMPS step of Fig. 1: it combines
+the application model, the architecture model and the SDF3 mapping into a
+complete project bundle (netlist, per-tile software, XPS script, plus a
+mapping report).  :func:`synthesize` stands in for the Xilinx synthesis run:
+it produces the executable artifact -- here a
+:class:`~repro.sim.PlatformSimulator` wired to the same bound graph the
+analysis used, which is precisely the property that makes the flow's
+throughput bound carry over to the implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.appmodel.model import ApplicationModel
+from repro.arch.platform import ArchitectureModel
+from repro.comm.serialization import SerializationModel
+from repro.exceptions import GenerationError
+from repro.mamps.hardware import generate_netlist
+from repro.mamps.memory_map import compute_memory_maps
+from repro.mamps.project import PlatformProject
+from repro.mamps.software import generate_tile_main
+from repro.mamps.xps import generate_project_file, generate_xps_script
+from repro.mapping.bound_graph import BoundGraph, build_bound_graph
+from repro.mapping.spec import Mapping, MappingResult
+from repro.sim.platform_sim import PlatformSimulator
+
+
+def generate_platform(
+    app: ApplicationModel,
+    arch: ArchitectureModel,
+    result: MappingResult,
+) -> PlatformProject:
+    """Generate the complete MAMPS project for a mapping result."""
+    mapping = result.mapping
+    if mapping.application != app.name:
+        raise GenerationError(
+            f"mapping belongs to application {mapping.application!r}, "
+            f"not {app.name!r}"
+        )
+    if mapping.architecture != arch.name:
+        raise GenerationError(
+            f"mapping targets architecture {mapping.architecture!r}, "
+            f"not {arch.name!r}"
+        )
+
+    memory_maps = compute_memory_maps(app, arch, mapping)
+    project = PlatformProject(name=f"{app.name}_on_{arch.name}")
+
+    project.add(
+        "system.mhs", generate_netlist(app, arch, mapping, memory_maps)
+    )
+    project.add("build.tcl", generate_xps_script(arch, mapping, project.name))
+    project.add(
+        f"{project.name}.xmp", generate_project_file(project.name)
+    )
+    for tile in mapping.used_tiles():
+        if arch.tile(tile).processor is None:
+            continue
+        project.add(
+            f"src/{tile}/main.c",
+            generate_tile_main(app, mapping, memory_maps[tile], tile),
+        )
+    project.add("mapping.txt", mapping.describe() + "\n")
+    project.add(
+        "throughput.txt",
+        (
+            f"guaranteed throughput: {result.guaranteed_throughput} "
+            f"iterations/cycle\n"
+            f"({float(result.guaranteed_throughput * 1_000_000):.4f} "
+            f"iterations per Mcycle)\n"
+            f"constraint: {result.constraint}\n"
+            f"constraint met: {result.constraint_met}\n"
+        ),
+    )
+    return project
+
+
+def synthesize(
+    app: ApplicationModel,
+    arch: ArchitectureModel,
+    result: MappingResult,
+    serialization_overrides: Optional[
+        Dict[str, SerializationModel]
+    ] = None,
+    bound: Optional[BoundGraph] = None,
+    record_trace: bool = False,
+) -> PlatformSimulator:
+    """'Synthesize' the generated platform into a runnable simulator.
+
+    The real flow runs XPS down to a bit file; here the executable artifact
+    is the platform simulator, constructed from the same mapping (and, when
+    given, the same serialization overrides) that produced the guarantee.
+    """
+    mapping = result.mapping
+    if bound is None:
+        bound = build_bound_graph(
+            app,
+            arch,
+            mapping.actor_binding,
+            mapping.implementations,
+            mapping.channels,
+            serialization_overrides=serialization_overrides,
+        )
+    return PlatformSimulator(
+        app=app,
+        arch=arch,
+        mapping=mapping,
+        bound=bound,
+        record_trace=record_trace,
+    )

@@ -1,0 +1,174 @@
+"""Hardware netlist generation (MHS-style).
+
+MAMPS emits a Xilinx Platform Studio hardware description; this module
+generates the equivalent text: one instance block per component (processor,
+memories, NI, peripherals, CA) and the interconnect instances (one FSL FIFO
+per connection, or the NoC routers with their per-connection wire
+programming).  The format intentionally mimics the MHS "BEGIN/PARAMETER/
+PORT/END" shape so the artifact is recognizable, and it doubles as the
+platform's authoritative structural record: :func:`parse_netlist` reads the
+instances back for verification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.appmodel.model import ApplicationModel
+from repro.arch.interconnect import FSLInterconnect
+from repro.arch.noc import SDMNoC
+from repro.arch.platform import ArchitectureModel
+from repro.mamps.memory_map import TileMemoryMap
+from repro.mapping.spec import Mapping
+
+
+def _instance(kind: str, name: str, parameters: Dict[str, object],
+              ports: Dict[str, str]) -> str:
+    lines = [f"BEGIN {kind}", f" PARAMETER INSTANCE = {name}"]
+    for key, value in parameters.items():
+        lines.append(f" PARAMETER {key} = {value}")
+    for port, net in ports.items():
+        lines.append(f" PORT {port} = {net}")
+    lines.append("END")
+    return "\n".join(lines)
+
+
+def generate_netlist(
+    app: ApplicationModel,
+    arch: ArchitectureModel,
+    mapping: Mapping,
+    memory_maps: Dict[str, TileMemoryMap],
+) -> str:
+    """Generate the MHS-style netlist for the mapped platform.
+
+    Only tiles that actually host actors are instantiated ("Template
+    components are instantiated and connected as required by the
+    application", Section 5.2).
+    """
+    blocks: List[str] = [
+        f"# MAMPS platform netlist for application '{app.name}'",
+        f"# architecture template: {arch.name}",
+        "",
+        _instance(
+            "clock_generator", "sys_clk",
+            {"C_CLK_FREQ": 100_000_000}, {"CLKOUT0": "clk_100"},
+        ),
+    ]
+
+    for tile_name in mapping.used_tiles():
+        tile = arch.tile(tile_name)
+        memory_map = memory_maps[tile_name]
+        if tile.processor is not None:
+            blocks.append(
+                _instance(
+                    tile.processor.name, f"{tile_name}_pe",
+                    {
+                        "HW_VER": "8.00.a",
+                        "C_ROLE": tile.role,
+                    },
+                    {"CLK": "clk_100"},
+                )
+            )
+        blocks.append(
+            _instance(
+                "lmb_bram", f"{tile_name}_imem",
+                {
+                    "C_SIZE_BYTES": tile.instruction_memory.capacity_bytes,
+                    "C_USED_BYTES": memory_map.instruction_bytes,
+                },
+                {"LMB": f"{tile_name}_ilmb"},
+            )
+        )
+        blocks.append(
+            _instance(
+                "lmb_bram", f"{tile_name}_dmem",
+                {
+                    "C_SIZE_BYTES": tile.data_memory.capacity_bytes,
+                    "C_USED_BYTES": memory_map.data_bytes,
+                },
+                {"LMB": f"{tile_name}_dlmb"},
+            )
+        )
+        blocks.append(
+            _instance(
+                "network_interface", f"{tile_name}_ni",
+                {"C_FIFO_DEPTH": tile.network_interface.fifo_depth_words},
+                {"FSL": f"{tile_name}_fsl"},
+            )
+        )
+        if tile.has_ca:
+            blocks.append(
+                _instance(
+                    "communication_assist", f"{tile_name}_ca",
+                    {
+                        "C_SETUP_CYCLES":
+                            tile.communication_assist.setup_cycles,
+                        "C_CYCLES_PER_WORD":
+                            tile.communication_assist.cycles_per_word,
+                    },
+                    {"MEM": f"{tile_name}_dlmb", "NI": f"{tile_name}_fsl"},
+                )
+            )
+        for peripheral in tile.peripherals:
+            blocks.append(
+                _instance(
+                    f"xps_{peripheral.name}", f"{tile_name}_{peripheral.name}",
+                    {}, {"BUS": f"{tile_name}_plb"},
+                )
+            )
+
+    interconnect = arch.interconnect
+    if isinstance(interconnect, FSLInterconnect):
+        for connection in interconnect.allocated_connections():
+            blocks.append(
+                _instance(
+                    "fsl_v20", f"link_{connection.name}",
+                    {"C_FSL_DEPTH": interconnect.fifo_depth_words},
+                    {
+                        "FSL_M": f"{connection.src_tile}_fsl",
+                        "FSL_S": f"{connection.dst_tile}_fsl",
+                    },
+                )
+            )
+    elif isinstance(interconnect, SDMNoC):
+        for x in range(interconnect.columns):
+            for y in range(interconnect.rows):
+                blocks.append(
+                    _instance(
+                        "sdm_router", f"router_{x}_{y}",
+                        {
+                            "C_WIRES_PER_LINK": interconnect.wires_per_link,
+                            "C_FLOW_CONTROL": int(interconnect.flow_control),
+                        },
+                        {"NI": f"router_{x}_{y}_ni"},
+                    )
+                )
+        for allocation in interconnect.allocations():
+            path = "->".join(f"({x},{y})" for x, y in allocation.path)
+            blocks.append(
+                _instance(
+                    "sdm_connection",
+                    f"conn_{allocation.connection.name}",
+                    {
+                        "C_WIRES": allocation.wires,
+                        "C_PATH": f'"{path}"',
+                    },
+                    {},
+                )
+            )
+
+    return "\n\n".join(blocks) + "\n"
+
+
+def parse_netlist(text: str) -> List[Tuple[str, str]]:
+    """Parse instance (kind, name) pairs back out of a generated netlist."""
+    instances: List[Tuple[str, str]] = []
+    kind = None
+    for line in text.splitlines():
+        line = line.strip()
+        if line.startswith("BEGIN "):
+            kind = line[len("BEGIN "):]
+        elif line.startswith("PARAMETER INSTANCE = ") and kind is not None:
+            instances.append((kind, line[len("PARAMETER INSTANCE = "):]))
+            kind = None
+    return instances

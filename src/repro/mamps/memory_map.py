@@ -1,0 +1,155 @@
+"""Per-tile memory sizing and layout.
+
+Section 5.2: "Memory sizes are calculated for each tile based on the mapped
+buffers, actors and the size of the scheduling and communication layer."
+This module performs that calculation and lays the regions out in each
+tile's instruction and data memories, verifying the template's capacity
+limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.appmodel.model import ApplicationModel
+from repro.arch.platform import ArchitectureModel
+from repro.exceptions import GenerationError
+from repro.mapping.binding import (
+    RUNTIME_DATA_BYTES,
+    RUNTIME_INSTRUCTION_BYTES,
+)
+from repro.mapping.spec import Mapping
+
+#: Bytes per static-order schedule table entry (actor id + wrapper pointer).
+SCHEDULE_ENTRY_BYTES = 8
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """One allocated region: [base, base+size) with a describing label."""
+
+    label: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+@dataclass
+class TileMemoryMap:
+    """Instruction and data layout of one tile."""
+
+    tile: str
+    instruction_regions: List[MemoryRegion] = field(default_factory=list)
+    data_regions: List[MemoryRegion] = field(default_factory=list)
+
+    @property
+    def instruction_bytes(self) -> int:
+        return sum(r.size for r in self.instruction_regions)
+
+    @property
+    def data_bytes(self) -> int:
+        return sum(r.size for r in self.data_regions)
+
+    def region(self, label: str) -> MemoryRegion:
+        for region in self.instruction_regions + self.data_regions:
+            if region.label == label:
+                return region
+        raise GenerationError(
+            f"no region {label!r} in memory map of tile {self.tile!r}"
+        )
+
+
+def _append(regions: List[MemoryRegion], label: str, size: int) -> None:
+    base = regions[-1].end if regions else 0
+    regions.append(MemoryRegion(label=label, base=base, size=size))
+
+
+def compute_memory_maps(
+    app: ApplicationModel,
+    arch: ArchitectureModel,
+    mapping: Mapping,
+) -> Dict[str, TileMemoryMap]:
+    """Compute and validate the memory layout of every used tile.
+
+    Instruction side: runtime (scheduler + communication library) followed
+    by each mapped actor's code.  Data side: runtime data, the schedule
+    table, each actor's data segment, then one region per channel buffer
+    held on this tile (source side of outgoing inter-tile channels,
+    destination side of incoming ones, whole buffers of intra-tile ones).
+
+    Raises :class:`GenerationError` when a tile's memories overflow --
+    binding checks actor memory, but buffers are only known after the
+    mapping flow finished, so this is the authoritative check.
+    """
+    maps: Dict[str, TileMemoryMap] = {}
+    for tile_name in mapping.used_tiles():
+        tile = arch.tile(tile_name)
+        memory_map = TileMemoryMap(tile=tile_name)
+
+        _append(memory_map.instruction_regions, "runtime_code",
+                RUNTIME_INSTRUCTION_BYTES)
+        _append(memory_map.data_regions, "runtime_data", RUNTIME_DATA_BYTES)
+
+        order = mapping.static_orders.get(tile_name, ())
+        _append(
+            memory_map.data_regions,
+            "schedule_table",
+            max(len(order), 1) * SCHEDULE_ENTRY_BYTES,
+        )
+
+        for actor in mapping.actors_on(tile_name):
+            impl = mapping.implementations[actor]
+            _append(
+                memory_map.instruction_regions,
+                f"code_{actor}",
+                impl.metrics.memory.instruction_bytes,
+            )
+            _append(
+                memory_map.data_regions,
+                f"data_{actor}",
+                impl.metrics.memory.data_bytes,
+            )
+
+        for channel in mapping.channels.values():
+            edge = app.graph.edge(channel.edge)
+            if channel.intra_tile:
+                if channel.src_tile == tile_name:
+                    _append(
+                        memory_map.data_regions,
+                        f"buffer_{channel.edge}",
+                        channel.capacity * edge.token_size,
+                    )
+            else:
+                if channel.src_tile == tile_name:
+                    _append(
+                        memory_map.data_regions,
+                        f"buffer_{channel.edge}_src",
+                        channel.alpha_src * edge.token_size,
+                    )
+                if channel.dst_tile == tile_name:
+                    _append(
+                        memory_map.data_regions,
+                        f"buffer_{channel.edge}_dst",
+                        channel.alpha_dst * edge.token_size,
+                    )
+
+        if memory_map.instruction_bytes > (
+            tile.instruction_memory.capacity_bytes
+        ):
+            raise GenerationError(
+                f"tile {tile_name!r}: instruction memory needs "
+                f"{memory_map.instruction_bytes} bytes, capacity is "
+                f"{tile.instruction_memory.capacity_bytes}"
+            )
+        if memory_map.data_bytes > tile.data_memory.capacity_bytes:
+            raise GenerationError(
+                f"tile {tile_name!r}: data memory needs "
+                f"{memory_map.data_bytes} bytes, capacity is "
+                f"{tile.data_memory.capacity_bytes}"
+            )
+        maps[tile_name] = memory_map
+    return maps

@@ -1,0 +1,53 @@
+"""The on-disk platform project bundle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.exceptions import GenerationError
+
+
+@dataclass
+class PlatformProject:
+    """A generated MAMPS project: named text files plus metadata.
+
+    ``files`` maps project-relative paths (e.g. ``"system.mhs"``,
+    ``"src/tile0/main.c"``) to their content.  :meth:`write_to` materializes
+    the bundle on disk, which is exactly what the real MAMPS hands to XPS.
+    """
+
+    name: str
+    files: Dict[str, str] = field(default_factory=dict)
+
+    def add(self, path: str, content: str) -> None:
+        if path in self.files:
+            raise GenerationError(
+                f"project {self.name!r} already has a file {path!r}"
+            )
+        self.files[path] = content
+
+    def file(self, path: str) -> str:
+        try:
+            return self.files[path]
+        except KeyError:
+            raise GenerationError(
+                f"project {self.name!r} has no file {path!r}; present: "
+                f"{sorted(self.files)}"
+            ) from None
+
+    def paths(self) -> List[str]:
+        return sorted(self.files)
+
+    def write_to(self, directory: Union[str, Path]) -> Path:
+        """Write all files below ``directory``; returns the project root."""
+        root = Path(directory) / self.name
+        for rel_path, content in self.files.items():
+            target = root / rel_path
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(content, encoding="utf-8")
+        return root
+
+    def total_bytes(self) -> int:
+        return sum(len(c.encode("utf-8")) for c in self.files.values())

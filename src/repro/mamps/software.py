@@ -1,0 +1,185 @@
+"""Per-tile software generation.
+
+Section 5.2: "This includes generating wrapper code for each actor,
+translating the static-order schedule provided by SDF3 into C code, and
+generating initialization code for the communication."  The output is C
+source text per tile: a schedule table (the lookup-table scheduler of
+Section 6.3), one wrapper per mapped actor binding its parameters to the
+channel buffers (Listing 1's calling convention), and the communication
+initialisation that pre-loads initial tokens into destination buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.appmodel.model import ApplicationModel
+from repro.mamps.memory_map import TileMemoryMap
+from repro.mapping.spec import Mapping
+
+
+def _wrapper_name(actor: str) -> str:
+    return f"wrapper_{actor}"
+
+
+def _channel_argument(app: ApplicationModel, mapping: Mapping,
+                      actor: str, edge_name: str) -> str:
+    """Buffer expression an actor wrapper passes for one explicit edge."""
+    channel = mapping.channels[edge_name]
+    edge = app.graph.edge(edge_name)
+    if channel.intra_tile:
+        return f"buffer_{edge_name}"
+    if edge.src == actor:
+        return f"buffer_{edge_name}_src"
+    return f"buffer_{edge_name}_dst"
+
+
+def generate_actor_wrapper(app: ApplicationModel, mapping: Mapping,
+                           actor: str) -> str:
+    """C wrapper for one actor on its tile.
+
+    Claims input tokens, calls the implementation function with one pointer
+    per explicit edge (in the implementation's declared argument order,
+    falling back to graph order), releases/sends output tokens.
+    """
+    impl = mapping.implementations[actor]
+    explicit = [
+        e for e in app.graph.explicit_edges() if actor in (e.src, e.dst)
+    ]
+    ordered_names = list(impl.argument_order) or [e.name for e in explicit]
+    arguments = ", ".join(
+        _channel_argument(app, mapping, actor, name)
+        for name in ordered_names
+    )
+
+    lines: List[str] = [
+        f"/* wrapper for actor {actor} "
+        f"(implementation {impl.name}, WCET {impl.wcet} cycles) */",
+        f"void {_wrapper_name(actor)}(void)",
+        "{",
+    ]
+    for edge in explicit:
+        if edge.dst == actor:
+            lines.append(
+                f"    ni_claim_tokens({_channel_argument(app, mapping, actor, edge.name)}, "
+                f"{edge.consumption});"
+            )
+    lines.append(f"    {actor}({arguments});")
+    for edge in explicit:
+        if edge.src == actor:
+            channel = mapping.channels[edge.name]
+            if channel.intra_tile:
+                lines.append(
+                    f"    ni_release_tokens(buffer_{edge.name}, "
+                    f"{edge.production});"
+                )
+            else:
+                lines.append(
+                    f"    ni_send_tokens(buffer_{edge.name}_src, "
+                    f"{edge.production}, {edge.token_size});"
+                )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def generate_schedule_source(mapping: Mapping, tile: str) -> str:
+    """The static-order schedule as a C lookup table plus the main loop."""
+    order = mapping.static_orders.get(tile, [])
+    entries = ",\n".join(f"    {_wrapper_name(a)}" for a in order)
+    return "\n".join(
+        [
+            f"/* static-order schedule of tile {tile} "
+            f"({len(order)} entries per graph iteration) */",
+            "typedef void (*actor_fn)(void);",
+            f"static const actor_fn schedule[{max(len(order), 1)}] = {{",
+            entries if entries else "    0",
+            "};",
+            "",
+            "void scheduler_run(void)",
+            "{",
+            "    unsigned i = 0;",
+            "    for (;;) {",
+            f"        schedule[i]();",
+            f"        i = (i + 1) % {max(len(order), 1)};",
+            "    }",
+            "}",
+        ]
+    )
+
+
+def generate_comm_init(app: ApplicationModel, mapping: Mapping,
+                       tile: str) -> str:
+    """Communication initialisation for one tile.
+
+    Declares the tile's buffers at their memory-map offsets and pre-loads
+    the initial tokens of incoming channels by calling the producing
+    actor's init function (Listing 1's ``actor_A_init``).
+    """
+    lines: List[str] = [f"/* communication init of tile {tile} */",
+                        "void comm_init(void)", "{"]
+    for channel in mapping.channels.values():
+        edge = app.graph.edge(channel.edge)
+        if channel.intra_tile and channel.src_tile == tile:
+            lines.append(
+                f"    ni_configure_buffer(buffer_{channel.edge}, "
+                f"{channel.capacity}, {edge.token_size});"
+            )
+        elif not channel.intra_tile:
+            if channel.src_tile == tile:
+                lines.append(
+                    f"    ni_configure_buffer(buffer_{channel.edge}_src, "
+                    f"{channel.alpha_src}, {edge.token_size});"
+                )
+            if channel.dst_tile == tile:
+                lines.append(
+                    f"    ni_configure_buffer(buffer_{channel.edge}_dst, "
+                    f"{channel.alpha_dst}, {edge.token_size});"
+                )
+        if edge.initial_tokens > 0 and (
+            (channel.intra_tile and channel.src_tile == tile)
+            or (not channel.intra_tile and channel.dst_tile == tile)
+        ):
+            producer = edge.src
+            suffix = "" if channel.intra_tile else "_dst"
+            lines.append(
+                f"    {producer}_init(buffer_{channel.edge}{suffix});"
+                f"  /* {edge.initial_tokens} initial token(s) */"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def generate_tile_main(app: ApplicationModel, mapping: Mapping,
+                       memory_map: TileMemoryMap, tile: str) -> str:
+    """The complete main.c of one tile."""
+    sections: List[str] = [
+        f"/* generated by MAMPS for tile {tile} -- do not edit */",
+        '#include "mamps_runtime.h"',
+        "",
+    ]
+    for region in memory_map.data_regions:
+        if region.label.startswith("buffer_"):
+            sections.append(
+                f"static token_buffer {region.label} "
+                f"__attribute__((address(0x{region.base:08x}))); "
+                f"/* {region.size} bytes */"
+            )
+    sections.append("")
+    for actor in mapping.actors_on(tile):
+        sections.append(generate_actor_wrapper(app, mapping, actor))
+        sections.append("")
+    sections.append(generate_comm_init(app, mapping, tile))
+    sections.append("")
+    sections.append(generate_schedule_source(mapping, tile))
+    sections.append("")
+    sections.extend(
+        [
+            "int main(void)",
+            "{",
+            "    comm_init();",
+            "    scheduler_run();",
+            "    return 0;",
+            "}",
+        ]
+    )
+    return "\n".join(sections)

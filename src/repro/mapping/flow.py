@@ -1,0 +1,137 @@
+"""The end-to-end mapping flow (the SDF3 box of Fig. 1).
+
+``map_application`` chains binding, routing, buffer allocation, static-order
+scheduling and throughput analysis, growing buffer capacities until the
+application's throughput constraint is met (or the retry budget runs out).
+The result carries the mapping -- the interchange object MAMPS consumes --
+plus the throughput *guarantee* computed on the bound graph.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Optional
+
+from repro.appmodel.model import ApplicationModel
+from repro.arch.platform import ArchitectureModel
+from repro.comm.serialization import SerializationModel
+from repro.exceptions import DeadlockError, ThroughputConstraintError
+from repro.mapping.binding import bind_actors
+from repro.mapping.bound_graph import build_bound_graph
+from repro.mapping.buffer_alloc import allocate_buffers, grow_buffers
+from repro.mapping.costs import CostWeights
+from repro.mapping.routing import route_channels
+from repro.mapping.scheduling import build_static_orders
+from repro.mapping.spec import Mapping, MappingResult
+from repro.sdf.throughput import analyze_throughput
+
+
+def map_application(
+    app: ApplicationModel,
+    arch: ArchitectureModel,
+    constraint: Optional[Fraction] = None,
+    weights: Optional[CostWeights] = None,
+    fixed: Optional[Dict[str, str]] = None,
+    serialization_overrides: Optional[Dict[str, SerializationModel]] = None,
+    max_buffer_rounds: int = 12,
+    strict: bool = False,
+    max_iterations: int = 10_000,
+) -> MappingResult:
+    """Map ``app`` onto ``arch`` and compute the throughput guarantee.
+
+    Parameters
+    ----------
+    constraint:
+        Required iterations per cycle; defaults to the application's own
+        ``throughput_constraint``.
+    fixed:
+        Pin actors to tiles (e.g. the file-reading actor to the master).
+    serialization_overrides:
+        Per-tile serialization model substitutions (Section 6.3).
+    strict:
+        Raise :class:`ThroughputConstraintError` when the constraint cannot
+        be met; otherwise return the best mapping with
+        ``constraint_met == False``.
+
+    Returns a :class:`MappingResult`.
+    """
+    if constraint is None:
+        constraint = app.throughput_constraint
+
+    binding, implementations = bind_actors(
+        app, arch, weights=weights, fixed=fixed
+    )
+    channels = route_channels(app, arch, binding)
+    allocate_buffers(app, channels)
+
+    best = None
+    rounds_used = 0
+    for round_index in range(max_buffer_rounds + 1):
+        bound = build_bound_graph(
+            app, arch, binding, implementations, channels,
+            serialization_overrides=serialization_overrides,
+        )
+        try:
+            orders = build_static_orders(bound)
+            result = analyze_throughput(
+                bound.graph,
+                processor_of=bound.processor_of,
+                static_order=orders,
+                reference_actor=bound.app_actors[0],
+                max_iterations=max_iterations,
+            )
+        except DeadlockError:
+            grow_buffers(channels)
+            rounds_used = round_index + 1
+            continue
+
+        if best is None or result.throughput > best[0].throughput:
+            best = (result, orders,
+                    {name: _copy_channel(c) for name, c in channels.items()})
+        if constraint is None or result.throughput >= constraint:
+            break
+        grow_buffers(channels)
+        rounds_used = round_index + 1
+
+    if best is None:
+        raise ThroughputConstraintError(
+            f"no deadlock-free buffer configuration found for {app.name!r} "
+            f"on {arch.name!r} within {max_buffer_rounds} rounds"
+        )
+
+    result, orders, best_channels = best
+    mapping = Mapping(
+        application=app.name,
+        architecture=arch.name,
+        actor_binding=dict(binding),
+        implementations=dict(implementations),
+        channels=best_channels,
+        static_orders=orders,
+    )
+    outcome = MappingResult(
+        mapping=mapping,
+        throughput=result,
+        constraint=constraint,
+        buffer_growth_rounds=rounds_used,
+    )
+    if strict and not outcome.constraint_met:
+        raise ThroughputConstraintError(
+            f"constraint {constraint} unreachable for {app.name!r} on "
+            f"{arch.name!r}: best guarantee is {result.throughput} after "
+            f"{rounds_used} buffer-growth round(s)"
+        )
+    return outcome
+
+
+def _copy_channel(channel):
+    from repro.mapping.spec import ChannelMapping
+
+    return ChannelMapping(
+        edge=channel.edge,
+        src_tile=channel.src_tile,
+        dst_tile=channel.dst_tile,
+        capacity=channel.capacity,
+        alpha_src=channel.alpha_src,
+        alpha_dst=channel.alpha_dst,
+        parameters=channel.parameters,
+    )

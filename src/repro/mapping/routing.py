@@ -1,0 +1,63 @@
+"""Channel routing on the interconnect.
+
+Every explicit edge whose endpoints sit on different tiles needs
+interconnect resources: a dedicated FSL link, or wires along an XY route of
+the SDM NoC ("Connections are routed ...", Section 5.2).  Routing happens
+in a deterministic edge order so repeated runs of the flow produce
+identical platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.appmodel.model import ApplicationModel
+from repro.arch.noc import SDMNoC
+from repro.arch.platform import ArchitectureModel
+from repro.comm.params import ChannelParameters
+from repro.exceptions import RoutingError
+from repro.mapping.spec import ChannelMapping
+
+
+def route_channels(
+    app: ApplicationModel,
+    arch: ArchitectureModel,
+    binding: Dict[str, str],
+    noc_wires: Optional[Dict[str, int]] = None,
+) -> Dict[str, ChannelMapping]:
+    """Create the channel mappings for every explicit edge.
+
+    ``noc_wires`` optionally overrides the wire count per edge name (the
+    SDM NoC's per-connection bandwidth knob).  Interconnect allocations are
+    released and redone from scratch, so the call is idempotent.
+
+    Returns edge name -> :class:`ChannelMapping` (buffer fields still 0;
+    the buffer allocator fills them in).
+    """
+    arch.reset_interconnect()
+    channels: Dict[str, ChannelMapping] = {}
+    for edge in app.graph.explicit_edges():
+        src_tile = binding[edge.src]
+        dst_tile = binding[edge.dst]
+        mapping = ChannelMapping(
+            edge=edge.name, src_tile=src_tile, dst_tile=dst_tile
+        )
+        if src_tile != dst_tile:
+            kwargs = {}
+            if (
+                noc_wires
+                and edge.name in noc_wires
+                and isinstance(arch.interconnect, SDMNoC)
+            ):
+                kwargs["wires"] = noc_wires[edge.name]
+            try:
+                mapping.parameters = arch.connect(
+                    f"conn_{edge.name}", src_tile, dst_tile, **kwargs
+                )
+            except RoutingError as error:
+                raise RoutingError(
+                    f"cannot route channel {edge.name!r} "
+                    f"({src_tile} -> {dst_tile}): {error}"
+                ) from error
+        channels[edge.name] = mapping
+    return channels

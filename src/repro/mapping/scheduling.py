@@ -1,0 +1,82 @@
+"""Static-order schedule construction.
+
+MAMPS tiles run a static-order scheduler -- "a lookup table" (Section 6.3).
+The orders are derived the SDF3 way: execute the bound graph self-timed
+under the resource binding (greedy, no orders yet) for one iteration and
+record, per tile, the order in which application actors start.  List
+scheduling via simulation inherits all data dependencies, so the recorded
+order is guaranteed executable; fixing it afterwards can only delay firings
+relative to the greedy run, and the subsequent throughput analysis of the
+ordered graph provides the actual guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.exceptions import DeadlockError, MappingError
+from repro.mapping.bound_graph import BoundGraph
+from repro.sdf.repetition import repetition_vector
+from repro.sdf.simulation import SelfTimedSimulator
+
+
+def build_static_orders(bound: BoundGraph) -> Dict[str, List[str]]:
+    """Derive one-iteration static orders for every tile of ``bound``.
+
+    Returns tile name -> cyclic actor order (length = sum of repetition
+    counts of the tile's application actors).  Raises
+    :class:`DeadlockError` when the greedy execution cannot complete an
+    iteration (usually: buffers too small), so the flow can grow buffers
+    and retry.
+    """
+    q = repetition_vector(bound.graph)
+    sim = SelfTimedSimulator(
+        bound.graph,
+        processor_of=bound.processor_of,
+        record_trace=True,
+    )
+
+    targets = {a: q[a] for a in bound.app_actors}
+
+    def one_iteration_started(s: SelfTimedSimulator) -> bool:
+        started = s.started
+        return all(started[a] >= n for a, n in targets.items())
+
+    total_needed = sum(q.values()) * 3  # generous safety bound
+    sim.run(
+        stop_when=one_iteration_started,
+        max_firings=max(total_needed, 100_000),
+    )
+    if not one_iteration_started(sim):
+        raise DeadlockError(
+            f"greedy execution of {bound.graph.name!r} could not complete "
+            "one iteration while deriving static orders; buffer capacities "
+            "are likely too small"
+        )
+
+    orders: Dict[str, List[str]] = {tile: [] for tile in bound.tiles()}
+    counted: Dict[str, int] = {a: 0 for a in bound.app_actors}
+    for firing in sorted(sim.trace.firings, key=lambda f: (f.start, f.end)):
+        actor = firing.actor
+        if actor not in targets:
+            continue
+        if counted[actor] >= targets[actor]:
+            continue
+        counted[actor] += 1
+        orders[bound.processor_of[actor]].append(actor)
+
+    # Started-but-unfinished firings do not appear in the trace; append
+    # them in deterministic actor order (they are the iteration's tail).
+    for actor, needed in targets.items():
+        while counted[actor] < needed:
+            counted[actor] += 1
+            orders[bound.processor_of[actor]].append(actor)
+
+    for tile, order in orders.items():
+        expected = sum(q[a] for a in bound.app_actors_on(tile))
+        if len(order) != expected:
+            raise MappingError(
+                f"static order of {tile!r} has {len(order)} entries, "
+                f"expected {expected} -- scheduling bug"
+            )
+    return orders

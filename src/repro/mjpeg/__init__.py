@@ -1,0 +1,41 @@
+"""The MJPEG decoder case study (paper Section 6).
+
+A functional motion-JPEG codec built from scratch:
+
+* :mod:`repro.mjpeg.tables` -- zig-zag order, quantization tables and the
+  standard JPEG Huffman tables (canonical code construction);
+* :mod:`repro.mjpeg.bitstream` -- MSB-first bit I/O;
+* :mod:`repro.mjpeg.dct` -- 8x8 forward/inverse DCT and (de)quantization;
+* :mod:`repro.mjpeg.encoder` -- the encoder that produces the test
+  bitstreams (the role of the paper's input files);
+* :mod:`repro.mjpeg.reference` -- a whole-frame numpy reference decoder
+  used to verify the actor pipeline's output;
+* :mod:`repro.mjpeg.sequences` -- the test content: five structured
+  "real-life" sequences plus the synthetic random sequence;
+* :mod:`repro.mjpeg.actors` -- the five SDF actors of Fig. 5 (VLD, IQZZ,
+  IDCT, CC, Raster) with Microblaze-flavoured cycle-cost models and
+  scenario-based WCETs;
+* :mod:`repro.mjpeg.app` -- assembly of the Fig. 5 application model.
+"""
+
+from repro.mjpeg.encoder import EncodedSequence, encode_sequence
+from repro.mjpeg.sequences import (
+    SEQUENCE_BUILDERS,
+    synthetic_sequence,
+    test_set_sequences,
+)
+from repro.mjpeg.actors import MJPEGCostModel
+from repro.mjpeg.app import build_mjpeg_application, mjpeg_graph
+from repro.mjpeg.reference import decode_sequence
+
+__all__ = [
+    "EncodedSequence",
+    "encode_sequence",
+    "decode_sequence",
+    "SEQUENCE_BUILDERS",
+    "synthetic_sequence",
+    "test_set_sequences",
+    "MJPEGCostModel",
+    "build_mjpeg_application",
+    "mjpeg_graph",
+]

@@ -1,0 +1,154 @@
+"""Assembly of the MJPEG application model (the Fig. 5 graph).
+
+Builds the SDF graph exactly as drawn -- five actors, the fixed 10-block
+VLD output rate, the ``subHeader1``/``subHeader2`` forwarding channels and
+the ``vldState``/``rasterState`` self-edges -- and attaches functional
+implementations with scenario-based WCETs and memory metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.appmodel import (
+    ActorImplementation,
+    ApplicationModel,
+    ImplementationMetrics,
+    MemoryRequirements,
+)
+from repro.mjpeg.actors import MJPEGActorSet, MJPEGCostModel
+from repro.mjpeg.encoder import EncodedSequence, MAX_BLOCKS_PER_MCU
+from repro.sdf import SDFGraph
+
+#: Bytes of one block token: 64 int16 levels/coefficients/samples plus a
+#: small descriptor (component id, validity, nonzero count).
+BLOCK_TOKEN_BYTES = 64 * 2 + 4
+#: Bytes of one spatial-sample block token (uint8 samples + descriptor).
+SAMPLE_TOKEN_BYTES = 64 + 4
+#: Bytes of a subheader token (width, height, sampling, flags).
+HEADER_TOKEN_BYTES = 8
+
+
+def mjpeg_graph(encoded: EncodedSequence,
+                cost: Optional[MJPEGCostModel] = None) -> SDFGraph:
+    """The Fig. 5 SDF graph with WCET execution times for ``encoded``."""
+    cost = cost or MJPEGCostModel()
+    real_blocks = encoded.blocks_per_mcu
+    mcu_pixels = encoded.mcu_width * encoded.mcu_height
+    pixel_token_bytes = mcu_pixels * 3 + 8
+
+    g = SDFGraph("mjpeg")
+    g.add_actor("VLD", execution_time=cost.vld_wcet(real_blocks))
+    g.add_actor("IQZZ", execution_time=cost.iqzz_wcet())
+    g.add_actor("IDCT", execution_time=cost.idct_wcet())
+    g.add_actor("CC", execution_time=cost.cc_wcet(mcu_pixels))
+    g.add_actor("Raster", execution_time=cost.raster_wcet(mcu_pixels))
+
+    g.add_edge(
+        "vld2iqzz", "VLD", "IQZZ",
+        production=MAX_BLOCKS_PER_MCU, consumption=1,
+        token_size=BLOCK_TOKEN_BYTES,
+    )
+    g.add_edge(
+        "iqzz2idct", "IQZZ", "IDCT",
+        production=1, consumption=1,
+        token_size=BLOCK_TOKEN_BYTES,
+    )
+    g.add_edge(
+        "idct2cc", "IDCT", "CC",
+        production=1, consumption=MAX_BLOCKS_PER_MCU,
+        token_size=SAMPLE_TOKEN_BYTES,
+    )
+    g.add_edge(
+        "cc2raster", "CC", "Raster",
+        production=1, consumption=1,
+        token_size=pixel_token_bytes,
+    )
+    g.add_edge(
+        "subHeader1", "VLD", "CC",
+        production=1, consumption=1,
+        token_size=HEADER_TOKEN_BYTES,
+    )
+    g.add_edge(
+        "subHeader2", "VLD", "Raster",
+        production=1, consumption=1,
+        token_size=HEADER_TOKEN_BYTES,
+    )
+    g.add_edge("vldState", "VLD", "VLD", initial_tokens=1, implicit=True)
+    g.add_edge(
+        "rasterState", "Raster", "Raster", initial_tokens=1, implicit=True
+    )
+    return g
+
+
+def build_mjpeg_application(
+    encoded: EncodedSequence,
+    cost: Optional[MJPEGCostModel] = None,
+    pe_type: str = "microblaze",
+) -> ApplicationModel:
+    """The complete MJPEG application model for one encoded sequence."""
+    cost = cost or MJPEGCostModel()
+    actors = MJPEGActorSet(encoded=encoded, cost=cost)
+    graph = mjpeg_graph(encoded, cost)
+    mcu_pixels = encoded.mcu_width * encoded.mcu_height
+    framebuffer_bytes = encoded.width * encoded.height * 3
+
+    def metrics(wcet: int, instr_kb: int, data_bytes: int):
+        return ImplementationMetrics(
+            wcet=wcet,
+            memory=MemoryRequirements(
+                instruction_bytes=instr_kb * 1024, data_bytes=data_bytes
+            ),
+        )
+
+    implementations = [
+        ActorImplementation(
+            actor="VLD",
+            pe_type=pe_type,
+            metrics=metrics(
+                cost.vld_wcet(encoded.blocks_per_mcu), 24,
+                16 * 1024 + len(encoded.data) // 64,
+            ),
+            function=actors.vld,
+            init_function=actors.vld_init,
+            argument_order=["vld2iqzz", "subHeader1", "subHeader2"],
+        ),
+        ActorImplementation(
+            actor="IQZZ",
+            pe_type=pe_type,
+            metrics=metrics(cost.iqzz_wcet(), 4, 4 * 1024),
+            function=actors.iqzz,
+            argument_order=["vld2iqzz", "iqzz2idct"],
+        ),
+        ActorImplementation(
+            actor="IDCT",
+            pe_type=pe_type,
+            metrics=metrics(cost.idct_wcet(), 12, 6 * 1024),
+            function=actors.idct,
+            argument_order=["iqzz2idct", "idct2cc"],
+        ),
+        ActorImplementation(
+            actor="CC",
+            pe_type=pe_type,
+            metrics=metrics(
+                cost.cc_wcet(mcu_pixels), 8, 8 * 1024 + mcu_pixels * 3
+            ),
+            function=actors.cc,
+            argument_order=["idct2cc", "subHeader1", "cc2raster"],
+        ),
+        ActorImplementation(
+            actor="Raster",
+            pe_type=pe_type,
+            metrics=metrics(
+                cost.raster_wcet(mcu_pixels), 6,
+                8 * 1024 + 2 * framebuffer_bytes,
+            ),
+            function=actors.raster,
+            argument_order=["cc2raster", "subHeader2"],
+        ),
+    ]
+    return ApplicationModel(
+        graph=graph,
+        implementations=implementations,
+        name="mjpeg",
+    )

@@ -1,0 +1,111 @@
+"""MSB-first bit-level I/O for the MJPEG codec."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import BitstreamError
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into a byte string."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._accumulator = 0
+        self._bit_count = 0
+
+    def write(self, value: int, bits: int) -> None:
+        """Append the ``bits`` least-significant bits of ``value``."""
+        if bits < 0 or bits > 32:
+            raise BitstreamError(f"bit count {bits} out of range")
+        if bits == 0:
+            return
+        if value < 0 or value >= (1 << bits):
+            raise BitstreamError(
+                f"value {value} does not fit in {bits} bit(s)"
+            )
+        self._accumulator = (self._accumulator << bits) | value
+        self._bit_count += bits
+        while self._bit_count >= 8:
+            self._bit_count -= 8
+            self._bytes.append(
+                (self._accumulator >> self._bit_count) & 0xFF
+            )
+        self._accumulator &= (1 << self._bit_count) - 1
+
+    def align(self) -> None:
+        """Pad with 1-bits to the next byte boundary (JPEG convention)."""
+        if self._bit_count:
+            pad = 8 - self._bit_count
+            self.write((1 << pad) - 1, pad)
+
+    def getvalue(self) -> bytes:
+        """Byte string written so far (call :meth:`align` first to flush)."""
+        if self._bit_count:
+            raise BitstreamError(
+                f"{self._bit_count} unflushed bit(s); call align() first"
+            )
+        return bytes(self._bytes)
+
+    @property
+    def bit_length(self) -> int:
+        return len(self._bytes) * 8 + self._bit_count
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte string.
+
+    Tracks ``bits_consumed`` so the VLD cost model can charge per decoded
+    bit, the dominant term of software Huffman decoding on a Microblaze.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._position = 0  # bit position
+        self.bits_consumed = 0
+
+    def read(self, bits: int) -> int:
+        """Read ``bits`` bits as an unsigned integer."""
+        if bits < 0 or bits > 32:
+            raise BitstreamError(f"bit count {bits} out of range")
+        if self._position + bits > len(self._data) * 8:
+            raise BitstreamError(
+                f"bitstream exhausted at bit {self._position} "
+                f"(wanted {bits} more)"
+            )
+        value = 0
+        position = self._position
+        for _ in range(bits):
+            byte = self._data[position >> 3]
+            bit = (byte >> (7 - (position & 7))) & 1
+            value = (value << 1) | bit
+            position += 1
+        self._position = position
+        self.bits_consumed += bits
+        return value
+
+    def read_bit(self) -> int:
+        return self.read(1)
+
+    def align(self) -> None:
+        """Skip to the next byte boundary."""
+        remainder = self._position & 7
+        if remainder:
+            self.read(8 - remainder)
+
+    def seek_bits(self, bit_position: int) -> None:
+        if bit_position < 0 or bit_position > len(self._data) * 8:
+            raise BitstreamError(f"seek to {bit_position} out of range")
+        self._position = bit_position
+
+    @property
+    def position_bits(self) -> int:
+        return self._position
+
+    @property
+    def exhausted(self) -> bool:
+        return self._position >= len(self._data) * 8
+
+    def remaining_bits(self) -> int:
+        return len(self._data) * 8 - self._position

@@ -1,0 +1,36 @@
+"""Color-space conversion shared by encoder, reference decoder and the CC
+actor (identical arithmetic so their outputs match bit-exactly)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
+    """BT.601 full-range RGB -> YCbCr, uint8 in, uint8 out (HxWx3)."""
+    rgb = rgb.astype(np.float64)
+    r, g, b = rgb[..., 0], rgb[..., 1], rgb[..., 2]
+    y = 0.299 * r + 0.587 * g + 0.114 * b
+    cb = -0.168736 * r - 0.331264 * g + 0.5 * b + 128.0
+    cr = 0.5 * r - 0.418688 * g - 0.081312 * b + 128.0
+    out = np.stack([y, cb, cr], axis=-1)
+    return np.clip(np.round(out), 0, 255).astype(np.uint8)
+
+
+def ycbcr_to_rgb(ycbcr: np.ndarray) -> np.ndarray:
+    """BT.601 full-range YCbCr -> RGB, uint8 in, uint8 out (HxWx3)."""
+    ycbcr = ycbcr.astype(np.float64)
+    y = ycbcr[..., 0]
+    cb = ycbcr[..., 1] - 128.0
+    cr = ycbcr[..., 2] - 128.0
+    r = y + 1.402 * cr
+    g = y - 0.344136 * cb - 0.714136 * cr
+    b = y + 1.772 * cb
+    out = np.stack([r, g, b], axis=-1)
+    return np.clip(np.round(out), 0, 255).astype(np.uint8)
+
+
+def upsample_nearest(plane: np.ndarray, factor_y: int,
+                     factor_x: int) -> np.ndarray:
+    """Nearest-neighbour chroma upsampling (what the CC actor does)."""
+    return np.repeat(np.repeat(plane, factor_y, axis=0), factor_x, axis=1)

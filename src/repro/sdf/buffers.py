@@ -1,0 +1,228 @@
+"""Buffer-size modelling and sizing.
+
+Bounded channel capacities are modelled *inside* the SDF formalism (paper
+Section 3: implicit edges "can also be used to model restrictions like
+limited buffer sizes"): an edge with capacity ``beta`` gains a back-edge
+from consumer to producer carrying ``beta - initial_tokens`` credit tokens.
+The producer claims ``production`` credits per firing; the consumer returns
+``consumption`` credits per firing.  Throughput analysis of the graph with
+back-edges then *includes* the effect of finite buffers, which is what makes
+the flow's throughput guarantee valid on the generated platform.
+
+:func:`minimal_buffer_distribution` searches a small total-capacity
+distribution that keeps the graph deadlock-free and, optionally, meets a
+throughput constraint -- a practical greedy variant of the Pareto-space
+exploration in Stuijk's thesis [14].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from math import gcd
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.exceptions import GraphError, ThroughputConstraintError
+from repro.sdf.deadlock import is_deadlock_free
+from repro.sdf.graph import Edge, SDFGraph
+from repro.sdf.throughput import ThroughputResult, analyze_throughput
+
+BUFFER_EDGE_PREFIX = "buf__"
+
+
+@dataclass
+class BufferDistribution:
+    """Capacities (in tokens) per buffered edge name."""
+
+    capacities: Dict[str, int] = field(default_factory=dict)
+
+    def total_tokens(self) -> int:
+        return sum(self.capacities.values())
+
+    def total_bytes(self, graph: SDFGraph) -> int:
+        """Memory footprint given per-edge token sizes."""
+        return sum(
+            cap * graph.edge(name).token_size
+            for name, cap in self.capacities.items()
+        )
+
+    def __getitem__(self, edge_name: str) -> int:
+        return self.capacities[edge_name]
+
+    def __contains__(self, edge_name: str) -> bool:
+        return edge_name in self.capacities
+
+
+def minimal_capacity_bound(edge: Edge) -> int:
+    """Smallest capacity that can possibly let both endpoints fire.
+
+    ``p + c - gcd(p, c)`` is the classical liveness lower bound for a
+    single edge between two actors; the capacity must additionally hold the
+    initial tokens.
+    """
+    p, c = edge.production, edge.consumption
+    bound = p + c - gcd(p, c)
+    return max(bound, edge.initial_tokens)
+
+
+def bufferable_edges(graph: SDFGraph) -> Tuple[Edge, ...]:
+    """Edges that get a finite buffer on a platform: explicit inter-actor
+    data edges.  Self-edges model state (one memory slot, no flow control)
+    and implicit edges are analysis artifacts."""
+    return graph.explicit_edges()
+
+
+def add_buffer_edges(
+    graph: SDFGraph,
+    distribution: BufferDistribution,
+    name: Optional[str] = None,
+) -> SDFGraph:
+    """Return a copy of ``graph`` with credit back-edges for each capacity.
+
+    Raises :class:`GraphError` when a capacity cannot hold the edge's
+    initial tokens or is smaller than a single production/consumption burst
+    (such a buffer could never work).
+    """
+    bounded = graph.copy(name or f"{graph.name}_bounded")
+    for edge_name, capacity in distribution.capacities.items():
+        edge = graph.edge(edge_name)
+        if edge.is_self_edge:
+            raise GraphError(
+                f"self-edge {edge_name!r} cannot be buffered (its capacity "
+                "is its initial token count)"
+            )
+        if capacity < edge.initial_tokens:
+            raise GraphError(
+                f"capacity {capacity} of edge {edge_name!r} cannot hold its "
+                f"{edge.initial_tokens} initial token(s)"
+            )
+        if capacity < max(edge.production, edge.consumption):
+            raise GraphError(
+                f"capacity {capacity} of edge {edge_name!r} is below a "
+                f"single burst (production={edge.production}, "
+                f"consumption={edge.consumption}); the graph could never run"
+            )
+        bounded.add_edge(
+            f"{BUFFER_EDGE_PREFIX}{edge_name}",
+            edge.dst,
+            edge.src,
+            production=edge.consumption,
+            consumption=edge.production,
+            initial_tokens=capacity - edge.initial_tokens,
+            token_size=0,
+            implicit=True,
+        )
+    return bounded
+
+
+def buffer_edge_name(edge_name: str) -> str:
+    """Name of the credit back-edge created for ``edge_name``."""
+    return f"{BUFFER_EDGE_PREFIX}{edge_name}"
+
+
+def _initial_distribution(graph: SDFGraph) -> BufferDistribution:
+    return BufferDistribution(
+        {e.name: minimal_capacity_bound(e) for e in bufferable_edges(graph)}
+    )
+
+
+def minimal_buffer_distribution(
+    graph: SDFGraph,
+    throughput_constraint: Optional[Fraction] = None,
+    max_rounds: int = 200,
+    step: int = 1,
+) -> Tuple[BufferDistribution, ThroughputResult]:
+    """Search a small buffer distribution for ``graph``.
+
+    Phase 1 grows capacities from the structural lower bounds until the
+    bounded graph is deadlock-free.  Phase 2 (when ``throughput_constraint``
+    is given) greedily grows the capacity whose increase yields the best
+    throughput until the constraint is met.
+
+    Returns the distribution and the throughput analysis of the bounded
+    graph.  Raises :class:`ThroughputConstraintError` when the constraint
+    cannot be met within ``max_rounds`` increases (e.g. it exceeds the
+    processing bound of the actors).
+    """
+    distribution = _initial_distribution(graph)
+    if not distribution.capacities:
+        # Nothing to buffer (single actor / only self-edges).
+        result = analyze_throughput(graph)
+        return distribution, result
+
+    # Phase 1: reach deadlock freedom.
+    for _ in range(max_rounds):
+        bounded = add_buffer_edges(graph, distribution)
+        if is_deadlock_free(bounded):
+            break
+        for name in distribution.capacities:
+            distribution.capacities[name] += step
+    else:
+        raise ThroughputConstraintError(
+            f"no deadlock-free buffer distribution for {graph.name!r} "
+            f"within {max_rounds} rounds; the unbuffered graph likely "
+            "deadlocks"
+        )
+
+    bounded = add_buffer_edges(graph, distribution)
+    result = analyze_throughput(bounded)
+
+    if throughput_constraint is None:
+        return distribution, result
+
+    # Phase 2: greedy steepest-ascent growth toward the constraint.
+    for _ in range(max_rounds):
+        if result.throughput >= throughput_constraint:
+            return distribution, result
+        best_name = None
+        best_result = result
+        for name in distribution.capacities:
+            trial = BufferDistribution(dict(distribution.capacities))
+            trial.capacities[name] += step
+            trial_bounded = add_buffer_edges(graph, trial)
+            trial_result = analyze_throughput(trial_bounded)
+            if trial_result.throughput > best_result.throughput:
+                best_result = trial_result
+                best_name = name
+        if best_name is None:
+            # No single increase helps; grow everything once (plateaus can
+            # need simultaneous increases), then re-check.
+            for name in distribution.capacities:
+                distribution.capacities[name] += step
+            bounded = add_buffer_edges(graph, distribution)
+            new_result = analyze_throughput(bounded)
+            if new_result.throughput <= result.throughput:
+                raise ThroughputConstraintError(
+                    f"throughput of {graph.name!r} saturates at "
+                    f"{result.throughput} < constraint "
+                    f"{throughput_constraint}; buffers are not the "
+                    "bottleneck (check actor workloads and the mapping)"
+                )
+            result = new_result
+        else:
+            distribution.capacities[best_name] += step
+            result = best_result
+
+    raise ThroughputConstraintError(
+        f"constraint {throughput_constraint} not met within {max_rounds} "
+        f"rounds for {graph.name!r} (reached {result.throughput})"
+    )
+
+
+def occupancy_based_capacities(
+    graph: SDFGraph,
+    max_tokens: Dict[str, int],
+    slack: int = 0,
+) -> BufferDistribution:
+    """Capacities taken from observed channel occupancy plus slack.
+
+    Used by the MAMPS memory sizing: running the *bounded* analysis graph
+    records per-edge peaks; the platform allocates exactly those buffers.
+    """
+    capacities = {}
+    for edge in bufferable_edges(graph):
+        observed = max_tokens.get(edge.name, 0)
+        capacities[edge.name] = max(
+            minimal_capacity_bound(edge), observed + slack
+        )
+    return BufferDistribution(capacities)

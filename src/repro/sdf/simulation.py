@@ -1,0 +1,391 @@
+"""Self-timed execution of SDF graphs.
+
+*Self-timed* execution fires every actor as soon as it is ready (and, when
+resource constraints are given, as soon as its processor is free and the
+static-order schedule designates it).  For consistent, deadlock-free SDF
+graphs self-timed execution reaches a periodic regime whose rate equals the
+maximal achievable throughput [Ghamarian et al. 2006]; the state-space
+throughput analysis in :mod:`repro.sdf.throughput` is built directly on this
+engine, as are deadlock detection, static-order schedule construction
+(:mod:`repro.mapping.scheduling`) and buffer sizing.
+
+Semantics follow SDF3: tokens are consumed at firing *start* and produced at
+firing *end*.  Concurrent firings of one actor ("auto-concurrency") are
+limited by ``auto_concurrency`` (default 1, matching a software actor bound
+to a processor); pass ``None`` for the unlimited theoretical semantics, in
+which case every actor must have at least one input edge.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import GraphError, SimulationError
+from repro.sdf.graph import SDFGraph
+
+
+@dataclass(frozen=True)
+class Firing:
+    """One completed (or ongoing) actor firing."""
+
+    actor: str
+    start: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class SimulationTrace:
+    """Recorded execution: firings plus per-edge occupancy statistics."""
+
+    firings: List[Firing] = field(default_factory=list)
+    max_tokens: Dict[str, int] = field(default_factory=dict)
+    completed_count: Dict[str, int] = field(default_factory=dict)
+
+    def firings_of(self, actor: str) -> List[Firing]:
+        return [f for f in self.firings if f.actor == actor]
+
+    def makespan(self) -> int:
+        return max((f.end for f in self.firings), default=0)
+
+
+class SelfTimedSimulator:
+    """Discrete-event self-timed executor for an SDF graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph to execute.
+    auto_concurrency:
+        Maximum simultaneous firings per actor; ``None`` for unlimited.
+    processor_of:
+        Optional binding of actor name to processor name.  Actors bound to
+        the same processor exclude one another in time.
+    static_order:
+        Optional per-processor cyclic firing order (actor names).  When
+        given for a processor, that processor only starts the next actor in
+        its order (blocking until it is ready), exactly like the lookup-table
+        scheduler MAMPS generates (Section 6.3).  Actors bound to the
+        processor but absent from its order are *interleaved work*: they may
+        run whenever the processor is idle (the model of the communication
+        library's (de)serialization calls, which happen inside the actor
+        wrappers rather than as scheduled entities).  Interleaved actors get
+        priority over the order head when both are ready, mirroring the
+        wrapper servicing communication before dispatching the next actor.
+    execution_time_of:
+        Optional override returning the duration of the *k*-th firing of an
+        actor (k counts from 0).  Defaults to the actor's static
+        ``execution_time``.  The platform simulator uses this hook to feed
+        measured, data-dependent execution times through the same engine.
+    record_trace:
+        Keep a full firing list (memory-heavy for long runs).
+    """
+
+    def __init__(
+        self,
+        graph: SDFGraph,
+        auto_concurrency: Optional[int] = 1,
+        processor_of: Optional[Dict[str, str]] = None,
+        static_order: Optional[Dict[str, Sequence[str]]] = None,
+        execution_time_of: Optional[Callable[[str, int], int]] = None,
+        on_finish: Optional[Callable[[str, int], None]] = None,
+        record_trace: bool = False,
+    ) -> None:
+        if auto_concurrency is not None and auto_concurrency < 1:
+            raise GraphError("auto_concurrency must be >= 1 or None")
+        self.graph = graph
+        self.auto_concurrency = auto_concurrency
+        self.processor_of = dict(processor_of or {})
+        self.static_order = {
+            proc: list(order) for proc, order in (static_order or {}).items()
+        }
+        self._execution_time_of = execution_time_of
+        self._on_finish = on_finish
+        self.record_trace = record_trace
+
+        for proc, order in self.static_order.items():
+            if not order:
+                raise GraphError(f"static order for {proc!r} is empty")
+            for actor in order:
+                if actor not in graph:
+                    raise GraphError(
+                        f"static order for {proc!r} names unknown actor "
+                        f"{actor!r}"
+                    )
+                if self.processor_of.get(actor) != proc:
+                    raise GraphError(
+                        f"actor {actor!r} appears in the static order of "
+                        f"{proc!r} but is not bound to it"
+                    )
+        # Actors bound to a static-order processor but not listed in its
+        # order run interleaved (communication-library work).
+        in_some_order = {
+            a for order in self.static_order.values() for a in order
+        }
+        self._interleaved: Dict[str, List[str]] = {}
+        for actor, proc in self.processor_of.items():
+            if proc in self.static_order and actor not in in_some_order:
+                self._interleaved.setdefault(proc, []).append(actor)
+
+        for actor in graph:
+            cap = (
+                actor.concurrency
+                if actor.concurrency is not None
+                else auto_concurrency
+            )
+            if cap is None and not graph.in_edges(actor.name):
+                raise GraphError(
+                    f"actor {actor.name!r} has no input edges; unlimited "
+                    "auto-concurrency would fire it infinitely often at "
+                    "time 0 (add a self-edge or set a concurrency cap)"
+                )
+
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Return to the graph's initial state at time 0."""
+        self.now = 0
+        self.tokens: Dict[str, int] = {
+            e.name: e.initial_tokens for e in self.graph.edges
+        }
+        self._ongoing: Dict[str, int] = {a.name: 0 for a in self.graph}
+        self._completed: Dict[str, int] = {a.name: 0 for a in self.graph}
+        self._started: Dict[str, int] = {a.name: 0 for a in self.graph}
+        self._queue: List[Tuple[int, int, str, int]] = []  # (end, seq, actor, start)
+        self._seq = 0
+        self._proc_busy_until: Dict[str, int] = {}
+        self._order_pos: Dict[str, int] = {
+            proc: 0 for proc in self.static_order
+        }
+        self.trace = SimulationTrace(
+            max_tokens={e.name: e.initial_tokens for e in self.graph.edges},
+            completed_count=self._completed,
+        )
+
+    @property
+    def completed(self) -> Dict[str, int]:
+        """Completed firing counts per actor."""
+        return dict(self._completed)
+
+    @property
+    def started(self) -> Dict[str, int]:
+        """Started firing counts per actor (>= completed)."""
+        return dict(self._started)
+
+    def ongoing_firings(self) -> List[Tuple[str, int]]:
+        """(actor, remaining cycles) for every firing in flight, sorted.
+
+        Remaining time is relative to :attr:`now`, which makes the tuple a
+        time-shift-invariant component of the execution state -- exactly
+        what recurrent-state detection needs.
+        """
+        return sorted(
+            (actor, end - self.now) for end, _seq, actor, _start in self._queue
+        )
+
+    def state_key(self) -> Tuple:
+        """Hashable, time-normalized execution state.
+
+        Two equal keys mean the executions will evolve identically from this
+        point on, which is the foundation of the periodic-phase detection in
+        :mod:`repro.sdf.throughput`.
+        """
+        token_part = tuple(sorted(self.tokens.items()))
+        firing_part = tuple(self.ongoing_firings())
+        order_part = tuple(
+            sorted(
+                (proc, pos % len(self.static_order[proc]))
+                for proc, pos in self._order_pos.items()
+            )
+        )
+        return (token_part, firing_part, order_part)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _duration(self, actor: str) -> int:
+        index = self._started[actor]
+        if self._execution_time_of is not None:
+            duration = self._execution_time_of(actor, index)
+        else:
+            duration = self.graph.actor(actor).execution_time
+        if duration < 0:
+            raise SimulationError(
+                f"negative execution time for firing {index} of {actor!r}"
+            )
+        return duration
+
+    def _concurrency_cap(self, actor: str) -> Optional[int]:
+        """Per-actor concurrency limit: the actor's own setting wins over
+        the simulator-wide default."""
+        per_actor = self.graph.actor(actor).concurrency
+        if per_actor is not None:
+            return per_actor
+        return self.auto_concurrency
+
+    def _is_ready(self, actor: str) -> bool:
+        cap = self._concurrency_cap(actor)
+        if cap is not None and self._ongoing[actor] >= cap:
+            return False
+        for edge in self.graph.in_edges(actor):
+            if self.tokens[edge.name] < edge.consumption:
+                return False
+        return True
+
+    def _proc_free(self, proc: str) -> bool:
+        return self._proc_busy_until.get(proc, 0) <= self.now
+
+    def _start_firing(self, actor: str) -> None:
+        for edge in self.graph.in_edges(actor):
+            self.tokens[edge.name] -= edge.consumption
+        duration = self._duration(actor)
+        end = self.now + duration
+        self._started[actor] += 1
+        self._ongoing[actor] += 1
+        heapq.heappush(self._queue, (end, self._seq, actor, self.now))
+        self._seq += 1
+        proc = self.processor_of.get(actor)
+        if proc is not None:
+            self._proc_busy_until[proc] = end
+
+    def _finish_firing(self, actor: str, start: int) -> None:
+        for edge in self.graph.out_edges(actor):
+            self.tokens[edge.name] += edge.production
+            if self.tokens[edge.name] > self.trace.max_tokens[edge.name]:
+                self.trace.max_tokens[edge.name] = self.tokens[edge.name]
+        self._ongoing[actor] -= 1
+        completed_index = self._completed[actor]
+        self._completed[actor] += 1
+        if self.record_trace:
+            self.trace.firings.append(Firing(actor, start, self.now))
+        if self._on_finish is not None:
+            # Called after token production, before any dependent firing
+            # can start -- the hook point for value transport in the
+            # platform simulator.
+            self._on_finish(actor, completed_index)
+
+    def _start_all_ready(self) -> List[str]:
+        """Start every firing allowed right now; returns started actor names."""
+        started: List[str] = []
+        progress = True
+        while progress:
+            progress = False
+            # Static-order processors: interleaved (communication-library)
+            # work first, then the lookup-table head.
+            for proc, order in self.static_order.items():
+                while self._proc_free(proc):
+                    interleaved = next(
+                        (
+                            a
+                            for a in self._interleaved.get(proc, ())
+                            if self._is_ready(a)
+                        ),
+                        None,
+                    )
+                    if interleaved is not None:
+                        self._start_firing(interleaved)
+                        started.append(interleaved)
+                        progress = True
+                        continue
+                    actor = order[self._order_pos[proc] % len(order)]
+                    if not self._is_ready(actor):
+                        break
+                    self._start_firing(actor)
+                    self._order_pos[proc] += 1
+                    started.append(actor)
+                    progress = True
+            # Unordered processors and unbound actors: greedy.
+            for actor in self.graph:
+                name = actor.name
+                proc = self.processor_of.get(name)
+                if proc is not None and proc in self.static_order:
+                    continue  # handled above
+                while self._is_ready(name) and (
+                    proc is None or self._proc_free(proc)
+                ):
+                    self._start_firing(name)
+                    started.append(name)
+                    progress = True
+        return started
+
+    def step(self) -> List[Tuple[str, int]]:
+        """Advance to the next completion instant.
+
+        Starts any firings enabled at the current time first, then jumps to
+        the earliest completion, finishes every firing ending then, and
+        starts newly enabled firings.  Returns the list of (actor, end_time)
+        completions, or an empty list when the execution is quiescent
+        (deadlocked or finished).
+        """
+        self._start_all_ready()
+        if not self._queue:
+            return []
+        end = self._queue[0][0]
+        self.now = end
+        finished: List[Tuple[str, int]] = []
+        while self._queue and self._queue[0][0] == end:
+            _end, _seq, actor, start = heapq.heappop(self._queue)
+            self._finish_firing(actor, start)
+            finished.append((actor, end))
+        self._start_all_ready()
+        return finished
+
+    def run(
+        self,
+        max_time: Optional[int] = None,
+        max_firings: Optional[int] = None,
+        stop_when: Optional[Callable[["SelfTimedSimulator"], bool]] = None,
+    ) -> SimulationTrace:
+        """Run until quiescence or until a stop condition triggers.
+
+        ``max_time`` bounds simulated time; ``max_firings`` bounds the total
+        number of completed firings; ``stop_when`` is checked after every
+        step.  At least one bound (or a graph that quiesces) is required,
+        otherwise the call would not terminate.
+        """
+        if max_time is None and max_firings is None and stop_when is None:
+            raise SimulationError(
+                "run() needs max_time, max_firings or stop_when; self-timed "
+                "execution of a live graph never quiesces on its own"
+            )
+        while True:
+            finished = self.step()
+            if not finished:
+                return self.trace
+            if max_time is not None and self.now >= max_time:
+                return self.trace
+            if max_firings is not None and (
+                sum(self._completed.values()) >= max_firings
+            ):
+                return self.trace
+            if stop_when is not None and stop_when(self):
+                return self.trace
+
+    def is_quiescent(self) -> bool:
+        """True when nothing is running and nothing can start."""
+        if self._queue:
+            return False
+        for actor in self.graph:
+            name = actor.name
+            proc = self.processor_of.get(name)
+            if proc is not None and proc in self.static_order:
+                order = self.static_order[proc]
+                next_actor = order[self._order_pos[proc] % len(order)]
+                is_interleaved = name in self._interleaved.get(proc, ())
+                if (next_actor == name or is_interleaved) and self._is_ready(
+                    name
+                ):
+                    return False
+            elif self._is_ready(name) and (
+                proc is None or self._proc_free(proc)
+            ):
+                return False
+        return True

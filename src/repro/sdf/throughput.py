@@ -1,0 +1,178 @@
+"""State-space throughput analysis of SDF graphs.
+
+Implements the approach of Ghamarian et al. [3] as used by SDF3: execute the
+graph self-timed; because a consistent, deadlock-free, bounded SDF graph has
+finitely many execution states, the execution is eventually periodic.  When
+the time-normalized state at an iteration boundary recurs, the throughput of
+the periodic phase -- and therefore the long-term average throughput -- is::
+
+    iterations in period / period length      [graph iterations per cycle]
+
+The analysis supports processor bindings and static-order schedules through
+the underlying :class:`~repro.sdf.simulation.SelfTimedSimulator`, which is
+how the mapping flow obtains the *guaranteed* throughput of a mapped
+application (the "worst-case analysis" line of Fig. 6).
+
+Boundedness matters: a graph whose channels grow without limit (e.g. a
+pipeline without buffer back-edges) never revisits a state.  The analysis
+detects this by bounding the explored iterations and raising
+:class:`UnboundedExecutionError`; callers should add buffer-size back-edges
+(:mod:`repro.sdf.buffers`) first, which is also what any real implementation
+does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional, Sequence
+
+from repro.exceptions import DeadlockError, SimulationError
+from repro.sdf.deadlock import deadlock_report
+from repro.sdf.graph import SDFGraph, validate_graph
+from repro.sdf.repetition import repetition_vector
+from repro.sdf.simulation import SelfTimedSimulator
+
+
+class UnboundedExecutionError(SimulationError):
+    """Raised when no periodic phase is found within the iteration budget.
+
+    Almost always means the graph has unbounded channels; add buffer
+    back-edges before analyzing.
+    """
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Outcome of a throughput analysis.
+
+    Attributes
+    ----------
+    throughput:
+        Graph iterations per clock cycle (exact rational).
+    period:
+        Length of the periodic phase in cycles.
+    iterations_per_period:
+        Graph iterations completed in one period.
+    transient_iterations:
+        Iterations executed before the periodic phase was entered.
+    """
+
+    throughput: Fraction
+    period: int
+    iterations_per_period: int
+    transient_iterations: int
+
+    def iterations_in(self, cycles: int) -> Fraction:
+        """Long-term average iterations completed in ``cycles`` cycles."""
+        return self.throughput * cycles
+
+    def cycles_per_iteration(self) -> Fraction:
+        if self.throughput == 0:
+            raise ZeroDivisionError("zero throughput")
+        return 1 / self.throughput
+
+    def per_mega_cycle(self) -> float:
+        """Iterations per 10^6 cycles -- the unit of Fig. 6's y-axis
+        ("MCUs per MHz per second")."""
+        return float(self.throughput * 1_000_000)
+
+
+def analyze_throughput(
+    graph: SDFGraph,
+    auto_concurrency: Optional[int] = 1,
+    processor_of: Optional[Dict[str, str]] = None,
+    static_order: Optional[Dict[str, Sequence[str]]] = None,
+    reference_actor: Optional[str] = None,
+    max_iterations: int = 10_000,
+) -> ThroughputResult:
+    """Compute the self-timed throughput of ``graph``.
+
+    Parameters mirror :class:`SelfTimedSimulator`; ``reference_actor``
+    selects the actor whose completed firings count iterations (any actor
+    gives the same long-term result; default is the first actor).
+
+    Raises
+    ------
+    DeadlockError
+        If the graph deadlocks (throughput would be 0 after a finite run).
+    UnboundedExecutionError
+        If no periodic phase appears within ``max_iterations`` iterations.
+    """
+    validate_graph(graph)
+    q = repetition_vector(graph)
+
+    report = deadlock_report(graph)
+    if report is not None:
+        raise DeadlockError(report)
+
+    sim = SelfTimedSimulator(
+        graph,
+        auto_concurrency=auto_concurrency,
+        processor_of=processor_of,
+        static_order=static_order,
+    )
+
+    ref = reference_actor or graph.actors[0].name
+    if ref not in graph:
+        raise SimulationError(f"reference actor {ref!r} not in graph")
+    q_ref = q[ref]
+
+    seen: Dict[tuple, tuple] = {}  # state -> (iterations, time)
+    iterations_done = 0
+
+    while iterations_done < max_iterations:
+        finished = sim.step()
+        if not finished:
+            # Quiescent: a deadlock-free graph only quiesces under a static
+            # order that blocks -- treat as deadlock of the mapped graph.
+            raise DeadlockError(
+                f"mapped graph {graph.name!r} blocked after "
+                f"{iterations_done} iteration(s) at t={sim.now}; the "
+                "static-order schedule or buffer sizes admit no execution"
+            )
+        completed_iterations = sim.completed[ref] // q_ref
+        if completed_iterations > iterations_done:
+            iterations_done = completed_iterations
+            key = sim.state_key()
+            if key in seen:
+                prev_iterations, prev_time = seen[key]
+                period = sim.now - prev_time
+                iter_count = iterations_done - prev_iterations
+                if period <= 0:
+                    raise SimulationError(
+                        f"graph {graph.name!r} completes {iter_count} "
+                        "iteration(s) in zero time; all cycle times are "
+                        "zero -- throughput is unbounded"
+                    )
+                return ThroughputResult(
+                    throughput=Fraction(iter_count, period),
+                    period=period,
+                    iterations_per_period=iter_count,
+                    transient_iterations=prev_iterations,
+                )
+            seen[key] = (iterations_done, sim.now)
+
+    raise UnboundedExecutionError(
+        f"no periodic phase within {max_iterations} iterations of "
+        f"{graph.name!r}; channels likely grow without bound -- add buffer "
+        "back-edges (repro.sdf.buffers.add_buffer_edges) before analyzing"
+    )
+
+
+def processing_throughput_bound(graph: SDFGraph) -> Fraction:
+    """Structural upper bound on throughput from actor workloads alone.
+
+    With auto-concurrency 1, actor ``a`` needs ``q[a] * t_a`` cycles of its
+    own time per iteration, so no schedule can beat
+    ``1 / max_a(q[a] * t_a)``.  Useful for sizing platforms before mapping.
+    """
+    q = repetition_vector(graph)
+    worst = max(
+        (q[a.name] * a.execution_time for a in graph), default=0
+    )
+    if worst == 0:
+        raise SimulationError(
+            "all actors have zero execution time; bound is infinite"
+        )
+    return Fraction(1, worst)

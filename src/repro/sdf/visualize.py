@@ -1,0 +1,47 @@
+"""Graphviz DOT export for SDF graphs.
+
+Rendering is left to external tooling; the export keeps the conventions of
+the paper's figures: rates annotate the edge ends, initial tokens appear as
+a dot with a count, implicit edges are dashed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sdf.graph import SDFGraph
+
+
+def to_dot(graph: SDFGraph) -> str:
+    """Render ``graph`` as a Graphviz digraph string."""
+    lines: List[str] = [f'digraph "{graph.name}" {{', "  rankdir=LR;"]
+    for actor in graph:
+        label = actor.name
+        if actor.execution_time:
+            label += f"\\n[{actor.execution_time}]"
+        lines.append(f'  "{actor.name}" [shape=circle, label="{label}"];')
+    for edge in graph.edges:
+        attributes = [
+            f'taillabel="{edge.production}"',
+            f'headlabel="{edge.consumption}"',
+        ]
+        label_parts = []
+        if edge.initial_tokens:
+            label_parts.append(f"●{edge.initial_tokens}")
+        if edge.token_size:
+            label_parts.append(f"{edge.token_size}B")
+        if label_parts:
+            attributes.append(f'label="{" ".join(label_parts)}"')
+        if edge.implicit:
+            attributes.append("style=dashed")
+        lines.append(
+            f'  "{edge.src}" -> "{edge.dst}" [{", ".join(attributes)}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def save_dot(graph: SDFGraph, path: str) -> None:
+    """Write the DOT rendering of ``graph`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_dot(graph))

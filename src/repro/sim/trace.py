@@ -1,0 +1,113 @@
+"""Execution-trace analysis: tile utilization and ASCII Gantt charts.
+
+The platform simulator can record its full firing trace; this module turns
+that trace into the reports a designer wants when deciding whether a
+mapping is balanced: per-resource utilization (how busy each tile and CA
+is) and a Gantt rendering of a time window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sdf.simulation import Firing, SimulationTrace
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Busy fraction per resource over an observation window."""
+
+    window_cycles: int
+    busy_cycles: Dict[str, int]
+
+    def utilization_of(self, resource: str) -> float:
+        if self.window_cycles == 0:
+            return 0.0
+        return self.busy_cycles.get(resource, 0) / self.window_cycles
+
+    def bottleneck(self) -> Optional[str]:
+        """The busiest resource -- where extra WCET slack pays off most."""
+        if not self.busy_cycles:
+            return None
+        return max(self.busy_cycles, key=self.busy_cycles.get)
+
+    def as_table(self) -> str:
+        lines = [f"{'resource':<12} {'busy':>10} {'utilization':>12}"]
+        lines.append("-" * 36)
+        for resource in sorted(self.busy_cycles):
+            busy = self.busy_cycles[resource]
+            lines.append(
+                f"{resource:<12} {busy:>10} "
+                f"{100 * self.utilization_of(resource):>11.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def utilization(
+    trace: SimulationTrace,
+    processor_of: Dict[str, str],
+    until: Optional[int] = None,
+) -> UtilizationReport:
+    """Busy cycles per resource from a recorded trace.
+
+    Only firings of actors bound to a resource count; unbound actors
+    (channel-model bookkeeping) occupy no processor.  ``until`` clips the
+    window (defaults to the trace makespan).
+    """
+    window = until if until is not None else trace.makespan()
+    busy: Dict[str, int] = {}
+    for firing in trace.firings:
+        resource = processor_of.get(firing.actor)
+        if resource is None:
+            continue
+        start = min(firing.start, window)
+        end = min(firing.end, window)
+        if end > start:
+            busy[resource] = busy.get(resource, 0) + (end - start)
+    return UtilizationReport(window_cycles=window, busy_cycles=busy)
+
+
+def gantt(
+    trace: SimulationTrace,
+    actors: Sequence[str],
+    start: int = 0,
+    end: Optional[int] = None,
+    width: int = 72,
+) -> str:
+    """ASCII Gantt chart of the chosen actors over [start, end).
+
+    Each row is one actor; each column covers ``(end-start)/width`` cycles;
+    a column prints ``#`` when the actor runs during any part of it.
+    """
+    if end is None:
+        end = trace.makespan()
+    if end <= start:
+        raise ValueError(f"empty window [{start}, {end})")
+    span = end - start
+    cycles_per_column = max(1, span // width)
+    columns = -(-span // cycles_per_column)
+
+    rows: List[str] = []
+    name_width = max((len(a) for a in actors), default=4)
+    header = (
+        f"{'':<{name_width}} | t = {start} .. {end} "
+        f"({cycles_per_column} cycles/column)"
+    )
+    rows.append(header)
+    for actor in actors:
+        cells = [" "] * columns
+        for firing in trace.firings:
+            if firing.actor != actor:
+                continue
+            if firing.end <= start or firing.start >= end:
+                continue
+            first = max(0, (firing.start - start) // cycles_per_column)
+            last = min(
+                columns - 1,
+                (min(firing.end, end) - 1 - start) // cycles_per_column,
+            )
+            for column in range(first, last + 1):
+                cells[column] = "#"
+        rows.append(f"{actor:<{name_width}} |{''.join(cells)}|")
+    return "\n".join(rows)

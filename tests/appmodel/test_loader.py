@@ -1,0 +1,122 @@
+"""Tests for application-model JSON persistence."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.appmodel import (
+    ActorImplementation,
+    ApplicationModel,
+    FiringOutput,
+    ImplementationMetrics,
+    MemoryRequirements,
+)
+from repro.appmodel.loader import (
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+from repro.exceptions import GraphError
+from repro.sdf import SDFGraph
+
+
+@pytest.fixture
+def app():
+    g = SDFGraph("persisted")
+    g.add_actor("A", execution_time=100)
+    g.add_actor("B", execution_time=200)
+    g.add_edge("ab", "A", "B", production=2, consumption=1, token_size=8)
+
+    def a_fn(ctx):
+        return FiringOutput(outputs={"ab": [1, 2]}, cycles=90)
+
+    return ApplicationModel(
+        graph=g,
+        implementations=[
+            ActorImplementation(
+                actor="A", pe_type="microblaze",
+                metrics=ImplementationMetrics(
+                    wcet=100,
+                    memory=MemoryRequirements(4096, 1024),
+                ),
+                function=a_fn,
+                argument_order=["ab"],
+            ),
+            ActorImplementation(
+                actor="B", pe_type="microblaze",
+                metrics=ImplementationMetrics(wcet=200),
+            ),
+            ActorImplementation(
+                actor="B", pe_type="dsp",
+                metrics=ImplementationMetrics(wcet=50),
+            ),
+        ],
+        throughput_constraint=Fraction(1, 500),
+    )
+
+
+def test_roundtrip_metadata(app, tmp_path):
+    path = tmp_path / "model.json"
+    save_model(app, path)
+    loaded = load_model(path)
+    assert loaded.name == app.name
+    assert loaded.throughput_constraint == Fraction(1, 500)
+    assert {a.name for a in loaded.graph} == {"A", "B"}
+    assert loaded.graph.edge("ab").production == 2
+    assert loaded.graph.edge("ab").token_size == 8
+    assert loaded.wcet("A", "microblaze") == 100
+    assert loaded.wcet("B", "dsp") == 50
+    impl = loaded.implementation_for("A", "microblaze")
+    assert impl.argument_order == ["ab"]
+    assert impl.metrics.memory.instruction_bytes == 4096
+
+
+def test_functions_reattach_by_name(app, tmp_path):
+    path = tmp_path / "model.json"
+    save_model(app, path)
+
+    def restored(ctx):
+        return FiringOutput(outputs={"ab": [0, 0]}, cycles=10)
+
+    loaded = load_model(path, functions={"A_microblaze": restored})
+    impl = loaded.implementation_for("A", "microblaze")
+    assert impl.function is restored
+
+
+def test_missing_declared_function_rejected(app, tmp_path):
+    path = tmp_path / "model.json"
+    save_model(app, path)
+    with pytest.raises(GraphError, match="functional"):
+        load_model(path, functions={"wrong_name": lambda ctx: None})
+
+
+def test_no_constraint_roundtrips(tmp_path):
+    g = SDFGraph("nc")
+    g.add_actor("A", execution_time=1)
+    app = ApplicationModel(
+        graph=g,
+        implementations=[
+            ActorImplementation(
+                actor="A", pe_type="mb",
+                metrics=ImplementationMetrics(wcet=1),
+            )
+        ],
+    )
+    path = tmp_path / "m.json"
+    save_model(app, path)
+    assert load_model(path).throughput_constraint is None
+
+
+def test_unsupported_version_rejected(app):
+    data = model_to_dict(app)
+    data["version"] = 99
+    with pytest.raises(GraphError, match="version"):
+        model_from_dict(data)
+
+
+def test_loaded_model_validates_when_token_sizes_present(app, tmp_path):
+    path = tmp_path / "model.json"
+    save_model(app, path)
+    loaded = load_model(path)
+    loaded.validate()

@@ -1,0 +1,180 @@
+"""Tests for the application model."""
+
+import pytest
+
+from repro.appmodel import (
+    ActorImplementation,
+    ApplicationModel,
+    FiringContext,
+    FiringOutput,
+    ImplementationMetrics,
+    MemoryRequirements,
+)
+from repro.exceptions import GraphError
+from repro.sdf import SDFGraph
+
+
+def metrics(wcet=100, instr=1024, data=512):
+    return ImplementationMetrics(
+        wcet=wcet,
+        memory=MemoryRequirements(instruction_bytes=instr, data_bytes=data),
+    )
+
+
+def impl(actor, pe_type="microblaze", wcet=100, **kwargs):
+    return ActorImplementation(
+        actor=actor, pe_type=pe_type, metrics=metrics(wcet=wcet), **kwargs
+    )
+
+
+@pytest.fixture
+def app(figure2_graph):
+    return ApplicationModel(
+        graph=figure2_graph,
+        implementations=[
+            impl("A", wcet=40),
+            impl("B", wcet=30),
+            impl("C", wcet=20),
+        ],
+    )
+
+
+class TestLookups:
+    def test_implementation_for(self, app):
+        found = app.implementation_for("A", "microblaze")
+        assert found is not None
+        assert found.name == "A_microblaze"
+        assert app.implementation_for("A", "armv7") is None
+
+    def test_wcet(self, app):
+        assert app.wcet("B", "microblaze") == 30
+        with pytest.raises(GraphError, match="no implementation"):
+            app.wcet("B", "armv7")
+
+    def test_supported_pe_types(self, app):
+        app.add_implementation(impl("A", pe_type="accelerator", wcet=5))
+        assert app.supported_pe_types("A") == ("microblaze", "accelerator")
+
+    def test_add_implementation_unknown_actor(self, app):
+        with pytest.raises(GraphError, match="unknown actor"):
+            app.add_implementation(impl("Zed"))
+
+
+class TestTimedGraph:
+    def test_uses_wcets(self, app):
+        timed = app.timed_graph()
+        assert timed.actor("A").execution_time == 40
+        assert timed.actor("C").execution_time == 20
+
+    def test_pe_type_selection(self, app):
+        app.add_implementation(impl("A", pe_type="accelerator", wcet=5))
+        timed = app.timed_graph(pe_type_of={"A": "accelerator"})
+        assert timed.actor("A").execution_time == 5
+        assert timed.actor("B").execution_time == 30
+
+    def test_original_untouched(self, app, figure2_graph):
+        app.timed_graph()
+        assert figure2_graph.actor("A").execution_time == 4
+
+
+class TestValidation:
+    def test_valid_model_passes(self, app):
+        app.validate()
+
+    def test_missing_implementation_fails(self, figure2_graph):
+        model = ApplicationModel(
+            graph=figure2_graph, implementations=[impl("A")]
+        )
+        with pytest.raises(GraphError, match="no implementation"):
+            model.validate()
+
+    def test_argument_order_must_reference_explicit_edges(self, figure2_graph):
+        model = ApplicationModel(
+            graph=figure2_graph,
+            implementations=[
+                impl("A", argument_order=["selfA"]),  # implicit edge
+                impl("B"),
+                impl("C"),
+            ],
+        )
+        with pytest.raises(GraphError, match="not an explicit edge"):
+            model.validate()
+
+    def test_argument_order_must_touch_actor(self, figure2_graph):
+        model = ApplicationModel(
+            graph=figure2_graph,
+            implementations=[
+                impl("A", argument_order=["b2c"]),  # edge of B and C
+                impl("B"),
+                impl("C"),
+            ],
+        )
+        with pytest.raises(GraphError, match="not connected"):
+            model.validate()
+
+    def test_token_size_required_on_explicit_edges(self):
+        g = SDFGraph("g")
+        g.add_actor("A", execution_time=1)
+        g.add_actor("B", execution_time=1)
+        g.add_edge("ab", "A", "B")  # token_size defaults to 0
+        model = ApplicationModel(
+            graph=g, implementations=[impl("A"), impl("B")]
+        )
+        with pytest.raises(GraphError, match="token size"):
+            model.validate()
+
+    def test_partially_functional_rejected(self, figure2_graph):
+        def fn(ctx):
+            return FiringOutput(outputs={}, cycles=1)
+
+        model = ApplicationModel(
+            graph=figure2_graph,
+            implementations=[
+                impl("A", function=fn),
+                impl("B"),
+                impl("C"),
+            ],
+        )
+        with pytest.raises(GraphError, match="partially functional"):
+            model.validate()
+
+    def test_name_defaults_to_graph_name(self, app):
+        assert app.name == "figure2"
+
+
+class TestFiringContext:
+    def test_single_helper(self):
+        ctx = FiringContext(inputs={"e": [42]})
+        assert ctx.single("e") == 42
+
+    def test_single_rejects_multi_token(self):
+        ctx = FiringContext(inputs={"e": [1, 2]})
+        with pytest.raises(GraphError, match="single"):
+            ctx.single("e")
+
+    def test_fire_without_function_raises(self):
+        implementation = impl("A")
+        with pytest.raises(GraphError, match="no functional model"):
+            implementation.fire(FiringContext())
+
+
+class TestMetrics:
+    def test_memory_addition(self):
+        a = MemoryRequirements(100, 200)
+        b = MemoryRequirements(10, 20)
+        total = a + b
+        assert total.instruction_bytes == 110
+        assert total.data_bytes == 220
+        assert total.total_bytes == 330
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError):
+            MemoryRequirements(-1, 0)
+        with pytest.raises(GraphError):
+            ImplementationMetrics(wcet=-1)
+
+    def test_implementation_requires_names(self):
+        with pytest.raises(GraphError):
+            ActorImplementation(actor="", pe_type="mb", metrics=metrics())
+        with pytest.raises(GraphError):
+            ActorImplementation(actor="A", pe_type="", metrics=metrics())

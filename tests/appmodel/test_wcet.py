@@ -1,0 +1,214 @@
+"""Tests for the WCET measurement harness."""
+
+import pytest
+
+from repro.appmodel import (
+    ActorImplementation,
+    ApplicationModel,
+    FiringOutput,
+    ImplementationMetrics,
+    measure_execution_times,
+)
+from repro.exceptions import GraphError, SimulationError
+from repro.sdf import SDFGraph
+
+
+def functional_pipeline(producer_cycles, consumer_cycles, wcet=1000):
+    """P -> Q pipeline where P emits increasing ints and cycle counts come
+    from the given callables."""
+    g = SDFGraph("pipe")
+    g.add_actor("P", execution_time=wcet)
+    g.add_actor("Q", execution_time=wcet)
+    g.add_edge("pq", "P", "Q", token_size=4)
+
+    def p_fn(ctx):
+        value = ctx.firing_index
+        return FiringOutput(
+            outputs={"pq": [value]}, cycles=producer_cycles(ctx.firing_index)
+        )
+
+    def q_fn(ctx):
+        consumed = ctx.single("pq")
+        ctx.state["sum"] = ctx.state.get("sum", 0) + consumed
+        return FiringOutput(
+            outputs={}, cycles=consumer_cycles(ctx.firing_index)
+        )
+
+    model = ApplicationModel(
+        graph=g,
+        implementations=[
+            ActorImplementation(
+                actor="P", pe_type="microblaze",
+                metrics=ImplementationMetrics(wcet=wcet), function=p_fn,
+            ),
+            ActorImplementation(
+                actor="Q", pe_type="microblaze",
+                metrics=ImplementationMetrics(wcet=wcet), function=q_fn,
+            ),
+        ],
+    )
+    return model
+
+
+def test_records_min_avg_max():
+    model = functional_pipeline(
+        producer_cycles=lambda i: 10 + (i % 3) * 5,  # 10, 15, 20, 10...
+        consumer_cycles=lambda i: 7,
+    )
+    measured = measure_execution_times(model, iterations=9)
+    p = measured.record("P")
+    assert p.firings == 9
+    assert p.min_cycles == 10
+    assert p.max_cycles == 20
+    assert p.average_cycles == pytest.approx(15.0)
+    assert measured.measured_wcet()["Q"] == 7
+
+
+def test_wcet_violation_detected():
+    model = functional_pipeline(
+        producer_cycles=lambda i: 50,
+        consumer_cycles=lambda i: 5,
+        wcet=40,
+    )
+    with pytest.raises(SimulationError, match="above the declared WCET"):
+        measure_execution_times(model, iterations=1)
+
+
+def test_wcet_check_can_be_disabled():
+    model = functional_pipeline(
+        producer_cycles=lambda i: 50,
+        consumer_cycles=lambda i: 5,
+        wcet=40,
+    )
+    measured = measure_execution_times(model, iterations=2, check_wcet=False)
+    assert measured.record("P").max_cycles == 50
+
+
+def test_token_values_flow_between_actors():
+    seen = []
+
+    def q_cycles(i):
+        return 1
+
+    model = functional_pipeline(lambda i: 1, q_cycles)
+
+    original_q = model.implementations[1].function
+
+    def spy_q(ctx):
+        seen.append(ctx.single("pq"))
+        return FiringOutput(outputs={}, cycles=1)
+
+    model.implementations[1].function = spy_q
+    measure_execution_times(model, iterations=4)
+    assert seen == [0, 1, 2, 3]
+
+
+def test_wrong_production_count_detected():
+    g = SDFGraph("bad")
+    g.add_actor("P", execution_time=10)
+    g.add_actor("Q", execution_time=10)
+    g.add_edge("pq", "P", "Q", production=2, consumption=2, token_size=4)
+
+    def p_fn(ctx):
+        return FiringOutput(outputs={"pq": [1]}, cycles=1)  # should be 2
+
+    def q_fn(ctx):
+        return FiringOutput(outputs={}, cycles=1)
+
+    model = ApplicationModel(
+        graph=g,
+        implementations=[
+            ActorImplementation(
+                actor="P", pe_type="mb",
+                metrics=ImplementationMetrics(wcet=10), function=p_fn,
+            ),
+            ActorImplementation(
+                actor="Q", pe_type="mb",
+                metrics=ImplementationMetrics(wcet=10), function=q_fn,
+            ),
+        ],
+    )
+    with pytest.raises(SimulationError, match="produced"):
+        measure_execution_times(model, iterations=1)
+
+
+def test_init_function_provides_initial_tokens():
+    """Listing 1 semantics: initial tokens on explicit edges come from the
+    init function (here a cycle P -> Q -> P primed by Q's init)."""
+    g = SDFGraph("cycle")
+    g.add_actor("P", execution_time=10)
+    g.add_actor("Q", execution_time=10)
+    g.add_edge("pq", "P", "Q", token_size=4)
+    g.add_edge("qp", "Q", "P", token_size=4, initial_tokens=1)
+
+    def p_fn(ctx):
+        return FiringOutput(
+            outputs={"pq": [ctx.single("qp") + 1]}, cycles=1
+        )
+
+    def q_fn(ctx):
+        return FiringOutput(outputs={"qp": [ctx.single("pq")]}, cycles=1)
+
+    def q_init(state):
+        return {"qp": [100]}
+
+    model = ApplicationModel(
+        graph=g,
+        implementations=[
+            ActorImplementation(
+                actor="P", pe_type="mb",
+                metrics=ImplementationMetrics(wcet=10), function=p_fn,
+            ),
+            ActorImplementation(
+                actor="Q", pe_type="mb",
+                metrics=ImplementationMetrics(wcet=10),
+                function=q_fn, init_function=q_init,
+            ),
+        ],
+    )
+    measured = measure_execution_times(model, iterations=3)
+    assert measured.record("P").firings == 3
+
+
+def test_missing_init_values_rejected():
+    g = SDFGraph("cycle")
+    g.add_actor("P", execution_time=10)
+    g.add_actor("Q", execution_time=10)
+    g.add_edge("pq", "P", "Q", token_size=4)
+    g.add_edge("qp", "Q", "P", token_size=4, initial_tokens=1)
+
+    def p_fn(ctx):
+        return FiringOutput(outputs={"pq": [0]}, cycles=1)
+
+    def q_fn(ctx):
+        return FiringOutput(outputs={"qp": [0]}, cycles=1)
+
+    model = ApplicationModel(
+        graph=g,
+        implementations=[
+            ActorImplementation(
+                actor="P", pe_type="mb",
+                metrics=ImplementationMetrics(wcet=10), function=p_fn,
+            ),
+            ActorImplementation(
+                actor="Q", pe_type="mb",
+                metrics=ImplementationMetrics(wcet=10), function=q_fn,
+            ),
+        ],
+    )
+    with pytest.raises(GraphError, match="init function"):
+        measure_execution_times(model, iterations=1)
+
+
+def test_state_persists_across_firings():
+    sums = []
+    model = functional_pipeline(lambda i: 1, lambda i: 1)
+
+    def q_fn(ctx):
+        ctx.state["sum"] = ctx.state.get("sum", 0) + ctx.single("pq")
+        sums.append(ctx.state["sum"])
+        return FiringOutput(outputs={}, cycles=1)
+
+    model.implementations[1].function = q_fn
+    measure_execution_times(model, iterations=4)
+    assert sums == [0, 1, 3, 6]  # cumulative sums of 0,1,2,3

@@ -1,0 +1,91 @@
+"""Tests for the FPGA area model (including the 12% flow-control claim)."""
+
+import pytest
+
+from repro.arch import (
+    AreaEstimate,
+    SDMNoC,
+    architecture_from_template,
+    interconnect_area,
+    ip_tile,
+    master_tile,
+    platform_area,
+    slave_tile,
+    tile_area,
+)
+from repro.arch.area import (
+    CA_SLICES,
+    MICROBLAZE_SLICES,
+    NOC_FLOW_CONTROL_OVERHEAD,
+    memory_brams,
+    noc_router_slices,
+)
+from repro.arch.interconnect import Connection
+
+
+def test_flow_control_costs_about_12_percent():
+    """Section 5.3.1: 'approximately 12% more slices'."""
+    base = noc_router_slices(flow_control=False)
+    with_fc = noc_router_slices(flow_control=True)
+    overhead = (with_fc - base) / base
+    assert overhead == pytest.approx(NOC_FLOW_CONTROL_OVERHEAD, abs=0.005)
+
+
+def test_master_bigger_than_slave():
+    assert tile_area(master_tile("m")).slices > tile_area(
+        slave_tile("s")
+    ).slices
+
+
+def test_ca_adds_slices():
+    plain = tile_area(slave_tile("s"))
+    with_ca = tile_area(slave_tile("s", with_ca=True))
+    assert with_ca.slices - plain.slices == CA_SLICES
+
+
+def test_ip_tile_has_no_processor_slices():
+    area = tile_area(ip_tile("hw"))
+    assert area.slices < MICROBLAZE_SLICES
+
+
+def test_memory_brams_rounds_up():
+    assert memory_brams(1) == 1
+    assert memory_brams(4608) == 1
+    assert memory_brams(4609) == 2
+
+
+def test_fsl_area_scales_with_links():
+    arch = architecture_from_template(3, "fsl")
+    empty = interconnect_area(arch.interconnect)
+    arch.connect("c0", "tile0", "tile1")
+    arch.connect("c1", "tile1", "tile2")
+    used = interconnect_area(arch.interconnect)
+    assert used.slices > empty.slices
+
+
+def test_noc_area_scales_with_routers():
+    small = SDMNoC([f"t{i}" for i in range(2)])
+    large = SDMNoC([f"t{i}" for i in range(9)])
+    assert interconnect_area(large).slices > interconnect_area(small).slices
+
+
+def test_noc_flow_control_platform_delta():
+    fc = SDMNoC(["a", "b"], flow_control=True)
+    plain = SDMNoC(["a", "b"], flow_control=False)
+    ratio = interconnect_area(fc).slices / interconnect_area(plain).slices
+    assert ratio == pytest.approx(1.12, abs=0.01)
+
+
+def test_platform_area_totals():
+    arch = architecture_from_template(4, "noc")
+    total = platform_area(arch)
+    tiles_only = sum(tile_area(t).slices for t in arch.tiles)
+    assert total.slices == tiles_only + interconnect_area(
+        arch.interconnect
+    ).slices
+    assert total.brams > 0
+
+
+def test_area_addition():
+    a = AreaEstimate(10, 1) + AreaEstimate(5, 2)
+    assert a.slices == 15 and a.brams == 3

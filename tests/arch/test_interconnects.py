@@ -1,0 +1,155 @@
+"""Tests for the FSL interconnect and the SDM mesh NoC."""
+
+import pytest
+
+from repro.arch import FSLInterconnect, SDMNoC, mesh_dimensions
+from repro.arch.interconnect import Connection
+from repro.arch.noc import xy_route
+from repro.exceptions import ArchitectureError, RoutingError
+
+
+def conn(name, src, dst):
+    return Connection(name=name, src_tile=src, dst_tile=dst)
+
+
+class TestFSL:
+    def test_allocation_returns_full_rate(self):
+        fsl = FSLInterconnect()
+        params = fsl.allocate(conn("c", "t0", "t1"))
+        assert params.injection_cycles_per_word == 1
+        assert params.channel_latency == 2
+        assert params.network_buffer_words == 16
+
+    def test_port_limit_enforced(self):
+        fsl = FSLInterconnect(max_links_per_tile=2)
+        fsl.allocate(conn("c0", "t0", "t1"))
+        fsl.allocate(conn("c1", "t0", "t2"))
+        with pytest.raises(RoutingError, match="master FSL port"):
+            fsl.allocate(conn("c2", "t0", "t3"))
+
+    def test_inbound_port_limit(self):
+        fsl = FSLInterconnect(max_links_per_tile=1)
+        fsl.allocate(conn("c0", "t1", "t0"))
+        with pytest.raises(RoutingError, match="slave FSL port"):
+            fsl.allocate(conn("c1", "t2", "t0"))
+
+    def test_release_all(self):
+        fsl = FSLInterconnect(max_links_per_tile=1)
+        fsl.allocate(conn("c0", "t0", "t1"))
+        fsl.release_all()
+        fsl.allocate(conn("c1", "t0", "t2"))  # no port error
+
+    def test_self_connection_rejected(self):
+        with pytest.raises(ArchitectureError, match="both ends"):
+            conn("c", "t0", "t0")
+
+
+class TestMeshDimensions:
+    @pytest.mark.parametrize(
+        "tiles,expected",
+        [(1, (1, 1)), (2, (2, 1)), (4, (2, 2)), (5, (3, 2)),
+         (6, (3, 2)), (7, (3, 3)), (9, (3, 3)), (12, (4, 3))],
+    )
+    def test_near_square(self, tiles, expected):
+        assert mesh_dimensions(tiles) == expected
+
+    def test_mesh_covers_all_tiles(self):
+        for n in range(1, 20):
+            columns, rows = mesh_dimensions(n)
+            assert columns * rows >= n
+            # near-square: aspect ratio never exceeds 2 for n > 2
+            if n > 2:
+                assert columns <= 2 * rows and rows <= 2 * columns
+
+
+class TestXYRoute:
+    def test_straight_line(self):
+        assert xy_route((0, 0), (2, 0)) == [(0, 0), (1, 0), (2, 0)]
+
+    def test_l_shape_x_first(self):
+        assert xy_route((0, 0), (1, 2)) == [
+            (0, 0), (1, 0), (1, 1), (1, 2)
+        ]
+
+    def test_same_point(self):
+        assert xy_route((1, 1), (1, 1)) == [(1, 1)]
+
+    def test_negative_direction(self):
+        assert xy_route((2, 1), (0, 1)) == [(2, 1), (1, 1), (0, 1)]
+
+
+class TestSDMNoC:
+    def make(self, tiles=4, **kwargs):
+        return SDMNoC([f"t{i}" for i in range(tiles)], **kwargs)
+
+    def test_placement_row_major(self):
+        noc = self.make(4)  # 2x2 mesh
+        assert noc.position_of("t0") == (0, 0)
+        assert noc.position_of("t1") == (1, 0)
+        assert noc.position_of("t2") == (0, 1)
+        assert noc.position_of("t3") == (1, 1)
+
+    def test_hop_distance(self):
+        noc = self.make(4)
+        assert noc.hop_distance("t0", "t3") == 2
+        assert noc.hop_distance("t0", "t1") == 1
+
+    def test_allocation_parameters_scale_with_distance(self):
+        noc = self.make(4)
+        near = noc.allocate(conn("c0", "t0", "t1"))
+        far = noc.allocate(conn("c1", "t0", "t3"))
+        assert far.channel_latency > near.channel_latency
+
+    def test_wire_rate(self):
+        noc = self.make(4, wires_per_link=32, default_connection_wires=8)
+        params = noc.allocate(conn("c0", "t0", "t1"))
+        assert params.injection_cycles_per_word == 4  # ceil(32/8)
+
+    def test_more_wires_faster(self):
+        noc = self.make(4, wires_per_link=32)
+        fast = noc.allocate(conn("c0", "t0", "t1"), wires=32)
+        slow = noc.allocate(conn("c1", "t2", "t3"), wires=4)
+        assert fast.injection_cycles_per_word < slow.injection_cycles_per_word
+
+    def test_wires_are_exclusive(self):
+        noc = self.make(4, wires_per_link=8, default_connection_wires=8)
+        noc.allocate(conn("c0", "t0", "t1"))
+        with pytest.raises(RoutingError, match="free wires"):
+            noc.allocate(conn("c1", "t0", "t1"))
+
+    def test_disjoint_routes_coexist(self):
+        noc = self.make(4, wires_per_link=8, default_connection_wires=8)
+        noc.allocate(conn("c0", "t0", "t1"))
+        noc.allocate(conn("c1", "t2", "t3"))  # different link
+
+    def test_release_all_restores_wires(self):
+        noc = self.make(4, wires_per_link=8, default_connection_wires=8)
+        noc.allocate(conn("c0", "t0", "t1"))
+        noc.release_all()
+        noc.allocate(conn("c1", "t0", "t1"))
+
+    def test_over_wide_request_rejected(self):
+        noc = self.make(4, wires_per_link=16)
+        with pytest.raises(RoutingError, match="links have"):
+            noc.allocate(conn("c0", "t0", "t1"), wires=17)
+
+    def test_no_flow_control_cannot_allocate(self):
+        noc = self.make(4, flow_control=False)
+        with pytest.raises(RoutingError, match="flow"):
+            noc.allocate(conn("c0", "t0", "t1"))
+
+    def test_unknown_tile_rejected(self):
+        noc = self.make(2)
+        with pytest.raises(ArchitectureError, match="not placed"):
+            noc.position_of("zed")
+
+    def test_duplicate_tiles_rejected(self):
+        with pytest.raises(ArchitectureError, match="duplicate"):
+            SDMNoC(["a", "a"])
+
+    def test_buffering_scales_with_hops(self):
+        noc = self.make(9, buffer_words_per_hop=2)  # 3x3
+        one_hop = noc.allocate(conn("c0", "t0", "t1"))
+        two_hops = noc.allocate(conn("c1", "t0", "t2"))
+        assert two_hops.network_buffer_words == 4
+        assert one_hop.network_buffer_words == 2

@@ -1,0 +1,136 @@
+"""Tests for tiles, the platform model and the template generator."""
+
+import pytest
+
+from repro.arch import (
+    ArchitectureModel,
+    FSLInterconnect,
+    Peripheral,
+    SDMNoC,
+    architecture_from_template,
+    ip_tile,
+    master_tile,
+    slave_tile,
+)
+from repro.arch.tile import MAX_TILE_MEMORY_BYTES, Tile
+from repro.exceptions import ArchitectureError
+
+
+class TestTiles:
+    def test_master_tile_has_peripherals(self):
+        tile = master_tile("t0")
+        assert tile.role == "master"
+        assert tile.peripherals
+        assert tile.pe_type == "microblaze"
+
+    def test_slave_tile_has_none(self):
+        tile = slave_tile("t1")
+        assert tile.role == "slave"
+        assert not tile.peripherals
+
+    def test_slave_cannot_own_peripherals(self):
+        with pytest.raises(ArchitectureError, match="master tiles"):
+            Tile(name="t", peripherals=(Peripheral("uart"),), role="slave")
+
+    def test_memory_ceiling_enforced(self):
+        with pytest.raises(ArchitectureError, match="ceiling"):
+            slave_tile("big", instruction_kb=200, data_kb=200)
+
+    def test_memory_at_ceiling_allowed(self):
+        tile = slave_tile("max", instruction_kb=128, data_kb=128)
+        assert tile.memory_capacity == MAX_TILE_MEMORY_BYTES
+
+    def test_ip_tile_has_no_processor(self):
+        tile = ip_tile("hw")
+        assert tile.processor is None
+        assert tile.pe_type is None
+
+    def test_ip_tile_with_processor_rejected(self):
+        with pytest.raises(ArchitectureError, match="no processor"):
+            Tile(name="t", role="ip")
+
+    def test_ca_flag(self):
+        assert slave_tile("t", with_ca=True).has_ca
+        assert not slave_tile("t").has_ca
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ArchitectureError, match="role"):
+            Tile(name="t", role="weird")
+
+
+class TestArchitectureModel:
+    def test_duplicate_tile_names_rejected(self):
+        with pytest.raises(ArchitectureError, match="duplicate"):
+            ArchitectureModel(
+                name="a", tiles=[slave_tile("t"), slave_tile("t")]
+            )
+
+    def test_lookup(self):
+        arch = architecture_from_template(3)
+        assert arch.tile("tile1").role == "slave"
+        with pytest.raises(ArchitectureError, match="unknown tile"):
+            arch.tile("nope")
+
+    def test_pe_types(self):
+        arch = architecture_from_template(2)
+        assert arch.pe_types() == ("microblaze",)
+
+    def test_shared_peripheral_rejected(self):
+        t0 = master_tile("t0", peripherals=(Peripheral("uart"),))
+        t1 = master_tile("t1", peripherals=(Peripheral("uart"),))
+        arch = ArchitectureModel(
+            name="bad", tiles=[t0, t1], interconnect=FSLInterconnect()
+        )
+        with pytest.raises(ArchitectureError, match="predictability"):
+            arch.validate()
+
+    def test_multi_tile_needs_interconnect(self):
+        arch = ArchitectureModel(
+            name="a", tiles=[slave_tile("t0"), slave_tile("t1")]
+        )
+        with pytest.raises(ArchitectureError, match="interconnect"):
+            arch.validate()
+
+    def test_connect_allocates(self):
+        arch = architecture_from_template(2, "fsl")
+        params = arch.connect("c0", "tile0", "tile1")
+        assert params.injection_cycles_per_word == 1
+        assert len(arch.interconnect.allocated_connections()) == 1
+        arch.reset_interconnect()
+        assert not arch.interconnect.allocated_connections()
+
+    def test_describe_mentions_tiles(self):
+        arch = architecture_from_template(2, "noc")
+        text = arch.describe()
+        assert "tile0" in text and "tile1" in text and "SDM NoC" in text
+
+
+class TestTemplate:
+    def test_master_plus_slaves(self):
+        arch = architecture_from_template(4)
+        roles = [t.role for t in arch.tiles]
+        assert roles == ["master", "slave", "slave", "slave"]
+
+    def test_single_tile_no_interconnect(self):
+        arch = architecture_from_template(1)
+        assert arch.interconnect is None
+
+    def test_noc_choice(self):
+        arch = architecture_from_template(6, "noc")
+        assert isinstance(arch.interconnect, SDMNoC)
+
+    def test_fsl_choice(self):
+        arch = architecture_from_template(3, "fsl")
+        assert isinstance(arch.interconnect, FSLInterconnect)
+
+    def test_unknown_interconnect_rejected(self):
+        with pytest.raises(ArchitectureError, match="unknown interconnect"):
+            architecture_from_template(3, "crossbar")
+
+    def test_zero_tiles_rejected(self):
+        with pytest.raises(ArchitectureError, match="at least one"):
+            architecture_from_template(0)
+
+    def test_with_ca_equips_all_tiles(self):
+        arch = architecture_from_template(3, with_ca=True)
+        assert all(t.has_ca for t in arch.tiles)

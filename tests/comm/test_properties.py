@@ -1,0 +1,126 @@
+"""Property-based tests for the Fig. 4 channel expansion.
+
+For arbitrary (rates, token size, buffer sizes, channel parameters) the
+expansion must preserve consistency, stay live whenever the buffers admit
+a burst, and behave monotonically: faster channels / bigger buffers never
+reduce throughput.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.comm import (
+    ChannelParameters,
+    PESerialization,
+    expand_channel,
+    expanded_names,
+    words_per_token,
+)
+from repro.sdf import (
+    SDFGraph,
+    analyze_throughput,
+    is_deadlock_free,
+    repetition_vector,
+)
+
+
+@st.composite
+def channel_setups(draw):
+    p = draw(st.integers(min_value=1, max_value=3))
+    q = draw(st.integers(min_value=1, max_value=3))
+    token_size = draw(st.integers(min_value=1, max_value=64))
+    alpha_src = p + draw(st.integers(min_value=0, max_value=3))
+    alpha_dst = q + draw(st.integers(min_value=0, max_value=3))
+    params = ChannelParameters(
+        words_in_flight=draw(st.integers(min_value=1, max_value=4)),
+        network_buffer_words=draw(st.integers(min_value=0, max_value=8)),
+        injection_cycles_per_word=draw(
+            st.integers(min_value=1, max_value=4)
+        ),
+        channel_latency=draw(st.integers(min_value=1, max_value=8)),
+    )
+    src_time = draw(st.integers(min_value=1, max_value=50))
+    dst_time = draw(st.integers(min_value=1, max_value=50))
+    return p, q, token_size, alpha_src, alpha_dst, params, src_time, dst_time
+
+
+def build(setup):
+    p, q, token_size, alpha_src, alpha_dst, params, src_time, dst_time = (
+        setup
+    )
+    g = SDFGraph("prop_pipe")
+    g.add_actor("P", execution_time=src_time)
+    g.add_actor("Q", execution_time=dst_time)
+    g.add_edge("pq", "P", "Q", production=p, consumption=q,
+               token_size=token_size)
+    expand_channel(
+        g, "pq", params, PESerialization(),
+        alpha_src=alpha_src, alpha_dst=alpha_dst,
+    )
+    return g
+
+
+@given(channel_setups())
+@settings(max_examples=50, deadline=None)
+def test_expansion_preserves_consistency(setup):
+    g = build(setup)
+    p, q = setup[0], setup[1]
+    rates = repetition_vector(g)
+    names = expanded_names("pq")
+    n_words = words_per_token(setup[2])
+    # Words per iteration = tokens per iteration * N, at every word actor.
+    tokens_per_iteration = rates["P"] * p
+    for word_actor in (names.s2, names.c1, names.c2, names.d1):
+        assert rates[word_actor] == tokens_per_iteration * n_words
+    assert rates[names.s1] == tokens_per_iteration
+    assert rates[names.d2] == tokens_per_iteration
+
+
+@given(channel_setups())
+@settings(max_examples=50, deadline=None)
+def test_expansion_is_live(setup):
+    assert is_deadlock_free(build(setup))
+
+
+@given(channel_setups())
+@settings(max_examples=25, deadline=None)
+def test_expansion_throughput_analyzable_and_positive(setup):
+    result = analyze_throughput(build(setup), max_iterations=3000)
+    assert result.throughput > 0
+
+
+@given(channel_setups())
+@settings(max_examples=20, deadline=None)
+def test_faster_channel_never_slower(setup):
+    p, q, token_size, alpha_src, alpha_dst, params, src_time, dst_time = (
+        setup
+    )
+    fast_params = ChannelParameters(
+        words_in_flight=params.words_in_flight,
+        network_buffer_words=params.network_buffer_words,
+        injection_cycles_per_word=max(
+            1, params.injection_cycles_per_word - 1
+        ),
+        channel_latency=max(1, params.channel_latency // 2),
+    )
+    base = analyze_throughput(build(setup), max_iterations=3000).throughput
+    fast_setup = (p, q, token_size, alpha_src, alpha_dst, fast_params,
+                  src_time, dst_time)
+    fast = analyze_throughput(
+        build(fast_setup), max_iterations=3000
+    ).throughput
+    assert fast >= base
+
+
+@given(channel_setups())
+@settings(max_examples=20, deadline=None)
+def test_bigger_buffers_never_slower(setup):
+    p, q, token_size, alpha_src, alpha_dst, params, src_time, dst_time = (
+        setup
+    )
+    base = analyze_throughput(build(setup), max_iterations=3000).throughput
+    roomy_setup = (p, q, token_size, alpha_src + 2, alpha_dst + 2, params,
+                   src_time, dst_time)
+    roomy = analyze_throughput(
+        build(roomy_setup), max_iterations=3000
+    ).throughput
+    assert roomy >= base

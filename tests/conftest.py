@@ -1,0 +1,53 @@
+"""Shared fixtures: the paper's example graphs and generic graph builders."""
+
+import pytest
+
+from repro.sdf import SDFGraph
+
+
+@pytest.fixture
+def figure2_graph() -> SDFGraph:
+    """The example SDF graph of Fig. 2.
+
+    A fires once per iteration (self-edge with one initial token models its
+    state), producing 2 tokens to B, 1 to C; B fires twice, producing 1
+    token to C each firing; C consumes 1 token from A and 2 from B.
+    Execution times are test values (the paper gives none for this graph).
+    """
+    g = SDFGraph("figure2")
+    g.add_actor("A", execution_time=4)
+    g.add_actor("B", execution_time=3)
+    g.add_actor("C", execution_time=2)
+    g.add_edge("a2b", "A", "B", production=2, consumption=1, token_size=4)
+    g.add_edge("a2c", "A", "C", production=1, consumption=1, token_size=4)
+    g.add_edge("b2c", "B", "C", production=1, consumption=2, token_size=4)
+    g.add_edge("selfA", "A", "A", initial_tokens=1, implicit=True)
+    return g
+
+
+@pytest.fixture
+def two_actor_pipeline() -> SDFGraph:
+    """Minimal producer/consumer pipeline with unit rates."""
+    g = SDFGraph("pipeline2")
+    g.add_actor("P", execution_time=5)
+    g.add_actor("Q", execution_time=7)
+    g.add_edge("p2q", "P", "Q", token_size=8)
+    return g
+
+
+def make_chain(lengths, name="chain"):
+    """Unit-rate chain with the given execution times."""
+    g = SDFGraph(name)
+    previous = None
+    for i, t in enumerate(lengths):
+        actor = f"n{i}"
+        g.add_actor(actor, execution_time=t)
+        if previous is not None:
+            g.add_edge(f"e{i - 1}", previous, actor, token_size=4)
+        previous = actor
+    return g
+
+
+@pytest.fixture
+def chain_factory():
+    return make_chain

@@ -1,0 +1,131 @@
+"""Tests for the automated design-space exploration."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.appmodel import (
+    ActorImplementation,
+    ApplicationModel,
+    ImplementationMetrics,
+    MemoryRequirements,
+)
+from repro.flow.dse import DesignPoint, explore_design_space
+from repro.arch.area import AreaEstimate
+from repro.sdf import SDFGraph
+
+
+@pytest.fixture
+def app():
+    g = SDFGraph("dse_chain")
+    for name, t in (("P", 500), ("Q", 700), ("R", 300)):
+        g.add_actor(name, execution_time=t)
+    g.add_edge("pq", "P", "Q", token_size=16)
+    g.add_edge("qr", "Q", "R", token_size=16)
+
+    def impl(actor, wcet):
+        return ActorImplementation(
+            actor=actor, pe_type="microblaze",
+            metrics=ImplementationMetrics(
+                wcet=wcet, memory=MemoryRequirements(4096, 2048)
+            ),
+        )
+
+    return ApplicationModel(
+        graph=g,
+        implementations=[impl("P", 500), impl("Q", 700), impl("R", 300)],
+    )
+
+
+class TestExploration:
+    def test_evaluates_all_points(self, app):
+        result = explore_design_space(
+            app, tile_counts=(1, 2, 3), interconnects=("fsl", "noc")
+        )
+        # 1 tile (deduped) + 2x{fsl,noc} + 3x{fsl,noc}
+        assert len(result.points) == 5
+        assert not result.failures
+
+    def test_throughput_monotone_in_tiles(self, app):
+        result = explore_design_space(
+            app, tile_counts=(1, 2, 3), interconnects=("fsl",)
+        )
+        by_tiles = {p.tiles: p.throughput for p in result.points}
+        assert by_tiles[1] <= by_tiles[2] <= by_tiles[3]
+
+    def test_area_monotone_in_tiles(self, app):
+        result = explore_design_space(
+            app, tile_counts=(1, 2, 3), interconnects=("fsl",)
+        )
+        by_tiles = {p.tiles: p.area.slices for p in result.points}
+        assert by_tiles[1] < by_tiles[2] < by_tiles[3]
+
+    def test_pareto_frontier_is_nondominated(self, app):
+        result = explore_design_space(
+            app, tile_counts=(1, 2, 3, 4), interconnects=("fsl", "noc")
+        )
+        frontier = result.pareto_frontier()
+        assert frontier
+        for point in frontier:
+            assert not any(q.dominates(point) for q in result.points)
+        # Frontier sorted by area, throughput non-decreasing along it.
+        for first, second in zip(frontier, frontier[1:]):
+            assert first.area.slices <= second.area.slices
+            assert first.throughput <= second.throughput
+
+    def test_best_meeting_constraint(self, app):
+        constraint = Fraction(1, 1500)
+        result = explore_design_space(
+            app,
+            tile_counts=(1, 2, 3),
+            interconnects=("fsl",),
+            constraint=constraint,
+        )
+        best = result.best_meeting_constraint()
+        assert best is not None
+        assert best.throughput >= constraint
+        cheaper = [
+            p for p in result.points if p.area.slices < best.area.slices
+        ]
+        assert all(not p.constraint_met for p in cheaper)
+
+    def test_unmeetable_constraint(self, app):
+        result = explore_design_space(
+            app,
+            tile_counts=(1, 2),
+            interconnects=("fsl",),
+            constraint=Fraction(1, 10),  # impossible
+        )
+        assert result.best_meeting_constraint() is None
+
+    def test_as_table(self, app):
+        result = explore_design_space(
+            app, tile_counts=(1, 2), interconnects=("fsl",)
+        )
+        table = result.as_table()
+        assert "1t/fsl" in table and "2t/fsl" in table
+        assert "pareto" in table
+
+
+class TestDominance:
+    def point(self, throughput, slices):
+        return DesignPoint(
+            tiles=1, interconnect="fsl", with_ca=False,
+            throughput=Fraction(throughput),
+            area=AreaEstimate(slices=slices, brams=0),
+            constraint_met=True,
+        )
+
+    def test_strictly_better_dominates(self):
+        assert self.point(2, 100).dominates(self.point(1, 200))
+
+    def test_tradeoff_does_not_dominate(self):
+        a = self.point(2, 200)
+        b = self.point(1, 100)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_equal_does_not_dominate(self):
+        a = self.point(1, 100)
+        b = self.point(1, 100)
+        assert not a.dominates(b)

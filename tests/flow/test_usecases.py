@@ -1,0 +1,141 @@
+"""Tests for multi-application (use-case) support."""
+
+import pytest
+
+from repro.appmodel import (
+    ActorImplementation,
+    ApplicationModel,
+    ImplementationMetrics,
+    MemoryRequirements,
+)
+from repro.arch import architecture_from_template
+from repro.exceptions import ArchitectureError, MappingError
+from repro.flow.usecases import (
+    generate_use_case_platform,
+    map_use_cases,
+)
+from repro.sdf import SDFGraph
+
+
+def make_app(name, times, token_size=8):
+    g = SDFGraph(name)
+    previous = None
+    for index, t in enumerate(times):
+        actor = f"{name}_a{index}"
+        g.add_actor(actor, execution_time=t)
+        if previous is not None:
+            g.add_edge(
+                f"{name}_e{index - 1}", previous, actor,
+                token_size=token_size,
+            )
+        previous = actor
+    implementations = [
+        ActorImplementation(
+            actor=a.name, pe_type="microblaze",
+            metrics=ImplementationMetrics(
+                wcet=a.execution_time,
+                memory=MemoryRequirements(2048, 1024),
+            ),
+        )
+        for a in g
+    ]
+    return ApplicationModel(graph=g, implementations=implementations)
+
+
+@pytest.fixture
+def two_apps():
+    return [
+        make_app("video", (400, 700, 300)),
+        make_app("audio", (150, 250)),
+    ]
+
+
+class TestMapUseCases:
+    def test_each_use_case_gets_a_guarantee(self, two_apps):
+        arch = architecture_from_template(3, "fsl")
+        mapping = map_use_cases(two_apps, arch)
+        assert set(mapping.results) == {"video", "audio"}
+        for name in ("video", "audio"):
+            assert mapping.guarantee_of(name) > 0
+
+    def test_union_links_deduplicated(self, two_apps):
+        arch = architecture_from_template(3, "fsl")
+        mapping = map_use_cases(two_apps, arch)
+        # Every pair is unique.
+        assert len(set(mapping.link_pairs)) == len(mapping.link_pairs)
+        total_channels = sum(
+            len(r.mapping.inter_tile_channels())
+            for r in mapping.results.values()
+        )
+        assert len(mapping.link_pairs) <= total_channels
+
+    def test_duplicate_names_rejected(self):
+        apps = [make_app("same", (100,)), make_app("same", (200,))]
+        arch = architecture_from_template(2)
+        with pytest.raises(MappingError, match="distinct names"):
+            map_use_cases(apps, arch)
+
+    def test_empty_rejected(self):
+        arch = architecture_from_template(2)
+        with pytest.raises(MappingError, match="at least one"):
+            map_use_cases([], arch)
+
+    def test_per_app_pinning(self, two_apps):
+        arch = architecture_from_template(3, "fsl")
+        mapping = map_use_cases(
+            two_apps, arch,
+            fixed={"video": {"video_a0": "tile2"}},
+        )
+        video = mapping.results["video"].mapping
+        assert video.actor_binding["video_a0"] == "tile2"
+
+    def test_union_port_limit_enforced(self):
+        """Distinct per-use-case destinations from one source tile must
+        trip the union FSL port check even though each use-case alone
+        fits."""
+        apps = [make_app(f"p{i}", (100, 100)) for i in range(3)]
+        arch = architecture_from_template(4, "fsl")
+        arch.interconnect.max_links_per_tile = 1
+        fixed = {
+            f"p{i}": {
+                f"p{i}_a0": "tile0",
+                f"p{i}_a1": f"tile{i + 1}",
+            }
+            for i in range(3)
+        }
+        with pytest.raises(ArchitectureError, match="outgoing FSL"):
+            map_use_cases(apps, arch, fixed=fixed)
+
+    def test_table_rendering(self, two_apps):
+        arch = architecture_from_template(3, "fsl")
+        mapping = map_use_cases(two_apps, arch)
+        table = mapping.as_table()
+        assert "video" in table and "audio" in table
+        assert "platform union" in table
+
+
+class TestUseCaseProject:
+    def test_project_contains_both_use_cases(self, two_apps):
+        arch = architecture_from_template(3, "fsl")
+        mapping = map_use_cases(two_apps, arch)
+        project = generate_use_case_platform(two_apps, arch, mapping)
+        paths = project.paths()
+        assert any(p.startswith("usecases/video/") for p in paths)
+        assert any(p.startswith("usecases/audio/") for p in paths)
+        assert "union_platform.txt" in paths
+
+    def test_union_summary_lists_links(self, two_apps):
+        arch = architecture_from_template(3, "fsl")
+        mapping = map_use_cases(two_apps, arch)
+        project = generate_use_case_platform(two_apps, arch, mapping)
+        summary = project.file("union_platform.txt")
+        for src, dst in mapping.link_pairs:
+            assert f"{src} -> {dst}" in summary
+
+    def test_project_writes_to_disk(self, two_apps, tmp_path):
+        arch = architecture_from_template(3, "fsl")
+        mapping = map_use_cases(two_apps, arch)
+        project = generate_use_case_platform(two_apps, arch, mapping)
+        root = project.write_to(tmp_path)
+        assert (root / "union_platform.txt").exists()
+        assert (root / "usecases" / "video" / "system.mhs").exists()

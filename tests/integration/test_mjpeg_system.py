@@ -1,0 +1,163 @@
+"""System-level integration tests: the full MJPEG flow, end to end.
+
+These are the repository's strongest claims, executed:
+
+* the platform simulator decodes frames **bit-identically** to the
+  whole-frame reference decoder (functional correctness through the
+  mapped, scheduled, credit-controlled pipeline);
+* the throughput guarantee is conservative on both interconnects;
+* CA-equipped platforms run and never lower the guarantee;
+* long runs (stream wrap-around) behave.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import architecture_from_template
+from repro.flow import DesignFlow
+from repro.mamps import synthesize
+from repro.mapping import map_application
+from repro.mjpeg import (
+    build_mjpeg_application,
+    encode_sequence,
+    synthetic_sequence,
+    test_set_sequences as build_test_set,
+)
+from repro.mjpeg.reference import decode_sequence
+
+
+@pytest.fixture(scope="module")
+def gradient_encoded():
+    frames = build_test_set(n_frames=2)["gradient"]
+    return encode_sequence(frames, quality=75)
+
+
+@pytest.fixture(scope="module")
+def blobs_encoded():
+    frames = build_test_set(n_frames=2)["blobs"]
+    return encode_sequence(frames, quality=75, h=4, v=2)  # 10-block MCUs
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("interconnect", ["fsl", "noc"])
+    def test_platform_frames_match_reference(
+        self, gradient_encoded, interconnect
+    ):
+        app = build_mjpeg_application(gradient_encoded)
+        arch = architecture_from_template(5, interconnect)
+        result = map_application(app, arch, fixed={"VLD": "tile0"})
+        simulator = synthesize(app, arch, result)
+        total = gradient_encoded.total_mcus
+        simulator.run_iterations(total)
+
+        platform_frames = simulator._states["Raster"]["frames"]
+        reference_frames = decode_sequence(gradient_encoded)
+        assert len(platform_frames) >= len(reference_frames)
+        for platform, reference in zip(platform_frames, reference_frames):
+            assert np.array_equal(platform, reference)
+
+    def test_ten_block_stream_matches_reference(self, blobs_encoded):
+        app = build_mjpeg_application(blobs_encoded)
+        arch = architecture_from_template(5, "fsl")
+        result = map_application(app, arch, fixed={"VLD": "tile0"})
+        simulator = synthesize(app, arch, result)
+        simulator.run_iterations(blobs_encoded.total_mcus)
+        platform_frames = simulator._states["Raster"]["frames"]
+        reference_frames = decode_sequence(blobs_encoded)
+        for platform, reference in zip(platform_frames, reference_frames):
+            assert np.array_equal(platform, reference)
+
+    def test_wraparound_repeats_frames(self, gradient_encoded):
+        """Decoding past the stream end loops the sequence; the repeated
+        pass must produce the same frames again."""
+        app = build_mjpeg_application(gradient_encoded)
+        arch = architecture_from_template(3, "fsl")
+        result = map_application(app, arch, fixed={"VLD": "tile0"})
+        simulator = synthesize(app, arch, result)
+        simulator.run_iterations(2 * gradient_encoded.total_mcus)
+        frames = simulator._states["Raster"]["frames"]
+        n = gradient_encoded.n_frames
+        assert len(frames) >= 2 * n
+        for first_pass, second_pass in zip(frames[:n], frames[n:2 * n]):
+            assert np.array_equal(first_pass, second_pass)
+
+
+class TestConservativeness:
+    @pytest.mark.parametrize("interconnect", ["fsl", "noc"])
+    def test_guarantee_holds(self, gradient_encoded, interconnect):
+        app = build_mjpeg_application(gradient_encoded)
+        arch = architecture_from_template(5, interconnect)
+        flow = DesignFlow(app, arch, fixed={"VLD": "tile0"})
+        result = flow.run(iterations=16, warmup_iterations=3)
+        assert result.measured_throughput >= result.guaranteed_throughput
+
+    def test_guarantee_holds_on_synthetic(self):
+        encoded = encode_sequence(
+            synthetic_sequence(n_frames=1), quality=95, h=4, v=2
+        )
+        app = build_mjpeg_application(encoded)
+        arch = architecture_from_template(5, "fsl")
+        flow = DesignFlow(app, arch, fixed={"VLD": "tile0"})
+        result = flow.run(iterations=12, warmup_iterations=2)
+        assert result.measured_throughput >= result.guaranteed_throughput
+        # Synthetic noise runs close to the bound.
+        headroom = float(
+            result.measured_throughput / result.guaranteed_throughput
+        )
+        assert headroom < 1.6
+
+    def test_fewer_tiles_never_raise_guarantee(self, gradient_encoded):
+        app = build_mjpeg_application(gradient_encoded)
+        guarantees = []
+        for tiles in (1, 3, 5):
+            arch = architecture_from_template(tiles, "fsl")
+            result = map_application(app, arch, fixed={"VLD": "tile0"})
+            guarantees.append(result.guaranteed_throughput)
+        assert guarantees[0] <= guarantees[1] <= guarantees[2]
+
+
+class TestCAPlatform:
+    def test_ca_platform_runs_and_guarantee_not_lower(
+        self, gradient_encoded
+    ):
+        app = build_mjpeg_application(gradient_encoded)
+        plain_arch = architecture_from_template(5, "fsl")
+        plain = map_application(app, plain_arch, fixed={"VLD": "tile0"})
+
+        ca_arch = architecture_from_template(5, "fsl", with_ca=True)
+        with_ca = map_application(app, ca_arch, fixed={"VLD": "tile0"})
+        assert with_ca.guaranteed_throughput >= plain.guaranteed_throughput
+
+        simulator = synthesize(app, ca_arch, with_ca)
+        measured = simulator.measure_throughput(
+            iterations=12, warmup_iterations=2
+        )
+        assert measured.throughput >= with_ca.guaranteed_throughput
+
+    def test_ca_frames_still_bit_exact(self, gradient_encoded):
+        app = build_mjpeg_application(gradient_encoded)
+        arch = architecture_from_template(5, "fsl", with_ca=True)
+        result = map_application(app, arch, fixed={"VLD": "tile0"})
+        simulator = synthesize(app, arch, result)
+        simulator.run_iterations(gradient_encoded.total_mcus)
+        platform_frames = simulator._states["Raster"]["frames"]
+        reference_frames = decode_sequence(gradient_encoded)
+        for platform, reference in zip(platform_frames, reference_frames):
+            assert np.array_equal(platform, reference)
+
+
+class TestGeneratedProject:
+    def test_project_reflects_mjpeg_system(self, gradient_encoded, tmp_path):
+        app = build_mjpeg_application(gradient_encoded)
+        arch = architecture_from_template(5, "fsl")
+        flow = DesignFlow(app, arch, fixed={"VLD": "tile0"})
+        result = flow.run(measure=False)
+        root = result.project.write_to(tmp_path)
+
+        main_of_vld_tile = (
+            root / "src" / "tile0" / "main.c"
+        ).read_text()
+        assert "wrapper_VLD" in main_of_vld_tile
+        netlist = (root / "system.mhs").read_text()
+        assert "microblaze" in netlist
+        assert "fsl_v20" in netlist

@@ -1,0 +1,64 @@
+"""A small *functional* application for generation/simulation tests."""
+
+import pytest
+
+from repro.appmodel import (
+    ActorImplementation,
+    ApplicationModel,
+    FiringOutput,
+    ImplementationMetrics,
+    MemoryRequirements,
+)
+from repro.sdf import SDFGraph
+
+
+@pytest.fixture
+def functional_app():
+    """P -> Q -> R pipeline that squares then sums integers.
+
+    P's cycle count varies with the firing index (data-dependent timing
+    below the WCET), which is what creates the measured-vs-worst-case gap
+    the Fig. 6 benchmarks rely on.
+    """
+    g = SDFGraph("squares")
+    g.add_actor("P", execution_time=400)
+    g.add_actor("Q", execution_time=600)
+    g.add_actor("R", execution_time=300)
+    g.add_edge("pq", "P", "Q", token_size=4)
+    g.add_edge("qr", "Q", "R", token_size=4)
+
+    def p_fn(ctx):
+        value = ctx.firing_index % 17
+        cycles = 250 + (value * 8)  # 250..378, WCET 400
+        return FiringOutput(outputs={"pq": [value]}, cycles=cycles)
+
+    def q_fn(ctx):
+        value = ctx.single("pq")
+        return FiringOutput(outputs={"qr": [value * value]},
+                            cycles=450 + (value % 5) * 10)
+
+    def r_fn(ctx):
+        ctx.state["sum"] = ctx.state.get("sum", 0) + ctx.single("qr")
+        return FiringOutput(outputs={}, cycles=280)
+
+    def impl(actor, wcet, fn):
+        return ActorImplementation(
+            actor=actor,
+            pe_type="microblaze",
+            metrics=ImplementationMetrics(
+                wcet=wcet,
+                memory=MemoryRequirements(
+                    instruction_bytes=2048, data_bytes=1024
+                ),
+            ),
+            function=fn,
+        )
+
+    return ApplicationModel(
+        graph=g,
+        implementations=[
+            impl("P", 400, p_fn),
+            impl("Q", 600, q_fn),
+            impl("R", 300, r_fn),
+        ],
+    )

@@ -1,0 +1,157 @@
+"""Tests for MAMPS platform generation (netlist, software, memory, XPS)."""
+
+import pytest
+
+from repro.arch import architecture_from_template
+from repro.exceptions import GenerationError
+from repro.mamps import compute_memory_maps, generate_platform
+from repro.mamps.hardware import parse_netlist
+from repro.mapping import map_application
+
+
+@pytest.fixture
+def generated(functional_app):
+    arch = architecture_from_template(3, "fsl")
+    result = map_application(functional_app, arch)
+    project = generate_platform(functional_app, arch, result)
+    return functional_app, arch, result, project
+
+
+class TestProjectBundle:
+    def test_expected_files_present(self, generated):
+        app, arch, result, project = generated
+        paths = project.paths()
+        assert "system.mhs" in paths
+        assert "build.tcl" in paths
+        assert "mapping.txt" in paths
+        assert "throughput.txt" in paths
+        for tile in result.mapping.used_tiles():
+            assert f"src/{tile}/main.c" in paths
+
+    def test_write_to_disk(self, generated, tmp_path):
+        _, _, _, project = generated
+        root = project.write_to(tmp_path)
+        assert (root / "system.mhs").exists()
+        assert (root / "build.tcl").exists()
+
+    def test_duplicate_file_rejected(self, generated):
+        _, _, _, project = generated
+        with pytest.raises(GenerationError, match="already has"):
+            project.add("system.mhs", "again")
+
+    def test_missing_file_lookup(self, generated):
+        _, _, _, project = generated
+        with pytest.raises(GenerationError, match="no file"):
+            project.file("nope.c")
+
+
+class TestNetlist:
+    def test_instances_cover_used_tiles(self, generated):
+        app, arch, result, project = generated
+        instances = parse_netlist(project.file("system.mhs"))
+        names = [name for _kind, name in instances]
+        for tile in result.mapping.used_tiles():
+            assert f"{tile}_pe" in names
+            assert f"{tile}_imem" in names
+            assert f"{tile}_dmem" in names
+            assert f"{tile}_ni" in names
+
+    def test_fsl_links_instantiated(self, generated):
+        app, arch, result, project = generated
+        instances = parse_netlist(project.file("system.mhs"))
+        kinds = [kind for kind, _name in instances]
+        inter = result.mapping.inter_tile_channels()
+        assert kinds.count("fsl_v20") == len(inter)
+
+    def test_noc_routers_instantiated(self, functional_app):
+        arch = architecture_from_template(4, "noc")
+        result = map_application(functional_app, arch)
+        project = generate_platform(functional_app, arch, result)
+        instances = parse_netlist(project.file("system.mhs"))
+        kinds = [kind for kind, _name in instances]
+        assert kinds.count("sdm_router") == 4  # 2x2 mesh
+        assert kinds.count("sdm_connection") == len(
+            result.mapping.inter_tile_channels()
+        )
+
+    def test_memory_parameters_reflect_sizing(self, generated):
+        app, arch, result, project = generated
+        text = project.file("system.mhs")
+        assert "C_USED_BYTES" in text
+
+
+class TestSoftware:
+    def test_main_contains_wrappers_and_schedule(self, generated):
+        app, arch, result, project = generated
+        for tile in result.mapping.used_tiles():
+            source = project.file(f"src/{tile}/main.c")
+            for actor in result.mapping.actors_on(tile):
+                assert f"wrapper_{actor}" in source
+                assert f"{actor}(" in source
+            assert "scheduler_run" in source
+            assert "comm_init" in source
+            assert "int main(void)" in source
+
+    def test_schedule_table_matches_order(self, generated):
+        app, arch, result, project = generated
+        for tile, order in result.mapping.static_orders.items():
+            source = project.file(f"src/{tile}/main.c")
+            for actor in order:
+                assert f"wrapper_{actor}" in source
+
+    def test_send_calls_for_inter_tile_channels(self, generated):
+        app, arch, result, project = generated
+        for channel in result.mapping.inter_tile_channels():
+            edge = app.graph.edge(channel.edge)
+            src_main = project.file(f"src/{channel.src_tile}/main.c")
+            assert f"ni_send_tokens(buffer_{channel.edge}_src" in src_main
+
+
+class TestMemoryMaps:
+    def test_regions_are_disjoint_and_ordered(self, generated):
+        app, arch, result, _ = generated
+        maps = compute_memory_maps(app, arch, result.mapping)
+        for memory_map in maps.values():
+            for regions in (memory_map.instruction_regions,
+                            memory_map.data_regions):
+                for first, second in zip(regions, regions[1:]):
+                    assert second.base == first.end
+
+    def test_buffers_have_regions(self, generated):
+        app, arch, result, _ = generated
+        maps = compute_memory_maps(app, arch, result.mapping)
+        for channel in result.mapping.inter_tile_channels():
+            src_map = maps[channel.src_tile]
+            assert src_map.region(f"buffer_{channel.edge}_src").size > 0
+            dst_map = maps[channel.dst_tile]
+            assert dst_map.region(f"buffer_{channel.edge}_dst").size > 0
+
+    def test_overflow_detected(self, functional_app):
+        from repro.arch import ArchitectureModel, FSLInterconnect, Tile
+        from repro.arch.tile import Memory
+
+        # Tiny data memory: runtime data alone (4 kB) exceeds 2 kB.
+        arch3 = architecture_from_template(3)
+        result = map_application(functional_app, arch3)
+        tiny = ArchitectureModel(
+            name=arch3.name,
+            tiles=[
+                Tile(
+                    name=t.name,
+                    role=t.role,
+                    peripherals=t.peripherals,
+                    data_memory=Memory(2 * 1024),
+                )
+                for t in arch3.tiles
+            ],
+            interconnect=arch3.interconnect,
+        )
+        with pytest.raises(GenerationError, match="data memory"):
+            compute_memory_maps(functional_app, tiny, result.mapping)
+
+    def test_wrong_architecture_rejected(self, functional_app):
+        arch = architecture_from_template(3)
+        other = architecture_from_template(4)
+        result = map_application(functional_app, arch)
+        with pytest.raises(GenerationError, match="architecture"):
+            generate_platform(functional_app, other, result)

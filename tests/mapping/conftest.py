@@ -1,0 +1,63 @@
+"""Fixtures for the mapping tests: a small multirate application."""
+
+import pytest
+
+from repro.appmodel import (
+    ActorImplementation,
+    ApplicationModel,
+    ImplementationMetrics,
+    MemoryRequirements,
+)
+from repro.sdf import SDFGraph
+
+
+def make_impl(actor, wcet, pe_type="microblaze", instr=4096, data=2048):
+    return ActorImplementation(
+        actor=actor,
+        pe_type=pe_type,
+        metrics=ImplementationMetrics(
+            wcet=wcet,
+            memory=MemoryRequirements(
+                instruction_bytes=instr, data_bytes=data
+            ),
+        ),
+    )
+
+
+@pytest.fixture
+def small_app():
+    """The Fig. 2 graph with WCETs scaled to platform-ish magnitudes."""
+    g = SDFGraph("figure2")
+    g.add_actor("A", execution_time=400)
+    g.add_actor("B", execution_time=300)
+    g.add_actor("C", execution_time=200)
+    g.add_edge("a2b", "A", "B", production=2, consumption=1, token_size=16)
+    g.add_edge("a2c", "A", "C", production=1, consumption=1, token_size=8)
+    g.add_edge("b2c", "B", "C", production=1, consumption=2, token_size=8)
+    g.add_edge("selfA", "A", "A", initial_tokens=1, implicit=True)
+    return ApplicationModel(
+        graph=g,
+        implementations=[
+            make_impl("A", 400),
+            make_impl("B", 300),
+            make_impl("C", 200),
+        ],
+    )
+
+
+@pytest.fixture
+def chain_app():
+    """Three-stage unit-rate pipeline, the simplest mappable shape."""
+    g = SDFGraph("chain3")
+    for name, t in (("P", 500), ("Q", 700), ("R", 300)):
+        g.add_actor(name, execution_time=t)
+    g.add_edge("pq", "P", "Q", token_size=32)
+    g.add_edge("qr", "Q", "R", token_size=32)
+    return ApplicationModel(
+        graph=g,
+        implementations=[
+            make_impl("P", 500),
+            make_impl("Q", 700),
+            make_impl("R", 300),
+        ],
+    )

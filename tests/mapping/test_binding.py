@@ -1,0 +1,162 @@
+"""Tests for actor binding and cost functions."""
+
+import pytest
+
+from repro.arch import architecture_from_template
+from repro.exceptions import MappingError
+from repro.mapping import CostWeights, bind_actors
+from repro.mapping.binding import tile_loads
+from repro.mapping.costs import binding_cost
+
+from tests.mapping.conftest import make_impl
+
+
+class TestBindActors:
+    def test_every_actor_bound(self, small_app):
+        arch = architecture_from_template(3)
+        binding, impls = bind_actors(small_app, arch)
+        assert set(binding) == {"A", "B", "C"}
+        assert set(impls) == {"A", "B", "C"}
+        for tile in binding.values():
+            assert tile in arch.tile_names()
+
+    def test_spreads_over_tiles(self, small_app):
+        """With 3 tiles and balanced work, the binder uses all of them."""
+        arch = architecture_from_template(3)
+        binding, _ = bind_actors(small_app, arch)
+        assert len(set(binding.values())) == 3
+
+    def test_single_tile_accepts_all(self, small_app):
+        arch = architecture_from_template(1)
+        binding, _ = bind_actors(small_app, arch)
+        assert set(binding.values()) == {"tile0"}
+
+    def test_fixed_binding_respected(self, small_app):
+        arch = architecture_from_template(3)
+        binding, _ = bind_actors(small_app, arch, fixed={"A": "tile2"})
+        assert binding["A"] == "tile2"
+
+    def test_memory_pressure_forces_spread(self, chain_app):
+        """Actors whose data barely fits one per tile must spread."""
+        big = [
+            make_impl(a, w, instr=100 * 1024, data=100 * 1024)
+            for a, w in (("P", 500), ("Q", 700), ("R", 300))
+        ]
+        chain_app.implementations = big
+        chain_app.__post_init__()
+        arch = architecture_from_template(3)
+        binding, _ = bind_actors(chain_app, arch)
+        assert len(set(binding.values())) == 3
+
+    def test_unbindable_when_memory_too_small(self, chain_app):
+        huge = [
+            make_impl(a, w, instr=130 * 1024, data=100 * 1024)
+            for a, w in (("P", 500), ("Q", 700), ("R", 300))
+        ]
+        chain_app.implementations = huge
+        chain_app.__post_init__()
+        arch = architecture_from_template(3)
+        with pytest.raises(MappingError, match="cannot be bound"):
+            bind_actors(chain_app, arch)
+
+    def test_missing_pe_type_unbindable(self, chain_app):
+        odd = [make_impl("P", 500, pe_type="dsp"),
+               make_impl("Q", 700), make_impl("R", 300)]
+        chain_app.implementations = odd
+        chain_app.__post_init__()
+        arch = architecture_from_template(2)
+        with pytest.raises(MappingError, match="cannot be bound"):
+            bind_actors(chain_app, arch)
+
+    def test_heterogeneous_selects_matching_implementation(self, chain_app):
+        """Heterogeneous platform: the binder picks the implementation
+        matching each tile's PE type automatically (Section 7)."""
+        from repro.arch import ArchitectureModel, FSLInterconnect, Tile
+        from repro.arch.components import ProcessorType
+        from repro.arch.tile import Memory
+
+        dsp = ProcessorType(name="dsp")
+        arch = ArchitectureModel(
+            name="hetero",
+            tiles=[
+                Tile(name="mb0", role="master"),
+                Tile(name="dsp0", processor=dsp, role="slave"),
+            ],
+            interconnect=FSLInterconnect(),
+        )
+        # Q is 4x faster on the DSP.
+        chain_app.implementations = [
+            make_impl("P", 500),
+            make_impl("Q", 700),
+            make_impl("Q", 175, pe_type="dsp"),
+            make_impl("R", 300),
+        ]
+        chain_app.__post_init__()
+        binding, impls = bind_actors(chain_app, arch)
+        assert binding["Q"] == "dsp0"
+        assert impls["Q"].pe_type == "dsp"
+
+    def test_tile_loads(self, small_app):
+        arch = architecture_from_template(1)
+        binding, impls = bind_actors(small_app, arch)
+        loads = tile_loads(small_app, binding, impls)
+        # 1*400 + 2*300 + 1*200
+        assert loads == {"tile0": 1200}
+
+
+class TestCosts:
+    def test_communication_term_prefers_colocation(self, chain_app):
+        arch = architecture_from_template(2)
+        binding = {"P": "tile0"}
+        same = binding_cost(
+            chain_app, arch, "Q", "tile0", "microblaze",
+            binding, {"tile0": 500}, {"tile0": 6144},
+            CostWeights(processing=0, memory=0, communication=1, latency=0),
+        )
+        other = binding_cost(
+            chain_app, arch, "Q", "tile1", "microblaze",
+            binding, {"tile0": 500}, {"tile0": 6144},
+            CostWeights(processing=0, memory=0, communication=1, latency=0),
+        )
+        assert same < other
+
+    def test_processing_term_prefers_idle_tile(self, chain_app):
+        arch = architecture_from_template(2)
+        weights = CostWeights(processing=1, memory=0, communication=0,
+                              latency=0)
+        busy = binding_cost(
+            chain_app, arch, "Q", "tile0", "microblaze",
+            {"P": "tile0"}, {"tile0": 500}, {}, weights,
+        )
+        idle = binding_cost(
+            chain_app, arch, "Q", "tile1", "microblaze",
+            {"P": "tile0"}, {"tile0": 500}, {}, weights,
+        )
+        assert idle < busy
+
+    def test_latency_term_prefers_near_tiles_on_noc(self, chain_app):
+        arch = architecture_from_template(9, "noc")  # 3x3 mesh
+        weights = CostWeights(processing=0, memory=0, communication=0,
+                              latency=1)
+        near = binding_cost(
+            chain_app, arch, "Q", "tile1", "microblaze",
+            {"P": "tile0"}, {}, {}, weights,
+        )
+        far = binding_cost(
+            chain_app, arch, "Q", "tile8", "microblaze",
+            {"P": "tile0"}, {}, {}, weights,
+        )
+        assert near < far
+
+    def test_memory_term_scales_with_usage(self, chain_app):
+        arch = architecture_from_template(2)
+        weights = CostWeights(processing=0, memory=1, communication=0,
+                              latency=0)
+        empty = binding_cost(
+            chain_app, arch, "Q", "tile0", "microblaze", {}, {}, {}, weights
+        )
+        crowded = binding_cost(
+            chain_app, arch, "Q", "tile0", "microblaze",
+            {}, {}, {"tile0": 100 * 1024}, weights,
+        )
+        assert crowded > empty

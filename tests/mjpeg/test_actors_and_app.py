@@ -1,0 +1,177 @@
+"""Tests for the MJPEG actors, cost models and application assembly."""
+
+import numpy as np
+import pytest
+
+from repro.appmodel import measure_execution_times
+from repro.mjpeg import (
+    MJPEGCostModel,
+    build_mjpeg_application,
+    encode_sequence,
+    mjpeg_graph,
+    synthetic_sequence,
+    test_set_sequences as build_test_set,
+)
+from repro.mjpeg.actors import MJPEGActorSet
+from repro.mjpeg.encoder import MAX_BLOCKS_PER_MCU
+from repro.sdf import repetition_vector
+from repro.sdf.throughput import processing_throughput_bound
+
+
+@pytest.fixture(scope="module")
+def encoded():
+    frames = build_test_set(n_frames=2)["gradient"]
+    return encode_sequence(frames, quality=75)
+
+
+@pytest.fixture(scope="module")
+def encoded_synthetic():
+    return encode_sequence(synthetic_sequence(n_frames=1), quality=90)
+
+
+class TestGraphShape:
+    def test_figure5_actors(self, encoded):
+        g = mjpeg_graph(encoded)
+        assert {a.name for a in g} == {"VLD", "IQZZ", "IDCT", "CC", "Raster"}
+
+    def test_figure5_edges(self, encoded):
+        g = mjpeg_graph(encoded)
+        names = {e.name for e in g.edges}
+        assert names == {
+            "vld2iqzz", "iqzz2idct", "idct2cc", "cc2raster",
+            "subHeader1", "subHeader2", "vldState", "rasterState",
+        }
+
+    def test_repetition_vector(self, encoded):
+        """One iteration decodes one MCU: VLD/CC/Raster once, IQZZ/IDCT
+        ten times (the fixed 10-block rate)."""
+        q = repetition_vector(mjpeg_graph(encoded))
+        assert q == {"VLD": 1, "IQZZ": 10, "IDCT": 10, "CC": 1, "Raster": 1}
+
+    def test_state_self_edges(self, encoded):
+        g = mjpeg_graph(encoded)
+        assert g.edge("vldState").is_self_edge
+        assert g.edge("vldState").initial_tokens == 1
+        assert g.edge("rasterState").is_self_edge
+
+    def test_subheader_channels_are_small(self, encoded):
+        g = mjpeg_graph(encoded)
+        assert g.edge("subHeader1").token_size < g.edge(
+            "vld2iqzz"
+        ).token_size
+
+
+class TestCostModel:
+    def test_scenario_wcet_grows_with_blocks(self):
+        cost = MJPEGCostModel()
+        assert cost.vld_wcet(10) > cost.vld_wcet(6) > cost.vld_wcet(1)
+
+    def test_idct_wcet_is_full_block(self):
+        cost = MJPEGCostModel()
+        assert cost.idct_wcet() == cost.idct_base + 64 * (
+            cost.idct_per_nonzero
+        )
+
+    def test_wcet_hierarchy_matches_workload(self, encoded):
+        """IDCT and VLD dominate -- as on the real platform."""
+        g = mjpeg_graph(encoded)
+        q = repetition_vector(g)
+        work = {
+            a.name: q[a.name] * a.execution_time for a in g
+        }
+        assert work["IDCT"] == max(work.values())
+        assert work["VLD"] > work["CC"]
+
+
+class TestFunctionalActors:
+    def test_vld_emits_ten_blocks_with_padding(self, encoded):
+        """4:2:0 -> 6 real + 4 padding block tokens per MCU."""
+        actors = MJPEGActorSet(encoded=encoded)
+        state = {}
+        actors.vld_init(state)
+        from repro.appmodel import FiringContext
+
+        output = actors.vld(FiringContext(inputs={}, state=state))
+        blocks = output.outputs["vld2iqzz"]
+        assert len(blocks) == MAX_BLOCKS_PER_MCU
+        assert sum(1 for b in blocks if b.valid) == 6
+        assert [b.component for b in blocks[:6]] == [
+            "y", "y", "y", "y", "cb", "cr"
+        ]
+
+    def test_vld_wraps_around_the_stream(self, encoded):
+        from repro.appmodel import FiringContext
+
+        actors = MJPEGActorSet(encoded=encoded)
+        state = {}
+        actors.vld_init(state)
+        total = encoded.total_mcus
+        for _ in range(total + 1):  # one beyond the end
+            actors.vld(FiringContext(inputs={}, state=state))
+        assert state["frame_index"] == 0
+        assert state["mcu_in_frame"] == 1
+
+    def test_full_pipeline_execution_counts(self, encoded):
+        app = build_mjpeg_application(encoded)
+        app.validate()
+        measured = measure_execution_times(app, iterations=4)
+        assert measured.record("VLD").firings == 4
+        assert measured.record("IDCT").firings == 40
+
+    def test_wcets_dominate_measurements(self, encoded, encoded_synthetic):
+        """The soundness requirement behind the paper's guarantee."""
+        for stream in (encoded, encoded_synthetic):
+            app = build_mjpeg_application(stream)
+            measured = measure_execution_times(
+                app, iterations=min(8, stream.total_mcus)
+            )
+            for actor in app.graph:
+                wcet = app.implementations_of(actor.name)[0].wcet
+                assert measured.record(actor.name).max_cycles <= wcet
+
+    def test_synthetic_runs_hotter_than_structured(
+        self, encoded, encoded_synthetic
+    ):
+        """Random data consumes more VLD/IDCT cycles per MCU."""
+        structured = measure_execution_times(
+            build_mjpeg_application(encoded), iterations=8
+        )
+        noisy = measure_execution_times(
+            build_mjpeg_application(encoded_synthetic), iterations=8
+        )
+        assert (
+            noisy.record("VLD").average_cycles
+            > 2 * structured.record("VLD").average_cycles
+        )
+        assert (
+            noisy.record("IDCT").average_cycles
+            > structured.record("IDCT").average_cycles
+        )
+
+    def test_processing_bound_in_paper_range(self, encoded):
+        """The WCET calibration lands in Fig. 6's axis range
+        (~0.1..1.2 MCU per Mcycle)."""
+        bound = processing_throughput_bound(mjpeg_graph(encoded))
+        per_mega = float(bound * 1_000_000)
+        assert 0.1 < per_mega < 1.0
+
+
+class TestApplicationModel:
+    def test_validates(self, encoded):
+        build_mjpeg_application(encoded).validate()
+
+    def test_all_actors_functional(self, encoded):
+        assert build_mjpeg_application(encoded).is_functional()
+
+    def test_argument_orders_reference_real_edges(self, encoded):
+        app = build_mjpeg_application(encoded)
+        explicit = {e.name for e in app.graph.explicit_edges()}
+        for impl in app.implementations:
+            for edge_name in impl.argument_order:
+                assert edge_name in explicit
+
+    def test_memory_fits_microblaze_tile(self, encoded):
+        app = build_mjpeg_application(encoded)
+        for impl in app.implementations:
+            assert impl.metrics.memory.instruction_bytes <= 128 * 1024
+            assert impl.metrics.memory.data_bytes <= 128 * 1024

@@ -1,0 +1,164 @@
+"""Tests for buffer modelling and sizing."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import GraphError, ThroughputConstraintError
+from repro.sdf import (
+    BufferDistribution,
+    SDFGraph,
+    add_buffer_edges,
+    analyze_throughput,
+    is_deadlock_free,
+    minimal_buffer_distribution,
+)
+from repro.sdf.buffers import (
+    buffer_edge_name,
+    bufferable_edges,
+    minimal_capacity_bound,
+    occupancy_based_capacities,
+)
+
+
+class TestBufferEdges:
+    def test_back_edge_structure(self, two_actor_pipeline):
+        g = add_buffer_edges(
+            two_actor_pipeline, BufferDistribution({"p2q": 3})
+        )
+        back = g.edge(buffer_edge_name("p2q"))
+        assert back.src == "Q" and back.dst == "P"
+        assert back.production == 1 and back.consumption == 1
+        assert back.initial_tokens == 3
+        assert back.implicit
+
+    def test_initial_tokens_reduce_credits(self):
+        g = SDFGraph("g")
+        g.add_actor("A", execution_time=1)
+        g.add_actor("B", execution_time=1)
+        g.add_edge("ab", "A", "B", initial_tokens=2)
+        bounded = add_buffer_edges(g, BufferDistribution({"ab": 5}))
+        assert bounded.edge(buffer_edge_name("ab")).initial_tokens == 3
+
+    def test_capacity_below_initial_tokens_rejected(self):
+        g = SDFGraph("g")
+        g.add_actor("A", execution_time=1)
+        g.add_actor("B", execution_time=1)
+        g.add_edge("ab", "A", "B", initial_tokens=4)
+        with pytest.raises(GraphError, match="initial token"):
+            add_buffer_edges(g, BufferDistribution({"ab": 3}))
+
+    def test_capacity_below_burst_rejected(self, figure2_graph):
+        with pytest.raises(GraphError, match="burst"):
+            add_buffer_edges(figure2_graph, BufferDistribution({"a2b": 1}))
+
+    def test_self_edge_not_bufferable(self, figure2_graph):
+        with pytest.raises(GraphError, match="self-edge"):
+            add_buffer_edges(figure2_graph, BufferDistribution({"selfA": 2}))
+
+    def test_original_graph_untouched(self, two_actor_pipeline):
+        add_buffer_edges(two_actor_pipeline, BufferDistribution({"p2q": 3}))
+        assert len(two_actor_pipeline.edges) == 1
+
+
+class TestCapacityBound:
+    def test_unit_rates(self, two_actor_pipeline):
+        edge = two_actor_pipeline.edge("p2q")
+        assert minimal_capacity_bound(edge) == 1
+
+    def test_multirate(self, figure2_graph):
+        # p=2, c=1: bound = 2 + 1 - 1 = 2
+        assert minimal_capacity_bound(figure2_graph.edge("a2b")) == 2
+        # p=1, c=2: bound = 1 + 2 - 1 = 2
+        assert minimal_capacity_bound(figure2_graph.edge("b2c")) == 2
+
+    def test_initial_tokens_dominate(self):
+        g = SDFGraph("g")
+        g.add_actor("A", execution_time=1)
+        g.add_actor("B", execution_time=1)
+        g.add_edge("ab", "A", "B", initial_tokens=9)
+        assert minimal_capacity_bound(g.edge("ab")) == 9
+
+    def test_bufferable_edges_exclude_self_and_implicit(self, figure2_graph):
+        names = {e.name for e in bufferable_edges(figure2_graph)}
+        assert names == {"a2b", "a2c", "b2c"}
+
+
+class TestMinimalDistribution:
+    def test_liveness_only(self, figure2_graph):
+        distribution, result = minimal_buffer_distribution(figure2_graph)
+        bounded = add_buffer_edges(figure2_graph, distribution)
+        assert is_deadlock_free(bounded)
+        assert result.throughput > 0
+
+    def test_meets_throughput_constraint(self, two_actor_pipeline):
+        target = Fraction(1, 7)  # bottleneck rate of Q
+        distribution, result = minimal_buffer_distribution(
+            two_actor_pipeline, throughput_constraint=target
+        )
+        assert result.throughput >= target
+        # Capacity 2 suffices for full overlap on a 2-stage pipeline.
+        assert distribution["p2q"] <= 3
+
+    def test_unreachable_constraint_raises(self, two_actor_pipeline):
+        impossible = Fraction(1, 2)  # faster than Q can ever run
+        with pytest.raises(ThroughputConstraintError):
+            minimal_buffer_distribution(
+                two_actor_pipeline,
+                throughput_constraint=impossible,
+                max_rounds=30,
+            )
+
+    def test_distribution_grows_monotonically_with_constraint(
+        self, two_actor_pipeline
+    ):
+        loose, _ = minimal_buffer_distribution(
+            two_actor_pipeline, throughput_constraint=Fraction(1, 12)
+        )
+        tight, _ = minimal_buffer_distribution(
+            two_actor_pipeline, throughput_constraint=Fraction(1, 7)
+        )
+        assert tight["p2q"] >= loose["p2q"]
+
+    def test_graph_without_bufferable_edges(self):
+        g = SDFGraph("solo")
+        g.add_actor("A", execution_time=5)
+        g.add_edge("selfA", "A", "A", initial_tokens=1)
+        distribution, result = minimal_buffer_distribution(g)
+        assert distribution.capacities == {}
+        assert result.throughput == Fraction(1, 5)
+
+
+class TestDistributionHelpers:
+    def test_totals(self, figure2_graph):
+        d = BufferDistribution({"a2b": 4, "a2c": 2, "b2c": 4})
+        assert d.total_tokens() == 10
+        assert d.total_bytes(figure2_graph) == 40  # token_size 4 each
+
+    def test_contains_getitem(self):
+        d = BufferDistribution({"x": 3})
+        assert "x" in d and d["x"] == 3
+        assert "y" not in d
+
+    def test_occupancy_based_capacities(self, figure2_graph):
+        observed = {"a2b": 3, "a2c": 1, "b2c": 2}
+        d = occupancy_based_capacities(figure2_graph, observed, slack=1)
+        assert d["a2b"] == 4
+        assert d["a2c"] == 2
+        # observed+slack (3) wins over structural bound (2)
+        assert d["b2c"] == 3
+
+    def test_occupancy_respects_structural_bound(self, figure2_graph):
+        d = occupancy_based_capacities(figure2_graph, {}, slack=0)
+        assert d["a2b"] == 2  # never below the liveness bound
+
+
+def test_bounded_throughput_increases_with_capacity(two_actor_pipeline):
+    previous = Fraction(0)
+    for capacity in (1, 2, 3):
+        g = add_buffer_edges(
+            two_actor_pipeline, BufferDistribution({"p2q": capacity})
+        )
+        current = analyze_throughput(g).throughput
+        assert current >= previous
+        previous = current

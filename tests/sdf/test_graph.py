@@ -1,0 +1,181 @@
+"""Tests for the SDF graph data structure."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.sdf import SDFGraph
+from repro.sdf.graph import validate_graph
+
+
+class TestConstruction:
+    def test_add_actor_returns_actor(self):
+        g = SDFGraph("g")
+        actor = g.add_actor("A", execution_time=10)
+        assert actor.name == "A"
+        assert actor.execution_time == 10
+
+    def test_duplicate_actor_rejected(self):
+        g = SDFGraph("g")
+        g.add_actor("A")
+        with pytest.raises(GraphError, match="duplicate actor"):
+            g.add_actor("A")
+
+    def test_duplicate_edge_rejected(self):
+        g = SDFGraph("g")
+        g.add_actor("A")
+        g.add_actor("B")
+        g.add_edge("e", "A", "B")
+        with pytest.raises(GraphError, match="duplicate edge"):
+            g.add_edge("e", "B", "A")
+
+    def test_edge_to_unknown_actor_rejected(self):
+        g = SDFGraph("g")
+        g.add_actor("A")
+        with pytest.raises(GraphError, match="unknown actor"):
+            g.add_edge("e", "A", "Missing")
+
+    def test_nonpositive_rates_rejected(self):
+        g = SDFGraph("g")
+        g.add_actor("A")
+        g.add_actor("B")
+        with pytest.raises(GraphError, match="rates must be positive"):
+            g.add_edge("e", "A", "B", production=0)
+        with pytest.raises(GraphError, match="rates must be positive"):
+            g.add_edge("e", "A", "B", consumption=-1)
+
+    def test_negative_initial_tokens_rejected(self):
+        g = SDFGraph("g")
+        g.add_actor("A")
+        with pytest.raises(GraphError, match="initial tokens"):
+            g.add_edge("e", "A", "A", initial_tokens=-1)
+
+    def test_negative_execution_time_rejected(self):
+        g = SDFGraph("g")
+        with pytest.raises(GraphError, match="execution time"):
+            g.add_actor("A", execution_time=-5)
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(GraphError):
+            SDFGraph("")
+        g = SDFGraph("g")
+        with pytest.raises(GraphError):
+            g.add_actor("")
+
+
+class TestQueries:
+    def test_adjacency(self, figure2_graph):
+        g = figure2_graph
+        out_names = {e.name for e in g.out_edges("A")}
+        assert out_names == {"a2b", "a2c", "selfA"}
+        in_names = {e.name for e in g.in_edges("C")}
+        assert in_names == {"a2c", "b2c"}
+
+    def test_self_edges(self, figure2_graph):
+        assert [e.name for e in figure2_graph.self_edges("A")] == ["selfA"]
+        assert figure2_graph.self_edges("B") == ()
+
+    def test_explicit_edges_exclude_self_and_implicit(self, figure2_graph):
+        names = {e.name for e in figure2_graph.explicit_edges()}
+        assert names == {"a2b", "a2c", "b2c"}
+
+    def test_len_iter_contains(self, figure2_graph):
+        assert len(figure2_graph) == 3
+        assert {a.name for a in figure2_graph} == {"A", "B", "C"}
+        assert "A" in figure2_graph
+        assert "Z" not in figure2_graph
+
+    def test_lookup_errors(self, figure2_graph):
+        with pytest.raises(GraphError, match="unknown actor"):
+            figure2_graph.actor("Z")
+        with pytest.raises(GraphError, match="unknown edge"):
+            figure2_graph.edge("nope")
+
+
+class TestMutation:
+    def test_remove_edge(self, figure2_graph):
+        figure2_graph.remove_edge("a2c")
+        assert not figure2_graph.has_edge("a2c")
+        assert {e.name for e in figure2_graph.in_edges("C")} == {"b2c"}
+
+    def test_remove_actor_removes_touching_edges(self, figure2_graph):
+        figure2_graph.remove_actor("C")
+        assert not figure2_graph.has_actor("C")
+        assert not figure2_graph.has_edge("a2c")
+        assert not figure2_graph.has_edge("b2c")
+        assert figure2_graph.has_edge("a2b")
+
+    def test_remove_unknown_raises(self, figure2_graph):
+        with pytest.raises(GraphError):
+            figure2_graph.remove_edge("nope")
+        with pytest.raises(GraphError):
+            figure2_graph.remove_actor("nope")
+
+
+class TestDerivedViews:
+    def test_copy_is_independent(self, figure2_graph):
+        clone = figure2_graph.copy()
+        clone.actor("A").execution_time = 99
+        clone.remove_edge("a2b")
+        assert figure2_graph.actor("A").execution_time == 4
+        assert figure2_graph.has_edge("a2b")
+
+    def test_with_execution_times(self, figure2_graph):
+        faster = figure2_graph.with_execution_times({"A": 1, "B": 1})
+        assert faster.actor("A").execution_time == 1
+        assert faster.actor("C").execution_time == 2
+        assert figure2_graph.actor("A").execution_time == 4
+
+    def test_connectivity(self, figure2_graph):
+        assert figure2_graph.is_connected()
+        g = SDFGraph("two_islands")
+        g.add_actor("A")
+        g.add_actor("B")
+        assert not g.is_connected()
+        assert len(g.undirected_components()) == 2
+
+    def test_validate_graph_rejects_disconnected(self):
+        g = SDFGraph("two_islands")
+        g.add_actor("A")
+        g.add_actor("B")
+        with pytest.raises(GraphError, match="not connected"):
+            validate_graph(g)
+
+    def test_validate_graph_rejects_empty(self):
+        with pytest.raises(GraphError, match="no actors"):
+            validate_graph(SDFGraph("empty"))
+
+    def test_total_initial_tokens(self, figure2_graph):
+        assert figure2_graph.total_initial_tokens() == 1
+
+
+def test_figure2_semantics(figure2_graph):
+    """Initial state of Fig. 2: only A is ready (B and C lack tokens)."""
+    tokens = {e.name: e.initial_tokens for e in figure2_graph.edges}
+
+    def ready(actor):
+        return all(
+            tokens[e.name] >= e.consumption
+            for e in figure2_graph.in_edges(actor)
+        )
+
+    assert ready("A")
+    assert not ready("B")
+    assert not ready("C")
+
+    # Fire A: produces 2 on a2b, 1 on a2c, 1 on selfA (per the paper text).
+    for e in figure2_graph.in_edges("A"):
+        tokens[e.name] -= e.consumption
+    for e in figure2_graph.out_edges("A"):
+        tokens[e.name] += e.production
+    assert tokens["a2b"] == 2
+    assert tokens["a2c"] == 1
+    assert ready("B")
+    assert not ready("C")  # needs 2 tokens from B
+
+    # B fires twice, then C becomes ready.
+    for _ in range(2):
+        for e in figure2_graph.in_edges("B"):
+            tokens[e.name] -= e.consumption
+        for e in figure2_graph.out_edges("B"):
+            tokens[e.name] += e.production
+    assert ready("C")

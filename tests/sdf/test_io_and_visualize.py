@@ -1,0 +1,95 @@
+"""Tests for SDF3-style XML I/O and DOT export."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.sdf.io_sdf3 import (
+    graph_from_xml,
+    graph_to_xml,
+    load_graph,
+    save_graph,
+)
+from repro.sdf.visualize import save_dot, to_dot
+
+
+def assert_graphs_equal(a, b):
+    assert a.name == b.name
+    assert {x.name for x in a} == {x.name for x in b}
+    for actor in a:
+        assert b.actor(actor.name).execution_time == actor.execution_time
+    assert {e.name for e in a.edges} == {e.name for e in b.edges}
+    for edge in a.edges:
+        other = b.edge(edge.name)
+        assert (edge.src, edge.dst) == (other.src, other.dst)
+        assert edge.production == other.production
+        assert edge.consumption == other.consumption
+        assert edge.initial_tokens == other.initial_tokens
+        assert edge.token_size == other.token_size
+        assert edge.implicit == other.implicit
+
+
+def test_roundtrip_figure2(figure2_graph, tmp_path):
+    path = tmp_path / "figure2.xml"
+    save_graph(figure2_graph, path)
+    loaded = load_graph(path)
+    assert_graphs_equal(figure2_graph, loaded)
+
+
+def test_roundtrip_pipeline(two_actor_pipeline, tmp_path):
+    path = tmp_path / "p.xml"
+    save_graph(two_actor_pipeline, path)
+    assert_graphs_equal(two_actor_pipeline, load_graph(path))
+
+
+def test_xml_structure(figure2_graph):
+    root = graph_to_xml(figure2_graph)
+    assert root.tag == "sdf3"
+    assert root.get("type") == "sdf"
+    sdf = root.find("applicationGraph/sdf")
+    assert len(sdf.findall("actor")) == 3
+    assert len(sdf.findall("channel")) == 4
+    properties = root.find("applicationGraph/sdfProperties")
+    assert len(properties.findall("actorProperties")) == 3
+
+
+def test_rates_stored_on_ports(figure2_graph):
+    root = graph_to_xml(figure2_graph)
+    sdf = root.find("applicationGraph/sdf")
+    a = next(el for el in sdf.findall("actor") if el.get("name") == "A")
+    out_rates = sorted(
+        int(p.get("rate")) for p in a.findall("port") if p.get("type") == "out"
+    )
+    assert out_rates == [1, 1, 2]
+
+
+def test_bad_root_rejected():
+    with pytest.raises(GraphError, match="sdf3"):
+        graph_from_xml(ET.Element("nonsense"))
+
+
+def test_missing_application_graph_rejected():
+    with pytest.raises(GraphError, match="applicationGraph"):
+        graph_from_xml(ET.Element("sdf3"))
+
+
+def test_dot_contains_actors_and_edges(figure2_graph):
+    dot = to_dot(figure2_graph)
+    for actor in ("A", "B", "C"):
+        assert f'"{actor}"' in dot
+    assert '"A" -> "B"' in dot
+    assert "style=dashed" in dot  # implicit self-edge
+    assert "digraph" in dot
+
+
+def test_dot_shows_rates_and_tokens(figure2_graph):
+    dot = to_dot(figure2_graph)
+    assert 'taillabel="2"' in dot
+    assert "●1" in dot
+
+
+def test_save_dot(figure2_graph, tmp_path):
+    path = tmp_path / "g.dot"
+    save_dot(figure2_graph, str(path))
+    assert path.read_text().startswith("digraph")

@@ -1,0 +1,110 @@
+"""Tests for repetition vectors and consistency."""
+
+import pytest
+
+from repro.exceptions import InconsistentGraphError
+from repro.sdf import SDFGraph, is_consistent, repetition_vector
+from repro.sdf.repetition import (
+    check_initial_token_feasibility,
+    iteration_firings,
+)
+
+
+def test_figure2_repetition_vector(figure2_graph):
+    assert repetition_vector(figure2_graph) == {"A": 1, "B": 2, "C": 1}
+
+
+def test_unit_rate_pipeline(two_actor_pipeline):
+    assert repetition_vector(two_actor_pipeline) == {"P": 1, "Q": 1}
+
+
+def test_multirate_chain():
+    g = SDFGraph("multirate")
+    g.add_actor("A")
+    g.add_actor("B")
+    g.add_actor("C")
+    g.add_edge("ab", "A", "B", production=3, consumption=2)
+    g.add_edge("bc", "B", "C", production=1, consumption=6)
+    assert repetition_vector(g) == {"A": 4, "B": 6, "C": 1}
+
+
+def test_mjpeg_style_rates():
+    """VLD produces 10 blocks per MCU, consumed one at a time (Fig. 5)."""
+    g = SDFGraph("vld")
+    g.add_actor("VLD")
+    g.add_actor("IQZZ")
+    g.add_edge("vld2iqzz", "VLD", "IQZZ", production=10, consumption=1)
+    assert repetition_vector(g) == {"VLD": 1, "IQZZ": 10}
+
+
+def test_minimality():
+    """The vector must be the smallest integer solution."""
+    g = SDFGraph("scaled")
+    g.add_actor("A")
+    g.add_actor("B")
+    g.add_edge("ab", "A", "B", production=4, consumption=6)
+    # 4*q_A == 6*q_B  ->  minimal solution q_A=3, q_B=2
+    assert repetition_vector(g) == {"A": 3, "B": 2}
+
+
+def test_inconsistent_graph_detected():
+    g = SDFGraph("bad")
+    g.add_actor("A")
+    g.add_actor("B")
+    g.add_edge("e1", "A", "B", production=1, consumption=1)
+    g.add_edge("e2", "A", "B", production=2, consumption=1)
+    with pytest.raises(InconsistentGraphError):
+        repetition_vector(g)
+    assert not is_consistent(g)
+
+
+def test_inconsistent_cycle_detected():
+    g = SDFGraph("badcycle")
+    g.add_actor("A")
+    g.add_actor("B")
+    g.add_actor("C")
+    g.add_edge("ab", "A", "B", production=2, consumption=1)
+    g.add_edge("bc", "B", "C", production=1, consumption=1)
+    g.add_edge("ca", "C", "A", production=1, consumption=1)
+    with pytest.raises(InconsistentGraphError):
+        repetition_vector(g)
+
+
+def test_disconnected_components_minimized_independently():
+    g = SDFGraph("islands")
+    g.add_actor("A")
+    g.add_actor("B")
+    g.add_actor("X")
+    g.add_actor("Y")
+    g.add_edge("ab", "A", "B", production=2, consumption=1)
+    g.add_edge("xy", "X", "Y", production=1, consumption=3)
+    q = repetition_vector(g)
+    assert q == {"A": 1, "B": 2, "X": 3, "Y": 1}
+
+
+def test_self_edge_does_not_change_vector(figure2_graph):
+    q1 = repetition_vector(figure2_graph)
+    figure2_graph.add_edge("selfB", "B", "B", initial_tokens=1)
+    assert repetition_vector(figure2_graph) == q1
+
+
+def test_self_edge_with_unequal_rates_inconsistent():
+    g = SDFGraph("badself")
+    g.add_actor("A")
+    g.add_edge("s", "A", "A", production=2, consumption=1, initial_tokens=1)
+    with pytest.raises(InconsistentGraphError):
+        repetition_vector(g)
+
+
+def test_single_actor_graph():
+    g = SDFGraph("solo")
+    g.add_actor("A")
+    assert repetition_vector(g) == {"A": 1}
+
+
+def test_iteration_firings(figure2_graph):
+    assert iteration_firings(figure2_graph) == 4
+
+
+def test_initial_token_feasibility(figure2_graph):
+    check_initial_token_feasibility(figure2_graph)

@@ -1,0 +1,131 @@
+"""Tests for trace analysis: utilization reports and Gantt rendering."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sdf import SDFGraph, SelfTimedSimulator
+from repro.sdf.simulation import Firing, SimulationTrace
+from repro.sim.trace import gantt, utilization
+
+
+@pytest.fixture
+def recorded_trace():
+    """Deterministic two-processor trace from a real simulation."""
+    g = SDFGraph("g")
+    g.add_actor("A", execution_time=10)
+    g.add_actor("B", execution_time=30)
+    g.add_edge("ab", "A", "B", token_size=4)
+    sim = SelfTimedSimulator(
+        g,
+        processor_of={"A": "t0", "B": "t1"},
+        record_trace=True,
+    )
+    sim.run(max_time=100)
+    return sim.trace
+
+
+class TestUtilization:
+    def test_busy_cycles_counted_per_resource(self, recorded_trace):
+        report = utilization(
+            recorded_trace, {"A": "t0", "B": "t1"}, until=100
+        )
+        assert report.window_cycles == 100
+        # A fires every 10 cycles continuously: ~full utilization.
+        assert report.utilization_of("t0") >= 0.9
+        # B starts at t=10 and then runs back to back.
+        assert 0.8 <= report.utilization_of("t1") <= 0.91
+
+    def test_unbound_actors_do_not_count(self, recorded_trace):
+        report = utilization(recorded_trace, {"A": "t0"}, until=100)
+        assert "t1" not in report.busy_cycles
+
+    def test_bottleneck(self, recorded_trace):
+        report = utilization(
+            recorded_trace, {"A": "t0", "B": "t1"}, until=100
+        )
+        assert report.bottleneck() in ("t0", "t1")
+
+    def test_as_table(self, recorded_trace):
+        report = utilization(
+            recorded_trace, {"A": "t0", "B": "t1"}, until=100
+        )
+        table = report.as_table()
+        assert "t0" in table and "%" in table
+
+    def test_empty_window(self):
+        report = utilization(SimulationTrace(), {}, until=0)
+        assert report.utilization_of("t0") == 0.0
+        assert report.bottleneck() is None
+
+
+class TestGantt:
+    def test_rows_and_marks(self, recorded_trace):
+        chart = gantt(recorded_trace, ["A", "B"], start=0, end=100)
+        lines = chart.splitlines()
+        assert len(lines) == 3  # header + 2 actors
+        assert lines[1].startswith("A")
+        assert "#" in lines[1]
+        assert "#" in lines[2]
+
+    def test_window_clipping(self, recorded_trace):
+        # B has not started before t=10: its row is empty in [0, 10).
+        chart = gantt(recorded_trace, ["B"], start=0, end=10, width=10)
+        b_row = chart.splitlines()[1]
+        assert "#" not in b_row
+
+    def test_empty_window_rejected(self, recorded_trace):
+        with pytest.raises(ValueError, match="empty window"):
+            gantt(recorded_trace, ["A"], start=50, end=50)
+
+    def test_synthetic_firings(self):
+        trace = SimulationTrace(
+            firings=[Firing("X", 0, 10), Firing("X", 20, 30)],
+            max_tokens={},
+            completed_count={},
+        )
+        chart = gantt(trace, ["X"], start=0, end=40, width=4)
+        row = chart.splitlines()[1]
+        cells = row.split("|")[1]
+        assert cells == "# # "
+
+
+class TestPlatformIntegration:
+    def test_utilization_from_platform(self):
+        from repro.arch import architecture_from_template
+        from repro.mamps import synthesize
+        from repro.mapping import map_application
+        from repro.mjpeg import build_mjpeg_application, encode_sequence
+        from repro.mjpeg.sequences import gradient_sequence
+
+        encoded = encode_sequence(
+            gradient_sequence(n_frames=1), quality=75
+        )
+        app = build_mjpeg_application(encoded)
+        arch = architecture_from_template(5, "fsl")
+        result = map_application(app, arch, fixed={"VLD": "tile0"})
+        simulator = synthesize(
+            app, arch, result, record_trace=True
+        )
+        simulator.run_iterations(8)
+        report = simulator.utilization_report()
+        # The IDCT tile is the bottleneck of this calibration.
+        idct_tile = result.mapping.tile_of("IDCT")
+        assert report.bottleneck() == idct_tile
+        assert 0.0 < report.utilization_of(idct_tile) <= 1.0
+
+    def test_trace_disabled_raises(self):
+        from repro.arch import architecture_from_template
+        from repro.mamps import synthesize
+        from repro.mapping import map_application
+        from repro.mjpeg import build_mjpeg_application, encode_sequence
+        from repro.mjpeg.sequences import gradient_sequence
+
+        encoded = encode_sequence(
+            gradient_sequence(n_frames=1), quality=75
+        )
+        app = build_mjpeg_application(encoded)
+        arch = architecture_from_template(2, "fsl")
+        result = map_application(app, arch, fixed={"VLD": "tile0"})
+        simulator = synthesize(app, arch, result)
+        with pytest.raises(SimulationError, match="record_trace"):
+            simulator.utilization_report()

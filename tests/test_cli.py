@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.sdf import SDFGraph
+from repro.sdf.buffers import BufferDistribution, add_buffer_edges
+from repro.sdf.io_sdf3 import save_graph
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    g = SDFGraph("cli_demo")
+    g.add_actor("A", execution_time=10)
+    g.add_actor("B", execution_time=20)
+    g.add_edge("ab", "A", "B", token_size=4)
+    bounded = add_buffer_edges(g, BufferDistribution({"ab": 2}))
+    path = tmp_path / "graph.xml"
+    save_graph(bounded, path)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_reports_vector_and_throughput(self, graph_file, capsys):
+        assert main(["analyze", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "repetition vector" in out
+        assert "deadlock-free: yes" in out
+        assert "throughput" in out
+
+    def test_deadlocked_graph_reported(self, tmp_path, capsys):
+        g = SDFGraph("dead")
+        g.add_actor("A", execution_time=1)
+        g.add_actor("B", execution_time=1)
+        g.add_edge("ab", "A", "B")
+        g.add_edge("ba", "B", "A")
+        path = tmp_path / "dead.xml"
+        save_graph(g, path)
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "deadlock-free: NO" in out
+
+    def test_missing_file_fails_cleanly(self, tmp_path):
+        with pytest.raises((FileNotFoundError, OSError)):
+            main(["analyze", str(tmp_path / "nope.xml")])
+
+
+class TestDemo:
+    def test_runs_case_study(self, capsys, tmp_path):
+        code = main(
+            ["demo", "gradient", "--tiles", "3", "--iterations", "6",
+             "--output", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "guaranteed" in out
+        assert "measured" in out
+        assert "project written" in out
+        assert any(tmp_path.iterdir())
+
+    def test_unknown_sequence_errors(self, capsys):
+        assert main(["demo", "nonsense"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown sequence" in err
+
+
+class TestDSE:
+    def test_prints_pareto_table(self, capsys):
+        assert main(["dse", "gradient", "--max-tiles", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "1t/fsl" in out
+        assert "pareto" in out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
