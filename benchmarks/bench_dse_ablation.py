@@ -10,12 +10,24 @@ paper motivates:
   returns once every actor owns a tile;
 * FSL and NoC guarantees stay within a few % of each other on this
   compute-bound application (why the paper's Fig. 6a/6b look alike).
+
+The second half exercises the exploration *engine*: a parallel sweep must
+produce byte-identical results to the serial one, and a cache-warm
+repeated sweep must beat the cold serial baseline by a wide wall-clock
+margin (the memoization that makes iterative DSE sessions cheap).
 """
+
+import time
 
 import pytest
 
 from benchmarks.conftest import write_results
-from repro.flow.dse import explore_design_space
+from repro.flow.dse import (
+    DesignSpace,
+    Evaluator,
+    ParallelExplorer,
+    explore_design_space,
+)
 from repro.mjpeg import build_mjpeg_application
 
 
@@ -63,3 +75,61 @@ def test_design_space_ablation(benchmark, workloads):
     assert frontier[0].tiles == 1
     assert frontier[-1].throughput == max(p.throughput
                                           for p in result.points)
+
+
+def test_parallel_and_cached_exploration(benchmark, workloads):
+    """The engine ablation: serial cold vs parallel cold vs cache-warm.
+
+    Checks the two contracts the engine makes: ``--jobs 4`` changes wall
+    clock, never results; and a repeated sweep is memoized into a
+    wall-clock speedup that a designer iterating on constraints feels.
+    """
+    app = build_mjpeg_application(workloads["gradient"])
+    space = DesignSpace(tile_counts=(1, 2, 3, 4, 5),
+                        interconnects=("fsl", "noc"))
+    fixed = {"VLD": "tile0"}
+
+    start = time.perf_counter()
+    serial = ParallelExplorer(
+        Evaluator(app, fixed=fixed), jobs=1
+    ).explore(space)
+    serial_cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = ParallelExplorer(
+        Evaluator(app, fixed=fixed), jobs=4
+    ).explore(space)
+    parallel_cold = time.perf_counter() - start
+
+    # Identical output regardless of worker count, down to the rendered
+    # table bytes.
+    assert parallel.points == serial.points
+    assert parallel.pareto_frontier() == serial.pareto_frontier()
+    assert parallel.as_table() == serial.as_table()
+
+    # The cache-warm repeated sweep (same evaluator, same space).
+    warm_evaluator = Evaluator(app, fixed=fixed)
+    warm_explorer = ParallelExplorer(warm_evaluator, jobs=1)
+    warm_explorer.explore(space)
+    analyses_before = warm_evaluator.evaluations
+
+    warm = benchmark.pedantic(
+        lambda: warm_explorer.explore(space), rounds=3, iterations=1
+    )
+    warm_seconds = min(benchmark.stats.stats.data)
+
+    assert warm_evaluator.evaluations == analyses_before  # all hits
+    assert warm.points == serial.points
+    # The memoized sweep must be dramatically faster than re-analysis;
+    # 10x is a loose floor (measured: >1000x).
+    assert warm_seconds * 10 < serial_cold
+
+    lines = [
+        f"serial cold sweep:    {serial_cold:.3f} s",
+        f"parallel cold sweep:  {parallel_cold:.3f} s (jobs=4)",
+        f"cache-warm re-sweep:  {warm_seconds * 1000:.2f} ms "
+        f"({serial_cold / warm_seconds:.0f}x vs serial cold)",
+        f"points evaluated:     {len(serial.points)}",
+    ]
+    path = write_results("ablation_dse_engine.txt", "\n".join(lines))
+    print("\n" + "\n".join(lines) + f"\n-> {path}")

@@ -27,6 +27,8 @@ def architecture_from_template(
     noc_wires_per_link: int = 32,
     noc_connection_wires: int = 8,
     fsl_fifo_depth: int = 16,
+    slave_instruction_kb: Optional[int] = None,
+    slave_data_kb: Optional[int] = None,
 ) -> ArchitectureModel:
     """Instantiate a platform from the MAMPS template.
 
@@ -41,6 +43,9 @@ def architecture_from_template(
         Equip every tile with a communication assist (the Section 6.3
         what-if; the paper's current library has none, so the default is
         False).
+    slave_instruction_kb, slave_data_kb:
+        Memory sizes for the slave tiles when they differ from the master's
+        (a heterogeneous mix); default to the master sizes.
 
     Returns a validated :class:`ArchitectureModel`.
     """
@@ -64,8 +69,14 @@ def architecture_from_template(
         tile_list.append(
             slave_tile(
                 f"tile{index}",
-                instruction_kb=instruction_kb,
-                data_kb=data_kb,
+                instruction_kb=(
+                    slave_instruction_kb
+                    if slave_instruction_kb is not None
+                    else instruction_kb
+                ),
+                data_kb=(
+                    slave_data_kb if slave_data_kb is not None else data_kb
+                ),
                 with_ca=with_ca,
             )
         )

@@ -8,14 +8,18 @@ Commands mirror the tool invocations of the original flow:
 * ``demo [sequence] [--tiles N] [--interconnect fsl|noc]`` -- run the
   MJPEG case study end to end and print the Fig. 6-style numbers plus
   Table 1;
-* ``dse [sequence] [--max-tiles N]`` -- explore the template design
-  space for the MJPEG decoder and print the Pareto table.
+* ``explore [sequence] [--max-tiles N] [--jobs N] [--effort LEVEL]
+  [--heterogeneous] [--with-ca] [--early-exit] [--csv]`` -- explore the
+  template design space for the MJPEG decoder with the parallel, cached
+  exploration engine and print the Pareto report (``dse`` is the
+  compatible alias).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from fractions import Fraction
 from typing import List, Optional
 
 from repro.arch import architecture_from_template
@@ -86,17 +90,50 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_dse(args: argparse.Namespace) -> int:
-    from repro.flow import explore_design_space
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.flow import (
+        COMPACT_MIX,
+        UNIFORM_MIX,
+        explore_design_space,
+        exploration_csv,
+        format_exploration_report,
+    )
 
+    if args.jobs < 1:
+        raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
+    if args.early_exit and not args.constraint:
+        raise ReproError(
+            "--early-exit needs --constraint (the case-study application "
+            "carries no throughput constraint of its own)"
+        )
+    constraint = None
+    if args.constraint:
+        try:
+            constraint = Fraction(args.constraint)
+        except (ValueError, ZeroDivisionError):
+            raise ReproError(
+                f"invalid --constraint {args.constraint!r}; expected a "
+                "fraction like 1/6000"
+            ) from None
     app = _load_case_study(args.sequence)
+    mixes = (UNIFORM_MIX, COMPACT_MIX) if args.heterogeneous \
+        else (UNIFORM_MIX,)
     result = explore_design_space(
         app,
         tile_counts=tuple(range(1, args.max_tiles + 1)),
         interconnects=("fsl", "noc"),
+        ca_options=(False, True) if args.with_ca else (False,),
+        constraint=constraint,
         fixed={"VLD": "tile0"},
+        mixes=mixes,
+        effort=args.effort,
+        jobs=args.jobs,
+        early_exit=args.early_exit,
     )
-    print(result.as_table())
+    if args.csv:
+        print(exploration_csv(result))
+    else:
+        print(format_exploration_report(result))
     return 0
 
 
@@ -130,12 +167,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     demo.set_defaults(handler=_cmd_demo)
 
-    dse = commands.add_parser(
-        "dse", help="explore the template design space for the case study"
-    )
-    dse.add_argument("sequence", nargs="?", default="gradient")
-    dse.add_argument("--max-tiles", type=int, default=5)
-    dse.set_defaults(handler=_cmd_dse)
+    for alias in ("explore", "dse"):
+        explore = commands.add_parser(
+            alias,
+            help=(
+                "explore the template design space for the case study"
+                + ("" if alias == "explore" else " (alias of 'explore')")
+            ),
+        )
+        explore.add_argument("sequence", nargs="?", default="gradient")
+        explore.add_argument("--max-tiles", type=int, default=5)
+        explore.add_argument(
+            "--jobs", type=int, default=1,
+            help="concurrent evaluation workers (default 1: serial)",
+        )
+        explore.add_argument(
+            "--effort", choices=("low", "normal", "high"),
+            default="normal",
+            help="mapping effort per design point",
+        )
+        explore.add_argument(
+            "--heterogeneous", action="store_true",
+            help="also sweep the compact heterogeneous tile mix "
+                 "(half-size slave memories)",
+        )
+        explore.add_argument(
+            "--with-ca", action="store_true",
+            help="also sweep communication-assist variants",
+        )
+        explore.add_argument(
+            "--constraint", metavar="FRACTION",
+            help="throughput constraint in iterations/cycle, e.g. 1/6000",
+        )
+        explore.add_argument(
+            "--early-exit", action="store_true",
+            help="stop at the first point meeting the constraint",
+        )
+        explore.add_argument(
+            "--csv", action="store_true",
+            help="emit machine-readable CSV instead of the report",
+        )
+        explore.set_defaults(handler=_cmd_explore)
     return parser
 
 

@@ -11,12 +11,27 @@ from repro.flow.effort import EffortReport, StepTiming, TABLE1_MANUAL_STEPS
 from repro.flow.report import (
     ThroughputComparison,
     compare_throughput,
+    exploration_csv,
+    format_exploration_report,
     format_throughput_table,
 )
 from repro.flow.dse import (
+    COMPACT_MIX,
+    CandidatePoint,
     DesignPoint,
+    DesignSpace,
+    EvaluationCache,
+    Evaluator,
     ExplorationResult,
+    ParallelExplorer,
+    ParetoFront,
+    TileMix,
+    UNIFORM_MIX,
     explore_design_space,
+)
+from repro.flow.fingerprint import (
+    application_fingerprint,
+    architecture_fingerprint,
 )
 from repro.flow.usecases import (
     UseCaseMapping,
@@ -32,9 +47,22 @@ __all__ = [
     "TABLE1_MANUAL_STEPS",
     "ThroughputComparison",
     "compare_throughput",
+    "exploration_csv",
+    "format_exploration_report",
     "format_throughput_table",
+    "CandidatePoint",
+    "COMPACT_MIX",
     "DesignPoint",
+    "DesignSpace",
+    "EvaluationCache",
+    "Evaluator",
     "ExplorationResult",
+    "ParallelExplorer",
+    "ParetoFront",
+    "TileMix",
+    "UNIFORM_MIX",
+    "application_fingerprint",
+    "architecture_fingerprint",
     "explore_design_space",
     "UseCaseMapping",
     "map_use_cases",

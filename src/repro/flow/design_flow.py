@@ -17,7 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Union
+
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.flow.dse
+    from repro.flow.dse import CandidatePoint, DesignPoint
 
 from repro.appmodel.model import ApplicationModel
 from repro.arch.platform import ArchitectureModel
@@ -25,7 +28,7 @@ from repro.comm.serialization import SerializationModel
 from repro.flow.effort import EffortReport
 from repro.mamps.generator import generate_platform, synthesize
 from repro.mamps.project import PlatformProject
-from repro.mapping.flow import map_application
+from repro.mapping.flow import MappingEffort, map_application
 from repro.mapping.spec import MappingResult
 from repro.sim.platform_sim import MeasuredThroughput, PlatformSimulator
 
@@ -75,12 +78,46 @@ class DesignFlow:
         serialization_overrides: Optional[
             Dict[str, SerializationModel]
         ] = None,
+        effort: str = "normal",
     ) -> None:
         self.app = app
         self.arch = arch
         self.constraint = constraint
         self.fixed = fixed
         self.serialization_overrides = serialization_overrides
+        self.effort = MappingEffort.of(effort)
+
+    @classmethod
+    def from_design_point(
+        cls,
+        app: ApplicationModel,
+        point: "Union[CandidatePoint, DesignPoint]",
+        constraint: Optional[Fraction] = None,
+        fixed: Optional[Dict[str, str]] = None,
+    ) -> "DesignFlow":
+        """Build the full flow for a point the exploration engine picked.
+
+        The typical hand-off: explore the template space with
+        :class:`repro.flow.dse.ParallelExplorer`, take
+        ``best_meeting_constraint()``, then run *this* flow on it to get
+        the generated project and the measured throughput.  Accepts both
+        an evaluated :class:`~repro.flow.dse.DesignPoint` (which carries
+        its candidate) and a raw :class:`~repro.flow.dse.CandidatePoint`.
+        """
+        candidate = getattr(point, "candidate", None) or point
+        if not hasattr(candidate, "build_architecture"):
+            raise ValueError(
+                f"design point {point.label!r} carries no candidate "
+                "description; pass the CandidatePoint it was evaluated "
+                "from"
+            )
+        return cls(
+            app,
+            candidate.build_architecture(),
+            constraint=constraint,
+            fixed=fixed,
+            effort=candidate.effort,
+        )
 
     def run(
         self,
@@ -102,6 +139,7 @@ class DesignFlow:
                 constraint=self.constraint,
                 fixed=self.fixed,
                 serialization_overrides=self.serialization_overrides,
+                effort=self.effort,
             )
 
         with effort.step("Generating Xilinx project (MAMPS)"):

@@ -1,29 +1,177 @@
 """Automated design-space exploration (paper Section 7, future work).
 
 "For future work we would like to offer an improved automated design space
-exploration" -- this module provides it: sweep the architecture template
-over tile counts, interconnect kinds and CA usage, evaluate each point
-with the conservative mapping analysis (no synthesis, no simulation), and
-return the Pareto-optimal set over (guaranteed throughput, FPGA area).
+exploration" -- this module provides it as a proper subsystem rather than
+a one-shot sweep:
+
+* :class:`DesignSpace` enumerates candidate platforms over tile count,
+  interconnect kind, communication-assist usage, heterogeneous tile
+  memory mixes and mapping effort level;
+* :class:`Evaluator` runs one candidate through the conservative mapping
+  analysis (:func:`repro.mapping.flow.map_application`) behind a
+  content-addressed :class:`EvaluationCache`, so repeated sweeps and
+  overlapping multi-application studies never re-analyze the same point;
+* :class:`ParallelExplorer` fans evaluations out over
+  ``concurrent.futures`` workers with deterministic result ordering,
+  optional early exit at the first constraint-satisfying point, and an
+  incrementally maintained Pareto front.
 
 Because every point costs one mapping run (sub-second), the whole space
 of the template explores in seconds -- the "very fast design space
-exploration" the conclusion promises.
+exploration" the conclusion promises -- and a cache-warm re-sweep costs
+essentially nothing.
+
+The one-call entry point :func:`explore_design_space` is kept for
+compatibility; it now builds a space, evaluator and explorer under the
+hood.
 """
 
 from __future__ import annotations
 
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.appmodel.model import ApplicationModel
 from repro.arch.area import AreaEstimate, platform_area
+from repro.arch.platform import ArchitectureModel
 from repro.arch.template import architecture_from_template
-from repro.exceptions import MappingError, ReproError, RoutingError
-from repro.mapping.flow import map_application
+from repro.exceptions import MappingError, RoutingError
+from repro.flow.fingerprint import (
+    application_fingerprint,
+    architecture_fingerprint,
+    evaluation_key,
+)
+from repro.mapping.flow import MappingEffort, map_application
 
 
+# ----------------------------------------------------------------------
+# the design space
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TileMix:
+    """A (possibly heterogeneous) memory configuration of the tiles.
+
+    The MAMPS template ships one master and N-1 slave tiles; a mix sets
+    their modified-Harvard memory sizes independently, e.g. a big master
+    for the file-reading actor next to lean slaves.  ``(instruction kB,
+    data kB)`` pairs per role.
+    """
+
+    name: str
+    master_kb: Tuple[int, int] = (128, 128)
+    slave_kb: Tuple[int, int] = (128, 128)
+
+    @property
+    def heterogeneous(self) -> bool:
+        return self.master_kb != self.slave_kb
+
+
+#: All tiles at the template default of 128 kB + 128 kB.
+UNIFORM_MIX = TileMix("uniform")
+#: Heterogeneous: full-size master, half-size slaves (saves BRAMs when the
+#: pinned master actor is the memory-hungry one).
+COMPACT_MIX = TileMix("compact", master_kb=(128, 128), slave_kb=(64, 64))
+
+
+@dataclass(frozen=True)
+class CandidatePoint:
+    """One not-yet-evaluated configuration of the template."""
+
+    tiles: int
+    interconnect: str
+    with_ca: bool = False
+    mix: TileMix = UNIFORM_MIX
+    effort: str = "normal"
+
+    @property
+    def label(self) -> str:
+        suffix = "+CA" if self.with_ca else ""
+        if self.mix.name != "uniform":
+            suffix += f"@{self.mix.name}"
+        return f"{self.tiles}t/{self.interconnect}{suffix}"
+
+    def build_architecture(self) -> ArchitectureModel:
+        """Instantiate the template architecture this point describes."""
+        name = f"mamps_{self.tiles}t_{self.interconnect}"
+        if self.mix.name != "uniform":
+            name += f"_{self.mix.name}"
+        return architecture_from_template(
+            self.tiles,
+            self.interconnect,
+            name=name,
+            instruction_kb=self.mix.master_kb[0],
+            data_kb=self.mix.master_kb[1],
+            slave_instruction_kb=self.mix.slave_kb[0],
+            slave_data_kb=self.mix.slave_kb[1],
+            with_ca=self.with_ca,
+        )
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """The sweep definition: the cartesian product of all axes, minus
+    configurations that are physically identical.
+
+    Single-tile platforms take no interconnect, so only the first
+    interconnect kind is kept for them; likewise a mix whose slave sizes
+    differ is meaningless with one tile and collapses onto the uniform
+    variant.
+    """
+
+    tile_counts: Sequence[int] = (1, 2, 3, 4, 5)
+    interconnects: Sequence[str] = ("fsl", "noc")
+    ca_options: Sequence[bool] = (False,)
+    mixes: Sequence[TileMix] = (UNIFORM_MIX,)
+    effort: str = "normal"
+
+    def points(self) -> Tuple[CandidatePoint, ...]:
+        """All candidate points, in deterministic enumeration order."""
+        out: List[CandidatePoint] = []
+        seen: set = set()
+        for tiles in self.tile_counts:
+            for interconnect in self.interconnects:
+                if tiles == 1 and interconnect != self.interconnects[0]:
+                    continue  # single tile has no interconnect; dedupe
+                for with_ca in self.ca_options:
+                    for mix in self.mixes:
+                        if tiles == 1 and mix.heterogeneous:
+                            # no slaves to differentiate; collapse onto the
+                            # master-only variant
+                            name = (
+                                "uniform"
+                                if mix.master_kb == UNIFORM_MIX.master_kb
+                                else mix.name
+                            )
+                            mix = TileMix(
+                                name, mix.master_kb, mix.master_kb
+                            )
+                        candidate = CandidatePoint(
+                            tiles=tiles,
+                            interconnect=interconnect,
+                            with_ca=with_ca,
+                            mix=mix,
+                            effort=self.effort,
+                        )
+                        if candidate.label in seen:
+                            continue
+                        seen.add(candidate.label)
+                        out.append(candidate)
+        return tuple(out)
+
+    def __len__(self) -> int:
+        return len(self.points())
+
+    def __iter__(self) -> Iterator[CandidatePoint]:
+        return iter(self.points())
+
+
+# ----------------------------------------------------------------------
+# evaluated points and the incremental Pareto front
+# ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class DesignPoint:
     """One evaluated configuration of the template."""
@@ -34,10 +182,17 @@ class DesignPoint:
     throughput: Fraction
     area: AreaEstimate
     constraint_met: bool
+    mix: str = "uniform"
+    effort: str = "normal"
+    #: The candidate this point evaluated; lets a chosen point be promoted
+    #: to the full flow (``DesignFlow.from_design_point``).
+    candidate: Optional[CandidatePoint] = None
 
     @property
     def label(self) -> str:
         suffix = "+CA" if self.with_ca else ""
+        if self.mix != "uniform":
+            suffix += f"@{self.mix}"
         return f"{self.tiles}t/{self.interconnect}{suffix}"
 
     def dominates(self, other: "DesignPoint") -> bool:
@@ -54,14 +209,230 @@ class DesignPoint:
         return no_worse and better
 
 
+class ParetoFront:
+    """Incrementally maintained set of non-dominated points.
+
+    Each :meth:`add` drops the newcomer if any member dominates it and
+    evicts members the newcomer dominates -- O(front size) per insert
+    instead of the O(n^2) post-hoc filter over every evaluated point.
+    """
+
+    def __init__(self) -> None:
+        self._members: List[DesignPoint] = []
+
+    def add(self, point: DesignPoint) -> bool:
+        """Insert ``point``; returns True when it (already) is a member."""
+        if point in self._members:
+            return True
+        if any(member.dominates(point) for member in self._members):
+            return False
+        self._members = [
+            member for member in self._members if not point.dominates(member)
+        ]
+        self._members.append(point)
+        return True
+
+    def points(self) -> List[DesignPoint]:
+        """Front members sorted by area (cheapest first)."""
+        return sorted(self._members, key=lambda p: p.area.slices)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, point: DesignPoint) -> bool:
+        return point in self._members
+
+
+# ----------------------------------------------------------------------
+# the cached evaluator
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EvaluationOutcome:
+    """What evaluating one candidate produced: a point or a failure."""
+
+    label: str
+    point: Optional[DesignPoint] = None
+    reason: Optional[str] = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.point is not None
+
+    def rebrand(self, candidate: CandidatePoint) -> "EvaluationOutcome":
+        """The same analysis content under ``candidate``'s identity.
+
+        Cache keys address the *analysis problem* (fingerprints), which
+        physically identical candidates share -- e.g. the single-tile
+        platform regardless of the requested interconnect.  A cache hit
+        must therefore be re-labeled for the candidate that asked, or a
+        noc-only sweep could report points labeled ``1t/fsl``.
+        """
+        if self.point is None:
+            return EvaluationOutcome(
+                label=candidate.label, reason=self.reason
+            )
+        return EvaluationOutcome(
+            label=candidate.label,
+            point=DesignPoint(
+                tiles=candidate.tiles,
+                interconnect=candidate.interconnect,
+                with_ca=candidate.with_ca,
+                throughput=self.point.throughput,
+                area=self.point.area,
+                constraint_met=self.point.constraint_met,
+                mix=candidate.mix.name,
+                effort=candidate.effort,
+                candidate=candidate,
+            ),
+        )
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class EvaluationCache:
+    """Content-addressed store of evaluation outcomes.
+
+    Keys are :func:`repro.flow.fingerprint.evaluation_key` digests --
+    application fingerprint + architecture fingerprint + mapping knobs --
+    so any two evaluations of the *same analysis problem* share an entry,
+    regardless of which sweep, explorer or application object asked.
+    Thread-safe: parallel workers share one instance.
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[str, EvaluationOutcome] = {}
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def get(self, key: str) -> Optional[EvaluationOutcome]:
+        with self._lock:
+            outcome = self._store.get(key)
+            if outcome is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+            return outcome
+
+    def put(self, key: str, outcome: EvaluationOutcome) -> None:
+        with self._lock:
+            self._store[key] = outcome
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class Evaluator:
+    """Maps candidate points through the conservative analysis, memoized.
+
+    One evaluator serves one application (its fingerprint is precomputed);
+    the *cache* may be shared across evaluators -- keys embed the
+    application fingerprint, so a multi-application study reuses whatever
+    design points its applications have in common with earlier sweeps.
+    """
+
+    def __init__(
+        self,
+        app: ApplicationModel,
+        constraint: Optional[Fraction] = None,
+        fixed: Optional[Dict[str, str]] = None,
+        cache: Optional[EvaluationCache] = None,
+    ) -> None:
+        self.app = app
+        self.constraint = (
+            constraint if constraint is not None
+            else app.throughput_constraint
+        )
+        self.fixed = dict(fixed) if fixed else None
+        self.cache = cache if cache is not None else EvaluationCache()
+        self._app_fingerprint = application_fingerprint(app)
+        self.evaluations = 0  # cache misses that ran the full analysis
+        self._count_lock = threading.Lock()
+
+    def evaluate(self, candidate: CandidatePoint) -> EvaluationOutcome:
+        """Analyze one candidate, consulting the cache first."""
+        effort = MappingEffort.of(candidate.effort)
+        arch = candidate.build_architecture()
+        key = evaluation_key(
+            self._app_fingerprint,
+            architecture_fingerprint(arch),
+            self.constraint,
+            self.fixed,
+            f"{effort.name}:{effort.max_buffer_rounds}"
+            f":{effort.max_iterations}",
+        )
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached.rebrand(candidate)
+
+        with self._count_lock:
+            self.evaluations += 1
+        try:
+            result = map_application(
+                self.app,
+                arch,
+                constraint=self.constraint,
+                fixed=self.fixed,
+                effort=effort,
+            )
+        except (MappingError, RoutingError) as error:
+            outcome = EvaluationOutcome(
+                label=candidate.label, reason=str(error)
+            )
+        else:
+            outcome = EvaluationOutcome(
+                label=candidate.label,
+                point=DesignPoint(
+                    tiles=candidate.tiles,
+                    interconnect=candidate.interconnect,
+                    with_ca=candidate.with_ca,
+                    throughput=result.guaranteed_throughput,
+                    area=platform_area(arch),
+                    constraint_met=result.constraint_met,
+                    mix=candidate.mix.name,
+                    effort=candidate.effort,
+                    candidate=candidate,
+                ),
+            )
+        self.cache.put(key, outcome)
+        return outcome
+
+
+# ----------------------------------------------------------------------
+# exploration results
+# ----------------------------------------------------------------------
 @dataclass
 class ExplorationResult:
     """All evaluated points plus the Pareto frontier."""
 
     points: List[DesignPoint]
     failures: List[Tuple[str, str]]  # (label, reason)
+    front: Optional[ParetoFront] = None
+    cache_stats: Optional[CacheStats] = None
+    elapsed_seconds: float = 0.0
+    jobs: int = 1
+    early_exit: bool = False
+    skipped: int = 0  # candidates never evaluated due to early exit
 
     def pareto_frontier(self) -> List[DesignPoint]:
+        if self.front is not None:
+            return self.front.points()
+        # post-hoc fallback for hand-built results
         frontier = [
             p for p in self.points
             if not any(q.dominates(p) for q in self.points)
@@ -76,25 +447,141 @@ class ExplorationResult:
         return min(feasible, key=lambda p: (p.area.slices, -p.throughput))
 
     def as_table(self) -> str:
+        width = max([len(p.label) for p in self.points] + [12])
         header = (
-            f"{'point':<12} {'throughput/Mcycle':>18} {'slices':>8} "
+            f"{'point':<{width}} {'throughput/Mcycle':>18} {'slices':>8} "
             f"{'BRAMs':>6} {'meets':>6} {'pareto':>7}"
         )
         frontier = set(p.label for p in self.pareto_frontier())
         lines = [header, "-" * len(header)]
-        for p in sorted(self.points,
-                        key=lambda p: (p.tiles, p.interconnect, p.with_ca)):
+        for p in sorted(
+            self.points,
+            key=lambda p: (p.tiles, p.interconnect, p.with_ca, p.mix),
+        ):
             lines.append(
-                f"{p.label:<12} {float(p.throughput * 1e6):>18.4f} "
+                f"{p.label:<{width}} {float(p.throughput * 1e6):>18.4f} "
                 f"{p.area.slices:>8} {p.area.brams:>6} "
                 f"{'yes' if p.constraint_met else 'no':>6} "
                 f"{'*' if p.label in frontier else '':>7}"
             )
         for label, reason in self.failures:
-            lines.append(f"{label:<12} infeasible: {reason}")
+            lines.append(f"{label:<{width}} infeasible: {reason}")
+        if self.skipped:
+            lines.append(
+                f"(early exit: {self.skipped} candidate(s) not evaluated)"
+            )
         return "\n".join(lines)
 
 
+# ----------------------------------------------------------------------
+# the explorer
+# ----------------------------------------------------------------------
+class ParallelExplorer:
+    """Sweeps a :class:`DesignSpace` through an :class:`Evaluator`.
+
+    ``jobs > 1`` fans evaluations out over a ``concurrent.futures``
+    thread pool; results are collected in enumeration order, so the
+    produced point list -- and therefore the Pareto front and the
+    rendered table -- is byte-identical to a serial sweep.
+
+    ``early_exit=True`` stops at the first candidate (in enumeration
+    order) whose mapping meets the throughput constraint; later
+    candidates are reported as ``skipped``.  With workers in flight some
+    later points may already have been analyzed -- their results land in
+    the cache for the next sweep but are *not* included in the result,
+    keeping early-exit output independent of ``jobs``.
+    """
+
+    def __init__(self, evaluator: Evaluator, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.evaluator = evaluator
+        self.jobs = jobs
+
+    def explore(
+        self, space: DesignSpace, early_exit: bool = False
+    ) -> ExplorationResult:
+        if early_exit and self.evaluator.constraint is None:
+            raise ValueError(
+                "early_exit needs a throughput constraint; without one "
+                "every point trivially satisfies it and the sweep would "
+                "stop at the first candidate"
+            )
+        start = time.perf_counter()
+        candidates = space.points()
+        front = ParetoFront()
+        points: List[DesignPoint] = []
+        failures: List[Tuple[str, str]] = []
+        skipped = 0
+        stopped = threading.Event()
+
+        def run(candidate: CandidatePoint) -> Optional[EvaluationOutcome]:
+            if stopped.is_set():
+                return None
+            return self.evaluator.evaluate(candidate)
+
+        if self.jobs == 1:
+            outcomes: Iterator[Optional[EvaluationOutcome]] = (
+                run(c) for c in candidates
+            )
+            consumed = self._collect(
+                candidates, outcomes, points, failures, front,
+                early_exit, stopped,
+            )
+        else:
+            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                futures = [pool.submit(run, c) for c in candidates]
+                consumed = self._collect(
+                    candidates,
+                    (f.result() for f in futures),
+                    points, failures, front, early_exit, stopped,
+                )
+                if stopped.is_set():
+                    for future in futures:
+                        future.cancel()
+        skipped = len(candidates) - consumed
+        return ExplorationResult(
+            points=points,
+            failures=failures,
+            front=front,
+            cache_stats=self.evaluator.cache.stats,
+            elapsed_seconds=time.perf_counter() - start,
+            jobs=self.jobs,
+            early_exit=early_exit,
+            skipped=skipped,
+        )
+
+    @staticmethod
+    def _collect(
+        candidates: Sequence[CandidatePoint],
+        outcomes: Iterator[Optional[EvaluationOutcome]],
+        points: List[DesignPoint],
+        failures: List[Tuple[str, str]],
+        front: ParetoFront,
+        early_exit: bool,
+        stopped: threading.Event,
+    ) -> int:
+        """Fold outcomes, in enumeration order, into the result lists.
+        Returns how many candidates were consumed."""
+        consumed = 0
+        for candidate, outcome in zip(candidates, outcomes):
+            if outcome is None:  # worker saw the stop flag first
+                break
+            consumed += 1
+            if outcome.point is not None:
+                points.append(outcome.point)
+                front.add(outcome.point)
+                if early_exit and outcome.point.constraint_met:
+                    stopped.set()
+                    break
+            else:
+                failures.append((outcome.label, outcome.reason or ""))
+        return consumed
+
+
+# ----------------------------------------------------------------------
+# the one-call entry point
+# ----------------------------------------------------------------------
 def explore_design_space(
     app: ApplicationModel,
     tile_counts: Sequence[int] = (1, 2, 3, 4, 5),
@@ -102,41 +589,31 @@ def explore_design_space(
     ca_options: Sequence[bool] = (False,),
     constraint: Optional[Fraction] = None,
     fixed: Optional[Dict[str, str]] = None,
+    mixes: Sequence[TileMix] = (UNIFORM_MIX,),
+    effort: Union[str, MappingEffort] = "normal",
+    jobs: int = 1,
+    early_exit: bool = False,
+    cache: Optional[EvaluationCache] = None,
 ) -> ExplorationResult:
     """Evaluate every template configuration in the sweep.
 
     Points whose mapping fails (memory infeasible, unroutable) are
     recorded as failures rather than raising -- an exploration should
-    report the whole space.
+    report the whole space.  Pass a shared :class:`EvaluationCache` to
+    reuse results across sweeps and applications, ``jobs`` to evaluate
+    concurrently, and ``early_exit=True`` to stop at the first
+    constraint-satisfying candidate.
     """
-    points: List[DesignPoint] = []
-    failures: List[Tuple[str, str]] = []
-    for tiles in tile_counts:
-        for interconnect in interconnects:
-            if tiles == 1 and interconnect != interconnects[0]:
-                continue  # single tile has no interconnect; dedupe
-            for with_ca in ca_options:
-                label = (
-                    f"{tiles}t/{interconnect}{'+CA' if with_ca else ''}"
-                )
-                try:
-                    arch = architecture_from_template(
-                        tiles, interconnect, with_ca=with_ca
-                    )
-                    result = map_application(
-                        app, arch, constraint=constraint, fixed=fixed
-                    )
-                except (MappingError, RoutingError) as error:
-                    failures.append((label, str(error)))
-                    continue
-                points.append(
-                    DesignPoint(
-                        tiles=tiles,
-                        interconnect=interconnect,
-                        with_ca=with_ca,
-                        throughput=result.guaranteed_throughput,
-                        area=platform_area(arch),
-                        constraint_met=result.constraint_met,
-                    )
-                )
-    return ExplorationResult(points=points, failures=failures)
+    effort_name = MappingEffort.of(effort).name
+    space = DesignSpace(
+        tile_counts=tile_counts,
+        interconnects=interconnects,
+        ca_options=ca_options,
+        mixes=mixes,
+        effort=effort_name,
+    )
+    evaluator = Evaluator(
+        app, constraint=constraint, fixed=fixed, cache=cache
+    )
+    explorer = ParallelExplorer(evaluator, jobs=jobs)
+    return explorer.explore(space, early_exit=early_exit)

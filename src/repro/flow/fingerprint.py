@@ -1,0 +1,135 @@
+"""Content-addressed fingerprints for exploration caching.
+
+The design-space exploration engine memoizes mapping results keyed on
+*what was analyzed*, not on object identity: two :class:`ApplicationModel`
+instances that describe the same graph, implementations and constraint
+produce the same fingerprint, and likewise for two independently
+instantiated template architectures.  This is what lets repeated sweeps --
+and overlapping multi-application use-cases that share design points --
+skip re-analysis entirely.
+
+Fingerprints cover everything the conservative mapping analysis reads:
+
+* application: actors (name, execution time, rate metadata), edges
+  (endpoints, rates, initial tokens, token sizes, implicitness),
+  implementations (actor, PE type, WCET, memory footprint) and the
+  throughput constraint;
+* architecture: tiles (name, role, PE type, memory capacities,
+  peripherals, communication assist) and the interconnect's structural
+  parameters (kind, FIFO depths, mesh wiring, flow control).
+
+Functional models (Python callables) are identified by qualified name
+only: the analysis never executes them, so their bodies cannot change a
+mapping result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from fractions import Fraction
+from typing import Any, Dict, Iterable, Optional
+
+from repro.appmodel.model import ApplicationModel
+from repro.arch.interconnect import FSLInterconnect
+from repro.arch.noc import SDMNoC
+from repro.arch.platform import ArchitectureModel
+
+
+def _digest(parts: Iterable[str]) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def _callable_id(function: Optional[Any]) -> str:
+    if function is None:
+        return "-"
+    return getattr(function, "__qualname__", repr(function))
+
+
+def application_fingerprint(app: ApplicationModel) -> str:
+    """Stable hex digest of everything the mapping analysis reads from
+    ``app``.  Token *values* and functional bodies are excluded: the
+    conservative analysis only consumes structure, WCETs and sizes."""
+    parts = ["app", app.name, str(app.throughput_constraint)]
+    for actor in sorted(app.graph.actors, key=lambda a: a.name):
+        parts.append(
+            f"actor:{actor.name}:{actor.execution_time}"
+            f":{actor.group}:{actor.concurrency}"
+        )
+    for edge in sorted(app.graph.edges, key=lambda e: e.name):
+        parts.append(
+            f"edge:{edge.name}:{edge.src}:{edge.dst}:{edge.production}"
+            f":{edge.consumption}:{edge.initial_tokens}:{edge.token_size}"
+            f":{int(edge.implicit)}"
+        )
+    for impl in sorted(
+        app.implementations, key=lambda i: (i.actor, i.pe_type)
+    ):
+        parts.append(
+            f"impl:{impl.actor}:{impl.pe_type}:{impl.metrics.wcet}"
+            f":{impl.metrics.memory.instruction_bytes}"
+            f":{impl.metrics.memory.data_bytes}"
+            f":{_callable_id(impl.function)}"
+        )
+    return _digest(parts)
+
+
+def _interconnect_parts(arch: ArchitectureModel) -> Iterable[str]:
+    fabric = arch.interconnect
+    if fabric is None:
+        yield "interconnect:none"
+    elif isinstance(fabric, FSLInterconnect):
+        yield (
+            f"interconnect:fsl:{fabric.fifo_depth_words}"
+            f":{fabric.latency_cycles}:{fabric.max_links_per_tile}"
+        )
+    elif isinstance(fabric, SDMNoC):
+        yield (
+            f"interconnect:noc:{fabric.columns}x{fabric.rows}"
+            f":{fabric.wires_per_link}:{fabric.default_connection_wires}"
+            f":{int(fabric.flow_control)}"
+        )
+    else:
+        yield f"interconnect:{fabric.kind}:{fabric.describe()}"
+
+
+def architecture_fingerprint(arch: ArchitectureModel) -> str:
+    """Stable hex digest of the platform structure: tiles, memories,
+    peripherals, CAs and interconnect parameters.  Excludes transient
+    allocation state (released between mapping attempts anyway)."""
+    parts = ["arch"]
+    for tile in arch.tiles:
+        peripherals = ",".join(sorted(p.name for p in tile.peripherals))
+        parts.append(
+            f"tile:{tile.name}:{tile.role}:{tile.pe_type}"
+            f":{tile.instruction_memory.capacity_bytes}"
+            f":{tile.data_memory.capacity_bytes}"
+            f":{peripherals}:{int(tile.has_ca)}"
+        )
+    parts.extend(_interconnect_parts(arch))
+    return _digest(parts)
+
+
+def evaluation_key(
+    app_fingerprint: str,
+    arch_fingerprint: str,
+    constraint: Optional[Fraction],
+    fixed: Optional[Dict[str, str]],
+    effort: str,
+) -> str:
+    """The content address of one design-point evaluation: application +
+    architecture + every knob that steers ``map_application``."""
+    pins = ",".join(f"{a}={t}" for a, t in sorted((fixed or {}).items()))
+    return _digest(
+        [
+            "eval",
+            app_fingerprint,
+            arch_fingerprint,
+            str(constraint),
+            pins,
+            effort,
+        ]
+    )

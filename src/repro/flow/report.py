@@ -1,16 +1,22 @@
-"""Reporting helpers for the Fig. 6 style comparisons.
+"""Reporting helpers: Fig. 6 style comparisons and exploration reports.
 
 A :class:`ThroughputComparison` holds, for one workload, the three values
 Fig. 6 plots: the worst-case analysis bound, the *expected* throughput
 (the same analysis fed with execution times measured on the workload) and
 the *measured* throughput of the running platform.
+:func:`format_exploration_report` and :func:`exploration_csv` render the
+output of the design-space exploration engine (:mod:`repro.flow.dse`) for
+humans and for downstream tooling respectively.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.flow.dse import ExplorationResult
 
 from repro.appmodel.model import ApplicationModel
 from repro.appmodel.wcet import MeasuredTimes
@@ -107,3 +113,58 @@ def format_throughput_table(
             + ("" if c.conservative() else "   ** BOUND VIOLATED **")
         )
     return "\n".join(lines)
+
+
+def format_exploration_report(result: "ExplorationResult") -> str:
+    """The full exploration report: point table, frontier summary, the
+    recommended (smallest feasible) point, and engine statistics."""
+    lines = [result.as_table(), ""]
+    frontier = result.pareto_frontier()
+    lines.append(
+        f"Pareto frontier ({len(frontier)} of {len(result.points)} "
+        "evaluated points):"
+    )
+    for point in frontier:
+        lines.append(
+            f"  {point.label}: "
+            f"{float(point.throughput * 1e6):.4f}/Mcycle, "
+            f"{point.area.slices} slices"
+        )
+    best = result.best_meeting_constraint()
+    if best is not None:
+        lines.append(f"recommended (smallest feasible): {best.label}")
+    elif any(not p.constraint_met for p in result.points):
+        lines.append("no evaluated point meets the throughput constraint")
+    stats_bits = [
+        f"{len(result.points)} point(s) evaluated",
+        f"{len(result.failures)} infeasible",
+    ]
+    if result.skipped:
+        stats_bits.append(f"{result.skipped} skipped (early exit)")
+    if result.cache_stats is not None and result.cache_stats.lookups:
+        stats_bits.append(
+            f"cache {result.cache_stats.hits}/{result.cache_stats.lookups} "
+            f"hit(s) ({result.cache_stats.hit_rate():.0%})"
+        )
+    stats_bits.append(
+        f"{result.elapsed_seconds:.2f} s with {result.jobs} job(s)"
+    )
+    lines.append("engine: " + ", ".join(stats_bits))
+    return "\n".join(lines)
+
+
+def exploration_csv(result: "ExplorationResult") -> str:
+    """Machine-readable exploration dump, one evaluated point per row."""
+    frontier = {p.label for p in result.pareto_frontier()}
+    rows = [
+        "label,tiles,interconnect,with_ca,mix,effort,"
+        "throughput_per_mcycle,slices,brams,constraint_met,pareto"
+    ]
+    for p in result.points:
+        rows.append(
+            f"{p.label},{p.tiles},{p.interconnect},{int(p.with_ca)},"
+            f"{p.mix},{p.effort},{float(p.throughput * 1e6):.6f},"
+            f"{p.area.slices},{p.area.brams},{int(p.constraint_met)},"
+            f"{int(p.label in frontier)}"
+        )
+    return "\n".join(rows)

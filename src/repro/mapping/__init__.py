@@ -27,9 +27,11 @@ from repro.mapping.routing import route_channels
 from repro.mapping.buffer_alloc import allocate_buffers
 from repro.mapping.scheduling import build_static_orders
 from repro.mapping.bound_graph import BoundGraph, build_bound_graph
-from repro.mapping.flow import map_application
+from repro.mapping.flow import EFFORT_LEVELS, MappingEffort, map_application
 
 __all__ = [
+    "EFFORT_LEVELS",
+    "MappingEffort",
     "Mapping",
     "ChannelMapping",
     "MappingResult",

@@ -9,8 +9,9 @@ plus the throughput *guarantee* computed on the bound graph.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from repro.appmodel.model import ApplicationModel
 from repro.arch.platform import ArchitectureModel
@@ -26,6 +27,47 @@ from repro.mapping.spec import Mapping, MappingResult
 from repro.sdf.throughput import analyze_throughput
 
 
+@dataclass(frozen=True)
+class MappingEffort:
+    """How hard the mapper tries before giving up on a design point.
+
+    The exploration engine sweeps *many* points, most of which it only
+    needs a quick feasibility verdict on; the final chosen point deserves
+    the full retry budget.  An effort level bundles the two knobs that
+    trade mapping quality for wall-clock time: the number of buffer-growth
+    rounds and the state-space budget of the throughput analysis.
+    """
+
+    name: str
+    max_buffer_rounds: int
+    max_iterations: int
+
+    @classmethod
+    def of(cls, level: Union[str, "MappingEffort"]) -> "MappingEffort":
+        """Resolve an effort level by name (``low``/``normal``/``high``)."""
+        if isinstance(level, MappingEffort):
+            return level
+        try:
+            return EFFORT_LEVELS[level]
+        except KeyError:
+            raise ValueError(
+                f"unknown mapping effort {level!r}; pick from "
+                f"{sorted(EFFORT_LEVELS)}"
+            ) from None
+
+
+#: The named effort presets, cheapest first.
+EFFORT_LEVELS: Dict[str, MappingEffort] = {
+    "low": MappingEffort("low", max_buffer_rounds=4, max_iterations=4_000),
+    "normal": MappingEffort(
+        "normal", max_buffer_rounds=12, max_iterations=10_000
+    ),
+    "high": MappingEffort(
+        "high", max_buffer_rounds=24, max_iterations=40_000
+    ),
+}
+
+
 def map_application(
     app: ApplicationModel,
     arch: ArchitectureModel,
@@ -33,9 +75,10 @@ def map_application(
     weights: Optional[CostWeights] = None,
     fixed: Optional[Dict[str, str]] = None,
     serialization_overrides: Optional[Dict[str, SerializationModel]] = None,
-    max_buffer_rounds: int = 12,
+    max_buffer_rounds: Optional[int] = None,
     strict: bool = False,
-    max_iterations: int = 10_000,
+    max_iterations: Optional[int] = None,
+    effort: Union[str, MappingEffort] = "normal",
 ) -> MappingResult:
     """Map ``app`` onto ``arch`` and compute the throughput guarantee.
 
@@ -52,9 +95,18 @@ def map_application(
         Raise :class:`ThroughputConstraintError` when the constraint cannot
         be met; otherwise return the best mapping with
         ``constraint_met == False``.
+    effort:
+        A :class:`MappingEffort` (or preset name) supplying the retry
+        budgets; explicit ``max_buffer_rounds`` / ``max_iterations``
+        arguments override the preset's values.
 
     Returns a :class:`MappingResult`.
     """
+    budget = MappingEffort.of(effort)
+    if max_buffer_rounds is None:
+        max_buffer_rounds = budget.max_buffer_rounds
+    if max_iterations is None:
+        max_iterations = budget.max_iterations
     if constraint is None:
         constraint = app.throughput_constraint
 
