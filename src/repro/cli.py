@@ -2,22 +2,28 @@
 
 Commands mirror the tool invocations of the original flow:
 
-* ``analyze <graph.xml>`` -- SDF3-style analysis of a graph file:
-  repetition vector, liveness, throughput (the graph must be bounded,
-  e.g. carry buffer back-edges);
+* ``analyze <graph.xml> [--json] [--tiles N]`` -- SDF3-style analysis of
+  a graph file: repetition vector, liveness, throughput (the graph must
+  be bounded, e.g. carry buffer back-edges); ``--json`` additionally
+  maps the graph onto a template platform and emits the mapping result
+  (binding, per-channel capacities, guaranteed throughput) as JSON for
+  downstream tooling;
 * ``demo [sequence] [--tiles N] [--interconnect fsl|noc]`` -- run the
   MJPEG case study end to end and print the Fig. 6-style numbers plus
   Table 1;
+* ``run --spec scenario.toml`` -- execute a declarative FlowSpec
+  scenario (see :mod:`repro.flow.spec`) through the full flow;
 * ``explore [sequence] [--max-tiles N] [--jobs N] [--effort LEVEL]
-  [--heterogeneous] [--with-ca] [--early-exit] [--csv]`` -- explore the
-  template design space for the MJPEG decoder with the parallel, cached
-  exploration engine and print the Pareto report (``dse`` is the
-  compatible alias).
+  [--binding NAME] [--buffer-policy NAME] [--seed N] [--heterogeneous]
+  [--with-ca] [--early-exit] [--csv]`` -- explore the template design
+  space for the MJPEG decoder with the parallel, cached exploration
+  engine and print the Pareto report (``dse`` is the compatible alias).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from fractions import Fraction
 from typing import List, Optional
@@ -32,18 +38,113 @@ from repro.sdf import (
 from repro.sdf.io_sdf3 import load_graph
 
 
+def _mapping_payload(graph, tiles: int, interconnect: str) -> dict:
+    """Map a bare graph onto a template platform, as JSON-able data.
+
+    Graph files carry no implementation metrics, so each actor gets a
+    synthesized single-PE implementation whose WCET is its execution
+    time (the conservative reading of an SDF3 graph file).  Pre-existing
+    ``buf__`` credit back-edges are stripped first: they encode the
+    capacities of the *analysis* form, and the mapping flow allocates
+    its own buffer capacities (leaving them would also collide with the
+    bound graph's modeling edges).
+    """
+    from repro.appmodel import (
+        ActorImplementation,
+        ApplicationModel,
+        ImplementationMetrics,
+        MemoryRequirements,
+    )
+    from repro.mapping import map_application
+    from repro.sdf.buffers import BUFFER_EDGE_PREFIX
+
+    graph = graph.copy(graph.name)
+    for edge in list(graph.edges):
+        if edge.implicit and edge.name.startswith(BUFFER_EDGE_PREFIX):
+            graph.remove_edge(edge.name)
+
+    app = ApplicationModel(
+        graph=graph,
+        implementations=[
+            ActorImplementation(
+                actor=actor.name,
+                pe_type="microblaze",
+                metrics=ImplementationMetrics(
+                    wcet=max(actor.execution_time or 1, 1),
+                    memory=MemoryRequirements(
+                        instruction_bytes=4096, data_bytes=2048
+                    ),
+                ),
+            )
+            for actor in graph
+        ],
+    )
+    arch = architecture_from_template(tiles, interconnect)
+    result = map_application(app, arch)
+    channels = {}
+    for name, channel in result.mapping.channels.items():
+        channels[name] = {
+            "src_tile": channel.src_tile,
+            "dst_tile": channel.dst_tile,
+            "intra_tile": channel.intra_tile,
+            "capacity": channel.capacity,
+            "alpha_src": channel.alpha_src,
+            "alpha_dst": channel.alpha_dst,
+        }
+    return {
+        "architecture": arch.name,
+        "binding": dict(result.mapping.actor_binding),
+        "static_orders": {
+            t: list(o) for t, o in result.mapping.static_orders.items()
+        },
+        "channels": channels,
+        "guaranteed_throughput": str(result.guaranteed_throughput),
+        "guaranteed_per_mega_cycle": float(
+            result.guaranteed_throughput * 1_000_000
+        ),
+        "constraint_met": result.constraint_met,
+        "buffer_growth_rounds": result.buffer_growth_rounds,
+    }
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
+    q = repetition_vector(graph)
+    live = is_deadlock_free(graph)
+    result = analyze_throughput(graph) if live else None
+
+    if args.json:
+        payload = {
+            "graph": {
+                "name": graph.name,
+                "actors": len(graph),
+                "edges": len(graph.edges),
+            },
+            "repetition_vector": dict(sorted(q.items())),
+            "deadlock_free": live,
+        }
+        if result is not None:
+            payload["throughput"] = {
+                "iterations_per_cycle": str(result.throughput),
+                "per_mega_cycle": result.per_mega_cycle(),
+                "period_cycles": result.period,
+            }
+            try:
+                payload["mapping"] = _mapping_payload(
+                    graph, args.tiles, args.interconnect
+                )
+            except ReproError as error:
+                payload["mapping"] = {"error": str(error)}
+        print(json.dumps(payload, indent=2))
+        return 0
+
     print(f"graph {graph.name!r}: {len(graph)} actors, "
           f"{len(graph.edges)} edges")
-    q = repetition_vector(graph)
     print("repetition vector:")
     for name, count in sorted(q.items()):
         print(f"  {name}: {count}")
-    live = is_deadlock_free(graph)
     print(f"deadlock-free: {'yes' if live else 'NO'}")
-    if live:
-        result = analyze_throughput(graph)
+    if result is not None:
         print(
             f"throughput: {result.throughput} iterations/cycle "
             f"({result.per_mega_cycle():.4f} per Mcycle; period "
@@ -53,27 +154,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _load_case_study(sequence: str, quality: Optional[int] = None):
-    from repro.mjpeg import (
-        build_mjpeg_application,
-        encode_sequence,
-        synthetic_sequence,
-        test_set_sequences,
-    )
+    from repro.flow.spec import build_case_study_app
 
-    if sequence == "synthetic":
-        frames = synthetic_sequence(n_frames=2)
-        quality = quality or 98
-    else:
-        sequences = test_set_sequences(n_frames=2)
-        if sequence not in sequences:
-            raise ReproError(
-                f"unknown sequence {sequence!r}; pick from "
-                f"{sorted(sequences) + ['synthetic']}"
-            )
-        frames = sequences[sequence]
-        quality = quality or 75
-    encoded = encode_sequence(frames, quality=quality, h=4, v=2)
-    return build_mjpeg_application(encoded)
+    return build_case_study_app(sequence, quality=quality)
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -82,6 +165,21 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     app = _load_case_study(args.sequence)
     arch = architecture_from_template(args.tiles, args.interconnect)
     flow = DesignFlow(app, arch, fixed={"VLD": "tile0"})
+    result = flow.run(iterations=args.iterations)
+    print(result.summary())
+    if args.output:
+        root = result.project.write_to(args.output)
+        print(f"\nproject written to {root}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.flow import DesignFlow, load_flow_spec
+
+    spec = load_flow_spec(args.spec)
+    print(spec.describe())
+    print()
+    flow = DesignFlow.from_spec(spec)
     result = flow.run(iterations=args.iterations)
     print(result.summary())
     if args.output:
@@ -129,6 +227,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         effort=args.effort,
         jobs=args.jobs,
         early_exit=args.early_exit,
+        binding=args.binding,
+        routing=args.routing,
+        buffer_policy=args.buffer_policy,
+        seed=args.seed,
     )
     if args.csv:
         print(exploration_csv(result))
@@ -138,6 +240,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # deferred: the strategy registry pulls in the whole mapping stack,
+    # which commands like `analyze` never need at startup
+    from repro.mapping.pipeline import registered
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -151,6 +257,19 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze", help="analyze an SDF3-style XML graph"
     )
     analyze.add_argument("graph", help="path to the graph XML file")
+    analyze.add_argument(
+        "--json", action="store_true",
+        help="emit analysis plus a template-platform mapping result "
+             "(binding, buffer capacities, throughput guarantee) as JSON",
+    )
+    analyze.add_argument(
+        "--tiles", type=int, default=2,
+        help="template tile count for the --json mapping (default 2)",
+    )
+    analyze.add_argument(
+        "--interconnect", choices=("fsl", "noc"), default="fsl",
+        help="template interconnect for the --json mapping",
+    )
     analyze.set_defaults(handler=_cmd_analyze)
 
     demo = commands.add_parser(
@@ -166,6 +285,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", help="write the generated project under this directory"
     )
     demo.set_defaults(handler=_cmd_demo)
+
+    run = commands.add_parser(
+        "run",
+        help="execute a declarative FlowSpec scenario (TOML or JSON)",
+    )
+    run.add_argument(
+        "--spec", required=True,
+        help="path to the scenario document (see docs/mapping.md)",
+    )
+    run.add_argument("--iterations", type=int, default=16)
+    run.add_argument(
+        "--output", help="write the generated project under this directory"
+    )
+    run.set_defaults(handler=_cmd_run)
 
     for alias in ("explore", "dse"):
         explore = commands.add_parser(
@@ -185,6 +318,23 @@ def build_parser() -> argparse.ArgumentParser:
             "--effort", choices=("low", "normal", "high"),
             default="normal",
             help="mapping effort per design point",
+        )
+        explore.add_argument(
+            "--binding", choices=registered("binding"), default="greedy",
+            help="binding strategy for every design point",
+        )
+        explore.add_argument(
+            "--routing", choices=registered("routing"), default="xy",
+            help="routing strategy for every design point",
+        )
+        explore.add_argument(
+            "--buffer-policy", choices=registered("buffer"),
+            default="linear",
+            help="buffer growth schedule for every design point",
+        )
+        explore.add_argument(
+            "--seed", type=int, default=None,
+            help="seed for randomized binding strategies (ga)",
         )
         explore.add_argument(
             "--heterogeneous", action="store_true",

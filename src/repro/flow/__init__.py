@@ -33,6 +33,19 @@ from repro.flow.fingerprint import (
     application_fingerprint,
     architecture_fingerprint,
 )
+from repro.flow.spec import (
+    AppSpec,
+    ArchSpec,
+    FlowSpec,
+    FlowSpecError,
+    build_case_study_app,
+    load_flow_spec,
+)
+from repro.mapping.pipeline import (
+    DEFAULT_STRATEGIES,
+    MappingPipeline,
+    StrategyTuple,
+)
 from repro.flow.usecases import (
     UseCaseMapping,
     generate_use_case_platform,
@@ -64,6 +77,15 @@ __all__ = [
     "application_fingerprint",
     "architecture_fingerprint",
     "explore_design_space",
+    "AppSpec",
+    "ArchSpec",
+    "DEFAULT_STRATEGIES",
+    "FlowSpec",
+    "FlowSpecError",
+    "MappingPipeline",
+    "StrategyTuple",
+    "build_case_study_app",
+    "load_flow_spec",
     "UseCaseMapping",
     "map_use_cases",
     "generate_use_case_platform",

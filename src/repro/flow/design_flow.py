@@ -17,10 +17,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Optional, Union
 
 if TYPE_CHECKING:  # avoid a runtime cycle with repro.flow.dse
     from repro.flow.dse import CandidatePoint, DesignPoint
+    from repro.flow.spec import FlowSpec
 
 from repro.appmodel.model import ApplicationModel
 from repro.arch.platform import ArchitectureModel
@@ -29,6 +31,7 @@ from repro.flow.effort import EffortReport
 from repro.mamps.generator import generate_platform, synthesize
 from repro.mamps.project import PlatformProject
 from repro.mapping.flow import MappingEffort, map_application
+from repro.mapping.pipeline import MappingPipeline
 from repro.mapping.spec import MappingResult
 from repro.sim.platform_sim import MeasuredThroughput, PlatformSimulator
 
@@ -79,6 +82,7 @@ class DesignFlow:
             Dict[str, SerializationModel]
         ] = None,
         effort: str = "normal",
+        pipeline: Optional[MappingPipeline] = None,
     ) -> None:
         self.app = app
         self.arch = arch
@@ -86,6 +90,9 @@ class DesignFlow:
         self.fixed = fixed
         self.serialization_overrides = serialization_overrides
         self.effort = MappingEffort.of(effort)
+        #: The mapping pipeline to run; None means the paper's default
+        #: recipe (greedy/xy/linear/static-order).
+        self.pipeline = pipeline
 
     @classmethod
     def from_design_point(
@@ -111,12 +118,42 @@ class DesignFlow:
                 "description; pass the CandidatePoint it was evaluated "
                 "from"
             )
+        strategy = getattr(candidate, "strategy", None)
         return cls(
             app,
             candidate.build_architecture(),
             constraint=constraint,
             fixed=fixed,
             effort=candidate.effort,
+            pipeline=(
+                strategy.build_pipeline() if strategy is not None else None
+            ),
+        )
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: "Union[FlowSpec, str, Path]",
+        app: Optional[ApplicationModel] = None,
+    ) -> "DesignFlow":
+        """Build the flow from a declarative scenario (FlowSpec).
+
+        ``spec`` is a :class:`~repro.flow.spec.FlowSpec` or a path to a
+        TOML/JSON document (see :mod:`repro.flow.spec` for the schema).
+        Pass ``app`` to substitute a prebuilt application for the
+        spec's case-study section.
+        """
+        from repro.flow.spec import FlowSpec, load_flow_spec
+
+        if not isinstance(spec, FlowSpec):
+            spec = load_flow_spec(spec)
+        return cls(
+            app if app is not None else spec.build_application(),
+            spec.build_architecture(),
+            constraint=spec.constraint,
+            fixed=dict(spec.fixed) or None,
+            effort=spec.effort,
+            pipeline=spec.strategies.build_pipeline(),
         )
 
     def run(
@@ -140,6 +177,7 @@ class DesignFlow:
                 fixed=self.fixed,
                 serialization_overrides=self.serialization_overrides,
                 effort=self.effort,
+                pipeline=self.pipeline,
             )
 
         with effort.step("Generating Xilinx project (MAMPS)"):

@@ -46,6 +46,7 @@ from repro.flow.fingerprint import (
     evaluation_key,
 )
 from repro.mapping.flow import MappingEffort, map_application
+from repro.mapping.pipeline import DEFAULT_STRATEGIES, StrategyTuple
 
 
 # ----------------------------------------------------------------------
@@ -79,19 +80,26 @@ COMPACT_MIX = TileMix("compact", master_kb=(128, 128), slave_kb=(64, 64))
 
 @dataclass(frozen=True)
 class CandidatePoint:
-    """One not-yet-evaluated configuration of the template."""
+    """One not-yet-evaluated configuration of the template.
+
+    ``strategy`` names the mapping-pipeline stages the evaluation should
+    run (:class:`repro.mapping.pipeline.StrategyTuple`); the default is
+    the paper's recipe, which keeps historic labels unchanged.
+    """
 
     tiles: int
     interconnect: str
     with_ca: bool = False
     mix: TileMix = UNIFORM_MIX
     effort: str = "normal"
+    strategy: StrategyTuple = DEFAULT_STRATEGIES
 
     @property
     def label(self) -> str:
         suffix = "+CA" if self.with_ca else ""
         if self.mix.name != "uniform":
             suffix += f"@{self.mix.name}"
+        suffix += self.strategy.label_suffix()
         return f"{self.tiles}t/{self.interconnect}{suffix}"
 
     def build_architecture(self) -> ArchitectureModel:
@@ -127,6 +135,7 @@ class DesignSpace:
     ca_options: Sequence[bool] = (False,)
     mixes: Sequence[TileMix] = (UNIFORM_MIX,)
     effort: str = "normal"
+    strategy: StrategyTuple = DEFAULT_STRATEGIES
 
     def points(self) -> Tuple[CandidatePoint, ...]:
         """All candidate points, in deterministic enumeration order."""
@@ -155,6 +164,7 @@ class DesignSpace:
                             with_ca=with_ca,
                             mix=mix,
                             effort=self.effort,
+                            strategy=self.strategy,
                         )
                         if candidate.label in seen:
                             continue
@@ -184,6 +194,8 @@ class DesignPoint:
     constraint_met: bool
     mix: str = "uniform"
     effort: str = "normal"
+    #: The mapping-pipeline strategies the evaluation ran under.
+    strategy: StrategyTuple = DEFAULT_STRATEGIES
     #: The candidate this point evaluated; lets a chosen point be promoted
     #: to the full flow (``DesignFlow.from_design_point``).
     candidate: Optional[CandidatePoint] = None
@@ -193,6 +205,7 @@ class DesignPoint:
         suffix = "+CA" if self.with_ca else ""
         if self.mix != "uniform":
             suffix += f"@{self.mix}"
+        suffix += self.strategy.label_suffix()
         return f"{self.tiles}t/{self.interconnect}{suffix}"
 
     def dominates(self, other: "DesignPoint") -> bool:
@@ -282,6 +295,7 @@ class EvaluationOutcome:
                 constraint_met=self.point.constraint_met,
                 mix=candidate.mix.name,
                 effort=candidate.effort,
+                strategy=candidate.strategy,
                 candidate=candidate,
             ),
         )
@@ -375,6 +389,7 @@ class Evaluator:
             self.fixed,
             f"{effort.name}:{effort.max_buffer_rounds}"
             f":{effort.max_iterations}",
+            strategy=candidate.strategy.cache_token(),
         )
         cached = self.cache.get(key)
         if cached is not None:
@@ -389,6 +404,7 @@ class Evaluator:
                 constraint=self.constraint,
                 fixed=self.fixed,
                 effort=effort,
+                pipeline=candidate.strategy.build_pipeline(),
             )
         except (MappingError, RoutingError) as error:
             outcome = EvaluationOutcome(
@@ -406,6 +422,7 @@ class Evaluator:
                     constraint_met=result.constraint_met,
                     mix=candidate.mix.name,
                     effort=candidate.effort,
+                    strategy=candidate.strategy,
                     candidate=candidate,
                 ),
             )
@@ -594,6 +611,12 @@ def explore_design_space(
     jobs: int = 1,
     early_exit: bool = False,
     cache: Optional[EvaluationCache] = None,
+    strategy: Optional[StrategyTuple] = None,
+    binding: str = "greedy",
+    routing: str = "xy",
+    buffer_policy: str = "linear",
+    scheduling: str = "static-order",
+    seed: Optional[int] = None,
 ) -> ExplorationResult:
     """Evaluate every template configuration in the sweep.
 
@@ -602,15 +625,29 @@ def explore_design_space(
     report the whole space.  Pass a shared :class:`EvaluationCache` to
     reuse results across sweeps and applications, ``jobs`` to evaluate
     concurrently, and ``early_exit=True`` to stop at the first
-    constraint-satisfying candidate.
+    constraint-satisfying candidate.  The mapping-pipeline strategies
+    can be set per stage (``binding``/``routing``/``buffer_policy``/
+    ``scheduling``/``seed``) or wholesale via ``strategy``; cache keys
+    embed the choice, so sweeping the same space under two strategies
+    never produces a false cache hit.
     """
     effort_name = MappingEffort.of(effort).name
+    if strategy is None:
+        strategy = StrategyTuple(
+            binding=binding,
+            routing=routing,
+            buffer_policy=buffer_policy,
+            scheduling=scheduling,
+            seed=seed,
+        )
+    strategy.validate()
     space = DesignSpace(
         tile_counts=tile_counts,
         interconnects=interconnects,
         ca_options=ca_options,
         mixes=mixes,
         effort=effort_name,
+        strategy=strategy,
     )
     evaluator = Evaluator(
         app, constraint=constraint, fixed=fixed, cache=cache

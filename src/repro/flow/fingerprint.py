@@ -119,9 +119,17 @@ def evaluation_key(
     constraint: Optional[Fraction],
     fixed: Optional[Dict[str, str]],
     effort: str,
+    strategy: Optional[str] = None,
 ) -> str:
     """The content address of one design-point evaluation: application +
-    architecture + every knob that steers ``map_application``."""
+    architecture + every knob that steers ``map_application``.
+
+    ``strategy`` is the mapping-pipeline identity
+    (:meth:`repro.mapping.pipeline.StrategyTuple.cache_token`); two
+    evaluations of the same platform under different stage strategies
+    must never share an entry.  ``None`` (legacy callers) hashes as a
+    distinct marker rather than colliding with any real tuple.
+    """
     pins = ",".join(f"{a}={t}" for a, t in sorted((fixed or {}).items()))
     return _digest(
         [
@@ -131,5 +139,6 @@ def evaluation_key(
             str(constraint),
             pins,
             effort,
+            strategy if strategy is not None else "-",
         ]
     )

@@ -158,13 +158,13 @@ def exploration_csv(result: "ExplorationResult") -> str:
     frontier = {p.label for p in result.pareto_frontier()}
     rows = [
         "label,tiles,interconnect,with_ca,mix,effort,"
-        "throughput_per_mcycle,slices,brams,constraint_met,pareto"
+        "throughput_per_mcycle,slices,brams,constraint_met,pareto,strategy"
     ]
     for p in result.points:
         rows.append(
             f"{p.label},{p.tiles},{p.interconnect},{int(p.with_ca)},"
             f"{p.mix},{p.effort},{float(p.throughput * 1e6):.6f},"
             f"{p.area.slices},{p.area.brams},{int(p.constraint_met)},"
-            f"{int(p.label in frontier)}"
+            f"{int(p.label in frontier)},{p.strategy.short()}"
         )
     return "\n".join(rows)

@@ -1,0 +1,342 @@
+"""Declarative flow scenarios (FlowSpec).
+
+A *FlowSpec* is a small JSON- or TOML-loadable document that names
+everything one run of the automated flow needs: the case-study input,
+the architecture template parameters, the throughput constraint, the
+mapping effort, and the per-stage strategy choices of the pluggable
+mapping pipeline (:mod:`repro.mapping.pipeline`).  It is the scenario
+format behind ``python -m repro run --spec scenario.toml`` and
+:meth:`repro.flow.design_flow.DesignFlow.from_spec`.
+
+A complete TOML example::
+
+    name = "mjpeg-spiral"
+
+    [app]
+    sequence = "gradient"   # test-set name, or "synthetic"
+    quality = 75
+    frames = 2
+
+    [architecture]
+    tiles = 4
+    interconnect = "noc"    # "fsl" | "noc"
+    with_ca = false
+
+    [mapping]
+    constraint = "1/9000"   # iterations/cycle; omit for best effort
+    effort = "normal"
+    binding = "spiral"      # greedy | spiral | ga
+    buffer_policy = "exponential"
+    seed = 7
+
+    [mapping.fixed]
+    VLD = "tile0"
+
+Unknown keys are rejected so a typo cannot silently fall back to a
+default strategy.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.arch.template import architecture_from_template
+from repro.exceptions import ReproError
+from repro.mapping.pipeline import MappingEffort, StrategyTuple
+
+
+class FlowSpecError(ReproError):
+    """Raised for malformed or unloadable FlowSpec documents."""
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Which case-study input to decode (``[app]``)."""
+
+    sequence: str = "gradient"
+    quality: Optional[int] = None
+    frames: int = 2
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """Template parameters of the platform (``[architecture]``)."""
+
+    tiles: int = 2
+    interconnect: str = "fsl"
+    with_ca: bool = False
+    instruction_kb: int = 128
+    data_kb: int = 128
+    slave_instruction_kb: Optional[int] = None
+    slave_data_kb: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One declarative scenario: app + architecture + mapping choices."""
+
+    name: str = "scenario"
+    app: AppSpec = field(default_factory=AppSpec)
+    architecture: ArchSpec = field(default_factory=ArchSpec)
+    constraint: Optional[Fraction] = None
+    effort: str = "normal"
+    fixed: Dict[str, str] = field(default_factory=dict)
+    strategies: StrategyTuple = field(default_factory=StrategyTuple)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FlowSpec":
+        """Build and validate a spec from a parsed document."""
+        data = dict(data)
+        name = _take(data, "name", str, default="scenario")
+        app = _section(data, "app", _parse_app)
+        architecture = _section(data, "architecture", _parse_arch)
+        mapping = dict(_take(data, "mapping", dict, default={}))
+        if data:
+            raise FlowSpecError(
+                f"unknown top-level key(s) in flow spec: {sorted(data)}"
+            )
+
+        constraint = _parse_constraint(
+            _take(mapping, "constraint", (str, int), default=None)
+        )
+        effort = _take(mapping, "effort", str, default="normal")
+        try:
+            MappingEffort.of(effort)
+        except ValueError as error:
+            raise FlowSpecError(str(error)) from None
+        fixed = dict(_take(mapping, "fixed", dict, default={}))
+        for actor, tile in fixed.items():
+            if not isinstance(actor, str) or not isinstance(tile, str):
+                raise FlowSpecError(
+                    "[mapping.fixed] must map actor names to tile names"
+                )
+        strategies = StrategyTuple(
+            binding=_take(mapping, "binding", str, default="greedy"),
+            routing=_take(mapping, "routing", str, default="xy"),
+            buffer_policy=_take(
+                mapping, "buffer_policy", str, default="linear"
+            ),
+            scheduling=_take(
+                mapping, "scheduling", str, default="static-order"
+            ),
+            seed=_take(mapping, "seed", int, default=None),
+        )
+        try:
+            strategies.validate()
+        except ValueError as error:
+            raise FlowSpecError(str(error)) from None
+        if mapping:
+            raise FlowSpecError(
+                f"unknown [mapping] key(s) in flow spec: {sorted(mapping)}"
+            )
+        return cls(
+            name=name,
+            app=app,
+            architecture=architecture,
+            constraint=constraint,
+            effort=effort,
+            fixed=fixed,
+            strategies=strategies,
+        )
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "FlowSpec":
+        return load_flow_spec(path)
+
+    # ------------------------------------------------------------------
+    # realization
+    # ------------------------------------------------------------------
+    def build_application(self):
+        """Instantiate the case-study application this spec names."""
+        return build_case_study_app(
+            self.app.sequence,
+            quality=self.app.quality,
+            frames=self.app.frames,
+        )
+
+    def build_architecture(self):
+        """Instantiate the template architecture this spec names."""
+        a = self.architecture
+        return architecture_from_template(
+            a.tiles,
+            a.interconnect,
+            with_ca=a.with_ca,
+            instruction_kb=a.instruction_kb,
+            data_kb=a.data_kb,
+            slave_instruction_kb=a.slave_instruction_kb,
+            slave_data_kb=a.slave_data_kb,
+        )
+
+    def describe(self) -> str:
+        bits = [
+            f"scenario {self.name!r}:",
+            f"  app: {self.app.sequence} "
+            f"(quality {self.app.quality or 'default'}, "
+            f"{self.app.frames} frame(s))",
+            f"  architecture: {self.architecture.tiles} tile(s), "
+            f"{self.architecture.interconnect}"
+            + (" +CA" if self.architecture.with_ca else ""),
+            f"  mapping: {self.strategies.build_pipeline().describe()}, "
+            f"effort {self.effort}",
+        ]
+        if self.constraint is not None:
+            bits.append(f"  constraint: {self.constraint} iterations/cycle")
+        if self.fixed:
+            pins = ", ".join(
+                f"{a}->{t}" for a, t in sorted(self.fixed.items())
+            )
+            bits.append(f"  pinned: {pins}")
+        return "\n".join(bits)
+
+
+# ----------------------------------------------------------------------
+# parsing helpers
+# ----------------------------------------------------------------------
+def _take(data: Dict[str, Any], key: str, kinds, default=None):
+    if key not in data:
+        return default
+    value = data.pop(key)
+    if value is None:
+        return default
+    accepted = kinds if isinstance(kinds, tuple) else (kinds,)
+    expected = "/".join(k.__name__ for k in accepted)
+    # bool subclasses int: reject it explicitly wherever int is accepted
+    # but bool is not, or `constraint = true` would parse as Fraction(1)
+    bad_bool = (
+        isinstance(value, bool) and bool not in accepted and int in accepted
+    )
+    if bad_bool or not isinstance(value, accepted):
+        raise FlowSpecError(
+            f"flow spec key {key!r} must be {expected}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def _section(data: Dict[str, Any], key: str, parser):
+    section = dict(_take(data, key, dict, default={}))
+    parsed = parser(section)
+    if section:
+        raise FlowSpecError(
+            f"unknown [{key}] key(s) in flow spec: {sorted(section)}"
+        )
+    return parsed
+
+
+def _parse_app(section: Dict[str, Any]) -> AppSpec:
+    return AppSpec(
+        sequence=_take(section, "sequence", str, default="gradient"),
+        quality=_take(section, "quality", int, default=None),
+        frames=_take(section, "frames", int, default=2),
+    )
+
+
+def _parse_arch(section: Dict[str, Any]) -> ArchSpec:
+    return ArchSpec(
+        tiles=_take(section, "tiles", int, default=2),
+        interconnect=_take(section, "interconnect", str, default="fsl"),
+        with_ca=_take(section, "with_ca", bool, default=False),
+        instruction_kb=_take(section, "instruction_kb", int, default=128),
+        data_kb=_take(section, "data_kb", int, default=128),
+        slave_instruction_kb=_take(
+            section, "slave_instruction_kb", int, default=None
+        ),
+        slave_data_kb=_take(section, "slave_data_kb", int, default=None),
+    )
+
+
+def _parse_constraint(value) -> Optional[Fraction]:
+    if value is None:
+        return None
+    try:
+        return Fraction(value)
+    except (ValueError, ZeroDivisionError):
+        raise FlowSpecError(
+            f"invalid constraint {value!r}; expected a fraction like "
+            "'1/6000'"
+        ) from None
+
+
+def load_flow_spec(path: Union[str, Path]) -> FlowSpec:
+    """Load a FlowSpec document from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as error:
+        raise FlowSpecError(f"cannot read flow spec {path}: {error}") \
+            from None
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise FlowSpecError(
+                f"invalid JSON flow spec {path}: {error}"
+            ) from None
+    elif suffix == ".toml":
+        try:
+            import tomllib
+        except ModuleNotFoundError:  # pragma: no cover - py3.10 path
+            try:
+                import tomli as tomllib  # noqa: F401 (same API)
+            except ModuleNotFoundError:
+                raise FlowSpecError(
+                    "TOML flow specs need Python 3.11+ (tomllib) or the "
+                    "'tomli' package; use the JSON form otherwise"
+                ) from None
+        try:
+            data = tomllib.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, tomllib.TOMLDecodeError) as error:
+            raise FlowSpecError(
+                f"invalid TOML flow spec {path}: {error}"
+            ) from None
+    else:
+        raise FlowSpecError(
+            f"unsupported flow spec format {suffix or path.name!r}; "
+            "use .toml or .json"
+        )
+    if not isinstance(data, dict):
+        raise FlowSpecError(
+            f"flow spec {path} must contain a table/object at the top level"
+        )
+    return FlowSpec.from_dict(data)
+
+
+def build_case_study_app(
+    sequence: str, quality: Optional[int] = None, frames: int = 2
+):
+    """Build the MJPEG case-study application for one test sequence.
+
+    ``sequence`` is a name from
+    :func:`repro.mjpeg.test_set_sequences` or ``"synthetic"``.  The
+    default quality follows the benchmark conventions: 75 for the
+    structured sequences, 98 for the high-entropy synthetic one.
+    """
+    from repro.mjpeg import (
+        build_mjpeg_application,
+        encode_sequence,
+        synthetic_sequence,
+        test_set_sequences,
+    )
+
+    if sequence == "synthetic":
+        encoded_frames = synthetic_sequence(n_frames=frames)
+        quality = quality or 98
+    else:
+        sequences = test_set_sequences(n_frames=frames)
+        if sequence not in sequences:
+            raise ReproError(
+                f"unknown sequence {sequence!r}; pick from "
+                f"{sorted(sequences) + ['synthetic']}"
+            )
+        encoded_frames = sequences[sequence]
+        quality = quality or 75
+    encoded = encode_sequence(encoded_frames, quality=quality, h=4, v=2)
+    return build_mjpeg_application(encoded)

@@ -27,11 +27,33 @@ from repro.mapping.routing import route_channels
 from repro.mapping.buffer_alloc import allocate_buffers
 from repro.mapping.scheduling import build_static_orders
 from repro.mapping.bound_graph import BoundGraph, build_bound_graph
+from repro.mapping.pipeline import (
+    DEFAULT_STRATEGIES,
+    BindingStrategy,
+    BufferPolicy,
+    MappingPipeline,
+    RoutingStrategy,
+    SchedulingStrategy,
+    StrategyTuple,
+    register_strategy,
+    registered,
+    resolve,
+)
 from repro.mapping.flow import EFFORT_LEVELS, MappingEffort, map_application
 
 __all__ = [
+    "DEFAULT_STRATEGIES",
     "EFFORT_LEVELS",
+    "BindingStrategy",
+    "BufferPolicy",
     "MappingEffort",
+    "MappingPipeline",
+    "RoutingStrategy",
+    "SchedulingStrategy",
+    "StrategyTuple",
+    "register_strategy",
+    "registered",
+    "resolve",
     "Mapping",
     "ChannelMapping",
     "MappingResult",

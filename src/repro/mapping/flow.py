@@ -5,67 +5,39 @@ scheduling and throughput analysis, growing buffer capacities until the
 application's throughput constraint is met (or the retry budget runs out).
 The result carries the mapping -- the interchange object MAMPS consumes --
 plus the throughput *guarantee* computed on the bound graph.
+
+Since the pipeline redesign the actual stage chaining lives in
+:mod:`repro.mapping.pipeline`; this module keeps the historic one-call
+entry point (and the :class:`MappingEffort` presets, re-exported) as a
+thin wrapper over the default :class:`~repro.mapping.pipeline.MappingPipeline`.
+Every stage can be swapped by registry name -- see ``docs/mapping.md``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Optional, Union
 
 from repro.appmodel.model import ApplicationModel
 from repro.arch.platform import ArchitectureModel
 from repro.comm.serialization import SerializationModel
-from repro.exceptions import DeadlockError, ThroughputConstraintError
-from repro.mapping.binding import bind_actors
-from repro.mapping.bound_graph import build_bound_graph
-from repro.mapping.buffer_alloc import allocate_buffers, grow_buffers
 from repro.mapping.costs import CostWeights
-from repro.mapping.routing import route_channels
-from repro.mapping.scheduling import build_static_orders
-from repro.mapping.spec import Mapping, MappingResult
-from repro.sdf.throughput import analyze_throughput
+from repro.mapping.pipeline import (
+    EFFORT_LEVELS,
+    BindingStrategy,
+    BufferPolicy,
+    MappingEffort,
+    MappingPipeline,
+    RoutingStrategy,
+    SchedulingStrategy,
+)
+from repro.mapping.spec import MappingResult
 
-
-@dataclass(frozen=True)
-class MappingEffort:
-    """How hard the mapper tries before giving up on a design point.
-
-    The exploration engine sweeps *many* points, most of which it only
-    needs a quick feasibility verdict on; the final chosen point deserves
-    the full retry budget.  An effort level bundles the two knobs that
-    trade mapping quality for wall-clock time: the number of buffer-growth
-    rounds and the state-space budget of the throughput analysis.
-    """
-
-    name: str
-    max_buffer_rounds: int
-    max_iterations: int
-
-    @classmethod
-    def of(cls, level: Union[str, "MappingEffort"]) -> "MappingEffort":
-        """Resolve an effort level by name (``low``/``normal``/``high``)."""
-        if isinstance(level, MappingEffort):
-            return level
-        try:
-            return EFFORT_LEVELS[level]
-        except KeyError:
-            raise ValueError(
-                f"unknown mapping effort {level!r}; pick from "
-                f"{sorted(EFFORT_LEVELS)}"
-            ) from None
-
-
-#: The named effort presets, cheapest first.
-EFFORT_LEVELS: Dict[str, MappingEffort] = {
-    "low": MappingEffort("low", max_buffer_rounds=4, max_iterations=4_000),
-    "normal": MappingEffort(
-        "normal", max_buffer_rounds=12, max_iterations=10_000
-    ),
-    "high": MappingEffort(
-        "high", max_buffer_rounds=24, max_iterations=40_000
-    ),
-}
+__all__ = [
+    "EFFORT_LEVELS",
+    "MappingEffort",
+    "map_application",
+]
 
 
 def map_application(
@@ -79,6 +51,12 @@ def map_application(
     strict: bool = False,
     max_iterations: Optional[int] = None,
     effort: Union[str, MappingEffort] = "normal",
+    binding: Union[str, BindingStrategy] = "greedy",
+    routing: Union[str, RoutingStrategy] = "xy",
+    buffer_policy: Union[str, BufferPolicy] = "linear",
+    scheduling: Union[str, SchedulingStrategy] = "static-order",
+    seed: Optional[int] = None,
+    pipeline: Optional[MappingPipeline] = None,
 ) -> MappingResult:
     """Map ``app`` onto ``arch`` and compute the throughput guarantee.
 
@@ -99,91 +77,37 @@ def map_application(
         A :class:`MappingEffort` (or preset name) supplying the retry
         budgets; explicit ``max_buffer_rounds`` / ``max_iterations``
         arguments override the preset's values.
+    binding, routing, buffer_policy, scheduling, seed:
+        Stage strategies by registry name (or instance) -- see
+        :mod:`repro.mapping.pipeline`.  The defaults reproduce the
+        paper's recipe; ``seed`` feeds randomized strategies (``ga``).
+        Note that ``weights`` steers the generic cost functions of the
+        *greedy* binder only (the GA uses them just for its greedy bias
+        genome; the spiral binder optimizes locality, not the cost
+        functions).
+    pipeline:
+        A prebuilt :class:`MappingPipeline`; overrides the per-stage
+        arguments when given.
 
     Returns a :class:`MappingResult`.
     """
-    budget = MappingEffort.of(effort)
-    if max_buffer_rounds is None:
-        max_buffer_rounds = budget.max_buffer_rounds
-    if max_iterations is None:
-        max_iterations = budget.max_iterations
-    if constraint is None:
-        constraint = app.throughput_constraint
-
-    binding, implementations = bind_actors(
-        app, arch, weights=weights, fixed=fixed
-    )
-    channels = route_channels(app, arch, binding)
-    allocate_buffers(app, channels)
-
-    best = None
-    rounds_used = 0
-    for round_index in range(max_buffer_rounds + 1):
-        bound = build_bound_graph(
-            app, arch, binding, implementations, channels,
-            serialization_overrides=serialization_overrides,
+    if pipeline is None:
+        pipeline = MappingPipeline(
+            binding=binding,
+            routing=routing,
+            buffer_policy=buffer_policy,
+            scheduling=scheduling,
+            seed=seed,
         )
-        try:
-            orders = build_static_orders(bound)
-            result = analyze_throughput(
-                bound.graph,
-                processor_of=bound.processor_of,
-                static_order=orders,
-                reference_actor=bound.app_actors[0],
-                max_iterations=max_iterations,
-            )
-        except DeadlockError:
-            grow_buffers(channels)
-            rounds_used = round_index + 1
-            continue
-
-        if best is None or result.throughput > best[0].throughput:
-            best = (result, orders,
-                    {name: _copy_channel(c) for name, c in channels.items()})
-        if constraint is None or result.throughput >= constraint:
-            break
-        grow_buffers(channels)
-        rounds_used = round_index + 1
-
-    if best is None:
-        raise ThroughputConstraintError(
-            f"no deadlock-free buffer configuration found for {app.name!r} "
-            f"on {arch.name!r} within {max_buffer_rounds} rounds"
-        )
-
-    result, orders, best_channels = best
-    mapping = Mapping(
-        application=app.name,
-        architecture=arch.name,
-        actor_binding=dict(binding),
-        implementations=dict(implementations),
-        channels=best_channels,
-        static_orders=orders,
-    )
-    outcome = MappingResult(
-        mapping=mapping,
-        throughput=result,
+    return pipeline.run(
+        app,
+        arch,
         constraint=constraint,
-        buffer_growth_rounds=rounds_used,
-    )
-    if strict and not outcome.constraint_met:
-        raise ThroughputConstraintError(
-            f"constraint {constraint} unreachable for {app.name!r} on "
-            f"{arch.name!r}: best guarantee is {result.throughput} after "
-            f"{rounds_used} buffer-growth round(s)"
-        )
-    return outcome
-
-
-def _copy_channel(channel):
-    from repro.mapping.spec import ChannelMapping
-
-    return ChannelMapping(
-        edge=channel.edge,
-        src_tile=channel.src_tile,
-        dst_tile=channel.dst_tile,
-        capacity=channel.capacity,
-        alpha_src=channel.alpha_src,
-        alpha_dst=channel.alpha_dst,
-        parameters=channel.parameters,
+        weights=weights,
+        fixed=fixed,
+        serialization_overrides=serialization_overrides,
+        max_buffer_rounds=max_buffer_rounds,
+        strict=strict,
+        max_iterations=max_iterations,
+        effort=effort,
     )

@@ -225,6 +225,71 @@ class TestCaching:
         assert [p.label for p in noc.points] == ["1t/noc"]
         assert noc.points[0].throughput == fsl.points[0].throughput
 
+    def test_cache_keys_distinguish_strategies(self, app):
+        # Same candidate platform, different mapping strategy: the second
+        # sweep must re-evaluate every point (no false cache hit).
+        from repro.mapping import StrategyTuple
+
+        cache = EvaluationCache()
+        for strategy in (
+            StrategyTuple(),
+            StrategyTuple(binding="spiral"),
+            StrategyTuple(buffer_policy="exponential"),
+            StrategyTuple(binding="ga", seed=1),
+            StrategyTuple(binding="ga", seed=2),
+        ):
+            evaluator = Evaluator(app, cache=cache)
+            space = DesignSpace(
+                tile_counts=(1, 2), interconnects=("fsl",),
+                strategy=strategy,
+            )
+            ParallelExplorer(evaluator, jobs=1).explore(space)
+            assert evaluator.evaluations == len(space)
+
+    def test_same_strategy_still_hits(self, app):
+        from repro.mapping import StrategyTuple
+
+        cache = EvaluationCache()
+        space = DesignSpace(
+            tile_counts=(1, 2), interconnects=("fsl",),
+            strategy=StrategyTuple(binding="spiral"),
+        )
+        ParallelExplorer(Evaluator(app, cache=cache), jobs=1).explore(space)
+        twin = Evaluator(app, cache=cache)
+        ParallelExplorer(twin, jobs=1).explore(space)
+        assert twin.evaluations == 0
+
+    def test_strategy_shows_up_in_labels_and_csv(self, app):
+        from repro.mapping import StrategyTuple
+
+        space = DesignSpace(
+            tile_counts=(2,), interconnects=("fsl",),
+            strategy=StrategyTuple(binding="spiral"),
+        )
+        result = ParallelExplorer(Evaluator(app), jobs=1).explore(space)
+        assert [p.label for p in result.points] == [
+            "2t/fsl#binding=spiral"
+        ]
+        csv = exploration_csv(result)
+        assert csv.splitlines()[0].endswith(",strategy")
+        assert "binding=spiral" in csv.splitlines()[1]
+
+    def test_promoted_point_keeps_its_strategy(self, app):
+        from repro.flow import DesignFlow
+        from repro.mapping import StrategyTuple
+
+        result = explore_design_space(
+            app, tile_counts=(2,), interconnects=("fsl",),
+            binding="spiral", buffer_policy="exponential",
+        )
+        point = result.points[0]
+        assert point.strategy == StrategyTuple(
+            binding="spiral", buffer_policy="exponential"
+        )
+        flow = DesignFlow.from_design_point(app, point)
+        assert flow.pipeline is not None
+        assert flow.pipeline.strategies == point.strategy
+
     def test_cache_keys_distinguish_effort(self, app):
         cache = EvaluationCache()
         for effort in ("low", "normal"):

@@ -1,0 +1,170 @@
+"""Tests for the declarative FlowSpec layer (repro.flow.spec)."""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.flow import DesignFlow, FlowSpec, FlowSpecError, load_flow_spec
+from repro.mapping import StrategyTuple
+
+MINIMAL = {"name": "minimal"}
+
+FULL_TOML = """\
+name = "mjpeg-ga"
+
+[app]
+sequence = "gradient"
+quality = 80
+frames = 2
+
+[architecture]
+tiles = 3
+interconnect = "noc"
+with_ca = false
+
+[mapping]
+constraint = "1/9000"
+effort = "low"
+binding = "ga"
+buffer_policy = "exponential"
+seed = 7
+
+[mapping.fixed]
+VLD = "tile0"
+"""
+
+
+class TestParsing:
+    def test_defaults(self):
+        spec = FlowSpec.from_dict(dict(MINIMAL))
+        assert spec.name == "minimal"
+        assert spec.app.sequence == "gradient"
+        assert spec.architecture.tiles == 2
+        assert spec.constraint is None
+        assert spec.strategies == StrategyTuple()
+
+    def test_full_toml_round_trip(self, tmp_path):
+        path = tmp_path / "scenario.toml"
+        path.write_text(FULL_TOML, encoding="utf-8")
+        spec = load_flow_spec(path)
+        assert spec.name == "mjpeg-ga"
+        assert spec.app.quality == 80
+        assert spec.architecture.interconnect == "noc"
+        assert spec.constraint == Fraction(1, 9000)
+        assert spec.effort == "low"
+        assert spec.fixed == {"VLD": "tile0"}
+        assert spec.strategies == StrategyTuple(
+            binding="ga", buffer_policy="exponential", seed=7
+        )
+
+    def test_json_form(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "json-spec",
+                    "architecture": {"tiles": 3},
+                    "mapping": {"binding": "spiral"},
+                }
+            ),
+            encoding="utf-8",
+        )
+        spec = load_flow_spec(path)
+        assert spec.name == "json-spec"
+        assert spec.strategies.binding == "spiral"
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(FlowSpecError, match="unknown top-level"):
+            FlowSpec.from_dict({"name": "x", "aplication": {}})
+
+    def test_unknown_mapping_key_rejected(self):
+        with pytest.raises(FlowSpecError, match=r"unknown \[mapping\]"):
+            FlowSpec.from_dict({"mapping": {"bindings": "ga"}})
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(FlowSpecError, match="registered"):
+            FlowSpec.from_dict({"mapping": {"binding": "quantum"}})
+
+    def test_bad_constraint_rejected(self):
+        with pytest.raises(FlowSpecError, match="constraint"):
+            FlowSpec.from_dict({"mapping": {"constraint": "fast"}})
+
+    def test_boolean_constraint_rejected(self):
+        # bool subclasses int; `constraint = true` must not become
+        # Fraction(1) (an absurd 1 iteration/cycle requirement)
+        with pytest.raises(FlowSpecError, match="constraint"):
+            FlowSpec.from_dict({"mapping": {"constraint": True}})
+
+    def test_bad_effort_rejected(self):
+        with pytest.raises(FlowSpecError, match="effort"):
+            FlowSpec.from_dict({"mapping": {"effort": "heroic"}})
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(FlowSpecError, match="tiles"):
+            FlowSpec.from_dict({"architecture": {"tiles": "three"}})
+
+    def test_unsupported_format_rejected(self, tmp_path):
+        path = tmp_path / "scenario.yaml"
+        path.write_text("name: nope", encoding="utf-8")
+        with pytest.raises(FlowSpecError, match="unsupported"):
+            load_flow_spec(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(FlowSpecError, match="cannot read"):
+            load_flow_spec(tmp_path / "absent.toml")
+
+    def test_describe_mentions_strategies(self):
+        spec = FlowSpec.from_dict(
+            {"name": "d", "mapping": {"binding": "spiral"}}
+        )
+        text = spec.describe()
+        assert "spiral" in text
+        assert "d" in text
+
+
+class TestRealization:
+    def test_build_architecture_honours_template_params(self):
+        spec = FlowSpec.from_dict(
+            {
+                "architecture": {
+                    "tiles": 3,
+                    "interconnect": "fsl",
+                    "slave_data_kb": 64,
+                }
+            }
+        )
+        arch = spec.build_architecture()
+        assert len(arch.tiles) == 3
+        assert arch.tile("tile1").data_memory.capacity_bytes == 64 * 1024
+
+    def test_from_spec_runs_the_flow(self, tmp_path):
+        path = tmp_path / "scenario.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    'name = "spec-flow"',
+                    "[architecture]",
+                    "tiles = 2",
+                    "[mapping]",
+                    'binding = "spiral"',
+                    "[mapping.fixed]",
+                    'VLD = "tile0"',
+                ]
+            ),
+            encoding="utf-8",
+        )
+        flow = DesignFlow.from_spec(path)
+        assert flow.pipeline is not None
+        assert flow.pipeline.strategies.binding == "spiral"
+        result = flow.run(iterations=4)
+        assert result.guaranteed_throughput > 0
+        assert result.mapping_result.mapping.actor_binding["VLD"] == "tile0"
+
+    def test_from_spec_accepts_prebuilt_app(self):
+        from tests.flow.test_dse_engine import build_chain_app
+
+        spec = FlowSpec.from_dict({"architecture": {"tiles": 2}})
+        flow = DesignFlow.from_spec(spec, app=build_chain_app())
+        result = flow.run(measure=False)
+        assert result.guaranteed_throughput > 0

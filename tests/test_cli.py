@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -44,6 +46,62 @@ class TestAnalyze:
         with pytest.raises((FileNotFoundError, OSError)):
             main(["analyze", str(tmp_path / "nope.xml")])
 
+    def test_json_output_includes_mapping_result(self, graph_file, capsys):
+        assert main(
+            ["analyze", graph_file, "--json", "--tiles", "2"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["deadlock_free"] is True
+        assert payload["repetition_vector"] == {"A": 1, "B": 1}
+        assert payload["throughput"]["period_cycles"] > 0
+        mapping = payload["mapping"]
+        assert set(mapping["binding"]) == {"A", "B"}
+        assert mapping["guaranteed_per_mega_cycle"] > 0
+        assert mapping["constraint_met"] is True
+        for channel in mapping["channels"].values():
+            total = (
+                channel["capacity"]
+                + channel["alpha_src"] + channel["alpha_dst"]
+            )
+            assert total > 0
+
+    def test_json_mapping_handles_pre_bounded_graphs(self, tmp_path,
+                                                     capsys):
+        """Graphs saved with buffer back-edges must still map: the CLI
+        strips the ``buf__`` credit edges (the mapping flow allocates
+        its own capacities) instead of colliding with the bound graph's
+        modeling edges on intra-tile placements."""
+        g = SDFGraph("bounded3")
+        for name, t in (("A", 10), ("B", 20), ("C", 15)):
+            g.add_actor(name, execution_time=t)
+        g.add_edge("ab", "A", "B", token_size=4)
+        g.add_edge("bc", "B", "C", token_size=4)
+        bounded = add_buffer_edges(
+            g, BufferDistribution({"ab": 2, "bc": 2})
+        )
+        path = tmp_path / "bounded.xml"
+        save_graph(bounded, path)
+        assert main(["analyze", str(path), "--json", "--tiles", "1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        mapping = payload["mapping"]
+        assert "error" not in mapping
+        assert set(mapping["binding"]) == {"A", "B", "C"}
+        assert set(mapping["channels"]) == {"ab", "bc"}
+
+    def test_json_output_for_deadlocked_graph(self, tmp_path, capsys):
+        g = SDFGraph("dead")
+        g.add_actor("A", execution_time=1)
+        g.add_actor("B", execution_time=1)
+        g.add_edge("ab", "A", "B")
+        g.add_edge("ba", "B", "A")
+        path = tmp_path / "dead.xml"
+        save_graph(g, path)
+        assert main(["analyze", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["deadlock_free"] is False
+        assert "throughput" not in payload
+        assert "mapping" not in payload
+
 
 class TestDemo:
     def test_runs_case_study(self, capsys, tmp_path):
@@ -64,12 +122,65 @@ class TestDemo:
         assert "unknown sequence" in err
 
 
+class TestRunSpec:
+    def test_runs_toml_scenario(self, tmp_path, capsys):
+        spec = tmp_path / "scenario.toml"
+        spec.write_text(
+            "\n".join(
+                [
+                    'name = "cli-spec"',
+                    "[architecture]",
+                    "tiles = 2",
+                    "[mapping]",
+                    'binding = "spiral"',
+                    'buffer_policy = "exponential"',
+                    "[mapping.fixed]",
+                    'VLD = "tile0"',
+                ]
+            ),
+            encoding="utf-8",
+        )
+        code = main(["run", "--spec", str(spec), "--iterations", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cli-spec" in out
+        assert "binding=spiral" in out
+        assert "guaranteed" in out
+        assert "measured" in out
+
+    def test_bad_spec_fails_cleanly(self, tmp_path, capsys):
+        spec = tmp_path / "scenario.toml"
+        spec.write_text('[mapping]\nbinding = "quantum"\n',
+                        encoding="utf-8")
+        assert main(["run", "--spec", str(spec)]) == 1
+        err = capsys.readouterr().err
+        assert "quantum" in err
+
+    def test_missing_spec_fails_cleanly(self, tmp_path, capsys):
+        assert main(["run", "--spec", str(tmp_path / "none.toml")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+
 class TestDSE:
     def test_prints_pareto_table(self, capsys):
         assert main(["dse", "gradient", "--max-tiles", "2"]) == 0
         out = capsys.readouterr().out
         assert "1t/fsl" in out
         assert "pareto" in out
+
+    def test_strategy_flags(self, capsys):
+        code = main(
+            ["explore", "gradient", "--max-tiles", "2",
+             "--binding", "spiral", "--buffer-policy", "exponential",
+             "--effort", "low"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "binding=spiral" in out
+
+    def test_unknown_binding_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "--binding", "quantum"])
 
 
 def test_requires_command():
