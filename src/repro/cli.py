@@ -38,7 +38,12 @@ from repro.sdf import (
 from repro.sdf.io_sdf3 import load_graph
 
 
-def _mapping_payload(graph, tiles: int, interconnect: str) -> dict:
+def _mapping_payload(
+    graph,
+    tiles: int,
+    interconnect: str,
+    max_iterations: Optional[int] = None,
+) -> dict:
     """Map a bare graph onto a template platform, as JSON-able data.
 
     Graph files carry no implementation metrics, so each actor gets a
@@ -80,7 +85,7 @@ def _mapping_payload(graph, tiles: int, interconnect: str) -> dict:
         ],
     )
     arch = architecture_from_template(tiles, interconnect)
-    result = map_application(app, arch)
+    result = map_application(app, arch, max_iterations=max_iterations)
     channels = {}
     for name, channel in result.mapping.channels.items():
         channels[name] = {
@@ -108,10 +113,20 @@ def _mapping_payload(graph, tiles: int, interconnect: str) -> dict:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.max_iterations is not None and args.max_iterations < 1:
+        raise ReproError(
+            f"--max-iterations must be >= 1, got {args.max_iterations}"
+        )
     graph = load_graph(args.graph)
     q = repetition_vector(graph)
     live = is_deadlock_free(graph)
-    result = analyze_throughput(graph) if live else None
+    throughput_kwargs = (
+        {} if args.max_iterations is None
+        else {"max_iterations": args.max_iterations}
+    )
+    result = (
+        analyze_throughput(graph, **throughput_kwargs) if live else None
+    )
 
     if args.json:
         payload = {
@@ -131,7 +146,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             }
             try:
                 payload["mapping"] = _mapping_payload(
-                    graph, args.tiles, args.interconnect
+                    graph, args.tiles, args.interconnect,
+                    max_iterations=args.max_iterations,
                 )
             except ReproError as error:
                 payload["mapping"] = {"error": str(error)}
@@ -213,6 +229,15 @@ def _cmd_explore(args: argparse.Namespace) -> int:
                 f"invalid --constraint {args.constraint!r}; expected a "
                 "fraction like 1/6000"
             ) from None
+    effort = args.effort
+    if args.max_iterations is not None:
+        if args.max_iterations < 1:
+            raise ReproError(
+                f"--max-iterations must be >= 1, got {args.max_iterations}"
+            )
+        # Derived effort preset: same retry budget, overridden state-space
+        # iteration budget; survives the name-typed candidate plumbing.
+        effort = f"{args.effort}+it{args.max_iterations}"
     app = _load_case_study(args.sequence)
     mixes = (UNIFORM_MIX, COMPACT_MIX) if args.heterogeneous \
         else (UNIFORM_MIX,)
@@ -224,7 +249,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         constraint=constraint,
         fixed={"VLD": "tile0"},
         mixes=mixes,
-        effort=args.effort,
+        effort=effort,
         jobs=args.jobs,
         early_exit=args.early_exit,
         binding=args.binding,
@@ -269,6 +294,12 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--interconnect", choices=("fsl", "noc"), default="fsl",
         help="template interconnect for the --json mapping",
+    )
+    analyze.add_argument(
+        "--max-iterations", type=int, default=None, metavar="N",
+        help="state-space iteration budget of the throughput analysis "
+             "(default 10000); raise it for large bounded graphs whose "
+             "periodic phase needs more iterations to appear",
     )
     analyze.set_defaults(handler=_cmd_analyze)
 
@@ -318,6 +349,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--effort", choices=("low", "normal", "high"),
             default="normal",
             help="mapping effort per design point",
+        )
+        explore.add_argument(
+            "--max-iterations", type=int, default=None, metavar="N",
+            help="override the effort preset's state-space iteration "
+                 "budget for every design point (large bounded graphs "
+                 "can need more than the preset to find their periodic "
+                 "phase)",
         )
         explore.add_argument(
             "--binding", choices=registered("binding"), default="greedy",

@@ -97,6 +97,43 @@ def expanded_names(edge_name: str) -> CommActorNames:
     )
 
 
+def _validate_alphas(
+    edge_name: str,
+    p: int,
+    q: int,
+    d0: int,
+    alpha_src: int,
+    alpha_dst: int,
+) -> None:
+    """Shared buffer-size validation of :func:`expand_channel` and
+    :func:`retune_channel_capacities` (one rule set, cold and warm path)."""
+    if alpha_src < p:
+        raise ArchitectureError(
+            f"source buffer of {edge_name!r} ({alpha_src} tokens) cannot "
+            f"hold one production burst of {p}"
+        )
+    if alpha_dst < q:
+        raise ArchitectureError(
+            f"destination buffer of {edge_name!r} ({alpha_dst} tokens) "
+            f"cannot hold one consumption burst of {q}"
+        )
+    if alpha_dst < d0:
+        raise ArchitectureError(
+            f"destination buffer of {edge_name!r} ({alpha_dst} tokens) "
+            f"cannot hold the {d0} initial token(s)"
+        )
+
+
+def _alpha_credit_tokens(
+    alpha_src: int, alpha_dst: int, d0: int, n_words: int
+) -> tuple:
+    """Initial tokens of the ``__scredit`` / ``__dcredit`` edges for the
+    given buffer sizes -- the one place the formulas live, so the warm
+    path (:func:`retune_channel_capacities`) cannot drift from the
+    expansion."""
+    return alpha_src, (alpha_dst - d0) * n_words
+
+
 def expand_channel(
     graph: SDFGraph,
     edge_name: str,
@@ -128,21 +165,10 @@ def expand_channel(
     n_words = words_per_token(edge.token_size)
     p, q, d0 = edge.production, edge.consumption, edge.initial_tokens
 
-    if alpha_src < p:
-        raise ArchitectureError(
-            f"source buffer of {edge_name!r} ({alpha_src} tokens) cannot "
-            f"hold one production burst of {p}"
-        )
-    if alpha_dst < q:
-        raise ArchitectureError(
-            f"destination buffer of {edge_name!r} ({alpha_dst} tokens) "
-            f"cannot hold one consumption burst of {q}"
-        )
-    if alpha_dst < d0:
-        raise ArchitectureError(
-            f"destination buffer of {edge_name!r} ({alpha_dst} tokens) "
-            f"cannot hold the {d0} initial token(s)"
-        )
+    _validate_alphas(edge_name, p, q, d0, alpha_src, alpha_dst)
+    scredit_tokens, dcredit_tokens = _alpha_credit_tokens(
+        alpha_src, alpha_dst, d0, n_words
+    )
 
     names = expanded_names(edge_name)
     tag = edge_name
@@ -201,7 +227,7 @@ def expand_channel(
     graph.add_edge(
         f"{tag}__scredit", names.s3, edge.src,
         production=1, consumption=p,
-        initial_tokens=alpha_src,
+        initial_tokens=scredit_tokens,
         implicit=True,
     )
 
@@ -269,7 +295,36 @@ def expand_channel(
     graph.add_edge(
         f"{tag}__dcredit", names.d3, names.d1,
         production=n_words, consumption=1,
-        initial_tokens=(alpha_dst - d0) * n_words,
+        initial_tokens=dcredit_tokens,
         implicit=True,
     )
     return names
+
+
+def retune_channel_capacities(
+    graph: SDFGraph,
+    edge_name: str,
+    production: int,
+    consumption: int,
+    initial_tokens: int,
+    token_size: int,
+    alpha_src: int,
+    alpha_dst: int,
+) -> None:
+    """Update the alpha-dependent credit tokens of an expanded channel.
+
+    The warm path of the mapping flow's buffer-growth loop: growing
+    ``alpha_src`` / ``alpha_dst`` changes only the initial token counts of
+    the ``__scredit`` and ``__dcredit`` edges, never the structure of the
+    expansion, so the bound graph can be mutated in place instead of
+    rebuilt.  ``production`` / ``consumption`` / ``initial_tokens`` /
+    ``token_size`` describe the *original* application edge (the expanded
+    graph no longer contains it); validation matches
+    :func:`expand_channel`.
+    """
+    p, q, d0 = production, consumption, initial_tokens
+    _validate_alphas(edge_name, p, q, d0, alpha_src, alpha_dst)
+    n_words = words_per_token(token_size)
+    scredit, dcredit = _alpha_credit_tokens(alpha_src, alpha_dst, d0, n_words)
+    graph.edge(f"{edge_name}__scredit").initial_tokens = scredit
+    graph.edge(f"{edge_name}__dcredit").initial_tokens = dcredit

@@ -19,7 +19,11 @@ from typing import Dict, List, Optional, Tuple
 from repro.appmodel.implementation import ActorImplementation
 from repro.appmodel.model import ApplicationModel
 from repro.arch.platform import ArchitectureModel
-from repro.comm.model import CommActorNames, expand_channel
+from repro.comm.model import (
+    CommActorNames,
+    expand_channel,
+    retune_channel_capacities,
+)
 from repro.comm.serialization import (
     CASerialization,
     PESerialization,
@@ -71,6 +75,19 @@ class BoundGraph:
             if tile not in seen:
                 seen.append(tile)
         return tuple(seen)
+
+
+def _intra_tile_credit_tokens(edge, channel: ChannelMapping) -> int:
+    """Initial tokens of an intra-tile channel's ``buf__`` back-edge --
+    shared (with validation) by :func:`build_bound_graph` and
+    :func:`apply_buffer_capacities` so the warm path cannot drift."""
+    if channel.capacity < max(edge.production, edge.consumption,
+                              edge.initial_tokens):
+        raise MappingError(
+            f"intra-tile channel {edge.name!r} has unusable "
+            f"capacity {channel.capacity}"
+        )
+    return channel.capacity - edge.initial_tokens
 
 
 def build_bound_graph(
@@ -132,19 +149,13 @@ def build_bound_graph(
         if channel is None:
             raise MappingError(f"channel {edge.name!r} was never routed")
         if channel.intra_tile:
-            if channel.capacity < max(edge.production, edge.consumption,
-                                      edge.initial_tokens):
-                raise MappingError(
-                    f"intra-tile channel {edge.name!r} has unusable "
-                    f"capacity {channel.capacity}"
-                )
             graph.add_edge(
                 f"{BUFFER_EDGE_PREFIX}{edge.name}",
                 edge.dst,
                 edge.src,
                 production=edge.consumption,
                 consumption=edge.production,
-                initial_tokens=channel.capacity - edge.initial_tokens,
+                initial_tokens=_intra_tile_credit_tokens(edge, channel),
                 implicit=True,
             )
             continue
@@ -190,3 +201,41 @@ def build_bound_graph(
         app_actors=tuple(a.name for a in app.graph),
         comm_names=comm_names,
     )
+
+
+def apply_buffer_capacities(
+    bound: BoundGraph,
+    app: ApplicationModel,
+    channels: Dict[str, ChannelMapping],
+) -> None:
+    """Re-point ``bound`` at the channels' current capacities, in place.
+
+    Growing buffers only changes initial token counts -- the capacity of an
+    intra-tile channel lives on its ``buf__`` credit back-edge, the alphas
+    of an inter-tile channel on the expansion's ``__scredit`` /
+    ``__dcredit`` edges -- never the structure of the bound graph.  The
+    mapping flow's constraint loop therefore builds the bound graph once
+    and calls this per buffer-growth round instead of rebuilding it, and
+    the throughput analyzer picks the new counts up on its next reset.
+    Capacity validation matches :func:`build_bound_graph`.
+    """
+    graph = bound.graph
+    for edge in app.graph.explicit_edges():
+        channel = channels.get(edge.name)
+        if channel is None:
+            raise MappingError(f"channel {edge.name!r} was never routed")
+        if channel.intra_tile:
+            graph.edge(
+                f"{BUFFER_EDGE_PREFIX}{edge.name}"
+            ).initial_tokens = _intra_tile_credit_tokens(edge, channel)
+        else:
+            retune_channel_capacities(
+                graph,
+                edge.name,
+                production=edge.production,
+                consumption=edge.consumption,
+                initial_tokens=edge.initial_tokens,
+                token_size=edge.token_size,
+                alpha_src=channel.alpha_src,
+                alpha_dst=channel.alpha_dst,
+            )

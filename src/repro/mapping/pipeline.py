@@ -51,14 +51,18 @@ from repro.comm.serialization import SerializationModel
 from repro.exceptions import DeadlockError, MappingError, \
     ThroughputConstraintError
 from repro.mapping.binding import _memory_fits, bind_actors
-from repro.mapping.bound_graph import BoundGraph, build_bound_graph
+from repro.mapping.bound_graph import (
+    BoundGraph,
+    apply_buffer_capacities,
+    build_bound_graph,
+)
 from repro.mapping.buffer_alloc import allocate_buffers, grow_buffers
 from repro.mapping.costs import CostWeights
 from repro.mapping.routing import route_channels
 from repro.mapping.scheduling import build_static_orders
 from repro.mapping.spec import ChannelMapping, Mapping, MappingResult
 from repro.sdf.repetition import repetition_vector
-from repro.sdf.throughput import analyze_throughput
+from repro.sdf.throughput import ThroughputAnalyzer
 
 
 # ----------------------------------------------------------------------
@@ -81,16 +85,54 @@ class MappingEffort:
 
     @classmethod
     def of(cls, level: Union[str, "MappingEffort"]) -> "MappingEffort":
-        """Resolve an effort level by name (``low``/``normal``/``high``)."""
+        """Resolve an effort level by name (``low``/``normal``/``high``).
+
+        A ``+it<N>`` suffix (e.g. ``"normal+it50000"``) derives a preset
+        with the state-space iteration budget overridden to ``N`` -- the
+        string form the CLI's ``--max-iterations`` plumbs through the
+        exploration engine, whose candidates carry effort by name.
+        """
         if isinstance(level, MappingEffort):
             return level
+        base_name, sep, override = level.partition("+it")
         try:
-            return EFFORT_LEVELS[level]
+            base = EFFORT_LEVELS[base_name]
         except KeyError:
             raise ValueError(
                 f"unknown mapping effort {level!r}; pick from "
-                f"{sorted(EFFORT_LEVELS)}"
+                f"{sorted(EFFORT_LEVELS)} (optionally suffixed with "
+                "'+it<N>' to override the analysis iteration budget)"
             ) from None
+        if not sep:
+            return base
+        try:
+            iterations = int(override)
+        except ValueError:
+            raise ValueError(
+                f"invalid iteration override in mapping effort {level!r}; "
+                "expected '+it<N>' with a positive integer N"
+            ) from None
+        return base.with_iterations(iterations)
+
+    def with_iterations(self, max_iterations: int) -> "MappingEffort":
+        """Same preset with a different state-space iteration budget.
+
+        The derived name round-trips through :meth:`of`, so the override
+        survives string-typed plumbing (CLI, design-space candidates,
+        cache keys).
+        """
+        if max_iterations < 1:
+            raise ValueError(
+                f"max_iterations must be >= 1, got {max_iterations}"
+            )
+        if max_iterations == self.max_iterations:
+            return self
+        base_name = self.name.partition("+it")[0]
+        return MappingEffort(
+            name=f"{base_name}+it{max_iterations}",
+            max_buffer_rounds=self.max_buffer_rounds,
+            max_iterations=max_iterations,
+        )
 
 
 #: The named effort presets, cheapest first.
@@ -773,20 +815,35 @@ class MappingPipeline:
 
         best = None
         rounds_used = 0
+        # Warm path: the bound graph is built once; buffer growth only
+        # changes credit-token counts, so later rounds retune it in place
+        # (apply_buffer_capacities) instead of re-expanding every channel.
+        # The state-space analyzer is likewise reused across rounds as
+        # long as the derived static orders are unchanged -- its simulator
+        # re-reads initial tokens on reset.
+        bound = None
+        analyzer = None
+        analyzer_orders = None
         for round_index in range(max_buffer_rounds + 1):
-            bound = build_bound_graph(
-                app, arch, binding, implementations, channels,
-                serialization_overrides=serialization_overrides,
-            )
+            if bound is None:
+                bound = build_bound_graph(
+                    app, arch, binding, implementations, channels,
+                    serialization_overrides=serialization_overrides,
+                )
+            else:
+                apply_buffer_capacities(bound, app, channels)
             try:
                 orders = self.scheduling.build(bound)
-                result = analyze_throughput(
-                    bound.graph,
-                    processor_of=bound.processor_of,
-                    static_order=orders,
-                    reference_actor=bound.app_actors[0],
-                    max_iterations=max_iterations,
-                )
+                if analyzer is None or orders != analyzer_orders:
+                    analyzer = ThroughputAnalyzer(
+                        bound.graph,
+                        processor_of=bound.processor_of,
+                        static_order=orders,
+                        reference_actor=bound.app_actors[0],
+                        max_iterations=max_iterations,
+                    )
+                    analyzer_orders = orders
+                result = analyzer.analyze()
             except DeadlockError:
                 self.buffer_policy.grow(channels, round_index)
                 rounds_used = round_index + 1

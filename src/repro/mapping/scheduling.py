@@ -39,8 +39,8 @@ def build_static_orders(bound: BoundGraph) -> Dict[str, List[str]]:
     targets = {a: q[a] for a in bound.app_actors}
 
     def one_iteration_started(s: SelfTimedSimulator) -> bool:
-        started = s.started
-        return all(started[a] >= n for a, n in targets.items())
+        # started_of is O(1); this predicate runs after every step.
+        return all(s.started_of(a) >= n for a, n in targets.items())
 
     total_needed = sum(q.values()) * 3  # generous safety bound
     sim.run(

@@ -24,7 +24,11 @@ The central type is :class:`~repro.sdf.graph.SDFGraph`.  A quick tour::
 from repro.sdf.graph import Actor, Edge, SDFGraph
 from repro.sdf.repetition import is_consistent, repetition_vector
 from repro.sdf.deadlock import is_deadlock_free
-from repro.sdf.throughput import ThroughputResult, analyze_throughput
+from repro.sdf.throughput import (
+    ThroughputAnalyzer,
+    ThroughputResult,
+    analyze_throughput,
+)
 from repro.sdf.simulation import SelfTimedSimulator, SimulationTrace
 from repro.sdf.hsdf import to_hsdf
 from repro.sdf.mcm import maximum_cycle_mean
@@ -32,6 +36,7 @@ from repro.sdf.buffers import (
     BufferDistribution,
     add_buffer_edges,
     minimal_buffer_distribution,
+    retune_buffer_capacity,
 )
 from repro.sdf.latency import (
     first_iteration_latency,
@@ -46,6 +51,7 @@ __all__ = [
     "is_consistent",
     "is_deadlock_free",
     "analyze_throughput",
+    "ThroughputAnalyzer",
     "ThroughputResult",
     "SelfTimedSimulator",
     "SimulationTrace",
@@ -54,6 +60,7 @@ __all__ = [
     "BufferDistribution",
     "add_buffer_edges",
     "minimal_buffer_distribution",
+    "retune_buffer_capacity",
     "first_iteration_latency",
     "source_to_sink_latency",
 ]

@@ -25,7 +25,11 @@ from typing import Dict, Iterable, Optional, Tuple
 from repro.exceptions import GraphError, ThroughputConstraintError
 from repro.sdf.deadlock import is_deadlock_free
 from repro.sdf.graph import Edge, SDFGraph
-from repro.sdf.throughput import ThroughputResult, analyze_throughput
+from repro.sdf.throughput import (
+    ThroughputAnalyzer,
+    ThroughputResult,
+    analyze_throughput,
+)
 
 BUFFER_EDGE_PREFIX = "buf__"
 
@@ -72,6 +76,22 @@ def bufferable_edges(graph: SDFGraph) -> Tuple[Edge, ...]:
     return graph.explicit_edges()
 
 
+def _check_capacity(edge: Edge, capacity: int) -> None:
+    """Shared capacity validation of :func:`add_buffer_edges` and
+    :func:`retune_buffer_capacity` (one rule set, cold and warm path)."""
+    if capacity < edge.initial_tokens:
+        raise GraphError(
+            f"capacity {capacity} of edge {edge.name!r} cannot hold its "
+            f"{edge.initial_tokens} initial token(s)"
+        )
+    if capacity < max(edge.production, edge.consumption):
+        raise GraphError(
+            f"capacity {capacity} of edge {edge.name!r} is below a "
+            f"single burst (production={edge.production}, "
+            f"consumption={edge.consumption}); the graph could never run"
+        )
+
+
 def add_buffer_edges(
     graph: SDFGraph,
     distribution: BufferDistribution,
@@ -91,17 +111,7 @@ def add_buffer_edges(
                 f"self-edge {edge_name!r} cannot be buffered (its capacity "
                 "is its initial token count)"
             )
-        if capacity < edge.initial_tokens:
-            raise GraphError(
-                f"capacity {capacity} of edge {edge_name!r} cannot hold its "
-                f"{edge.initial_tokens} initial token(s)"
-            )
-        if capacity < max(edge.production, edge.consumption):
-            raise GraphError(
-                f"capacity {capacity} of edge {edge_name!r} is below a "
-                f"single burst (production={edge.production}, "
-                f"consumption={edge.consumption}); the graph could never run"
-            )
+        _check_capacity(edge, capacity)
         bounded.add_edge(
             f"{BUFFER_EDGE_PREFIX}{edge_name}",
             edge.dst,
@@ -118,6 +128,26 @@ def add_buffer_edges(
 def buffer_edge_name(edge_name: str) -> str:
     """Name of the credit back-edge created for ``edge_name``."""
     return f"{BUFFER_EDGE_PREFIX}{edge_name}"
+
+
+def retune_buffer_capacity(
+    bounded: SDFGraph, edge_name: str, capacity: int
+) -> None:
+    """Re-point one modelled capacity of a bounded graph, in place.
+
+    ``bounded`` must carry the credit back-edge :func:`add_buffer_edges`
+    created for ``edge_name``; its initial tokens become
+    ``capacity - initial_tokens(edge)``.  This is the warm path of the
+    sizing search: one bounded graph is built and then retuned per
+    candidate capacity instead of re-copied, and the simulator inside
+    :class:`~repro.sdf.throughput.ThroughputAnalyzer` picks the new token
+    counts up on its next reset.  Validation matches
+    :func:`add_buffer_edges`.
+    """
+    edge = bounded.edge(edge_name)
+    _check_capacity(edge, capacity)
+    credit = bounded.edge(buffer_edge_name(edge_name))
+    credit.initial_tokens = capacity - edge.initial_tokens
 
 
 def _initial_distribution(graph: SDFGraph) -> BufferDistribution:
@@ -150,13 +180,23 @@ def minimal_buffer_distribution(
         result = analyze_throughput(graph)
         return distribution, result
 
+    # Warm path: build the bounded graph ONCE; every candidate after that
+    # only retunes credit-edge initial tokens in place.  The state-space
+    # analyzer below is likewise built once and reset per candidate --
+    # phase 2 runs one full analysis per edge per round, which made the
+    # copy-per-trial variant the hottest loop of the whole sizing flow.
+    bounded = add_buffer_edges(graph, distribution)
+
+    def set_capacity(name: str, capacity: int) -> None:
+        distribution.capacities[name] = capacity
+        retune_buffer_capacity(bounded, name, capacity)
+
     # Phase 1: reach deadlock freedom.
     for _ in range(max_rounds):
-        bounded = add_buffer_edges(graph, distribution)
         if is_deadlock_free(bounded):
             break
         for name in distribution.capacities:
-            distribution.capacities[name] += step
+            set_capacity(name, distribution.capacities[name] + step)
     else:
         raise ThroughputConstraintError(
             f"no deadlock-free buffer distribution for {graph.name!r} "
@@ -164,23 +204,26 @@ def minimal_buffer_distribution(
             "deadlocks"
         )
 
-    bounded = add_buffer_edges(graph, distribution)
-    result = analyze_throughput(bounded)
+    analyzer = ThroughputAnalyzer(bounded)
+    result = analyzer.analyze()
 
     if throughput_constraint is None:
         return distribution, result
 
-    # Phase 2: greedy steepest-ascent growth toward the constraint.
+    # Phase 2: greedy steepest-ascent growth toward the constraint.  Extra
+    # credit tokens can only enable more firings, so growth from the
+    # phase-1 deadlock-free point preserves liveness and the per-trial
+    # untimed liveness pre-check is skipped.
     for _ in range(max_rounds):
         if result.throughput >= throughput_constraint:
             return distribution, result
         best_name = None
         best_result = result
-        for name in distribution.capacities:
-            trial = BufferDistribution(dict(distribution.capacities))
-            trial.capacities[name] += step
-            trial_bounded = add_buffer_edges(graph, trial)
-            trial_result = analyze_throughput(trial_bounded)
+        for name in list(distribution.capacities):
+            current = distribution.capacities[name]
+            set_capacity(name, current + step)
+            trial_result = analyzer.analyze(check_deadlock=False)
+            set_capacity(name, current)
             if trial_result.throughput > best_result.throughput:
                 best_result = trial_result
                 best_name = name
@@ -188,9 +231,8 @@ def minimal_buffer_distribution(
             # No single increase helps; grow everything once (plateaus can
             # need simultaneous increases), then re-check.
             for name in distribution.capacities:
-                distribution.capacities[name] += step
-            bounded = add_buffer_edges(graph, distribution)
-            new_result = analyze_throughput(bounded)
+                set_capacity(name, distribution.capacities[name] + step)
+            new_result = analyzer.analyze(check_deadlock=False)
             if new_result.throughput <= result.throughput:
                 raise ThroughputConstraintError(
                     f"throughput of {graph.name!r} saturates at "
@@ -200,7 +242,7 @@ def minimal_buffer_distribution(
                 )
             result = new_result
         else:
-            distribution.capacities[best_name] += step
+            set_capacity(best_name, distribution.capacities[best_name] + step)
             result = best_result
 
     raise ThroughputConstraintError(

@@ -5,6 +5,14 @@ execute from the initial token distribution [Lee & Messerschmitt 1987].  The
 check below symbolically executes one iteration with plain token counting
 (timing is irrelevant for liveness) and reports which actors starve when the
 graph deadlocks, which makes mapping failures actionable.
+
+The execution is worklist-driven over integer-indexed adjacency: firing an
+actor only re-examines the consumers of the edges it produced on, instead
+of rescanning the whole graph per pass.  Greedy order is safe -- firing a
+ready actor can never disable another actor in SDF -- so the final token
+distribution and remaining-firing counts are order-independent (the check
+is confluent).  This matters because the buffer-sizing loop calls
+:func:`is_deadlock_free` once per candidate distribution.
 """
 
 from __future__ import annotations
@@ -18,31 +26,56 @@ from repro.sdf.repetition import repetition_vector
 def _execute_one_iteration(
     graph: SDFGraph,
 ) -> Tuple[bool, Dict[str, int], Dict[str, int]]:
-    """Try to fire each actor ``q[a]`` times; untimed, greedy.
+    """Try to fire each actor ``q[a]`` times; untimed, greedy, worklist.
 
-    Returns (completed, remaining_firings, final_tokens).  Greedy order is
-    safe: firing a ready actor can never disable another actor in SDF.
+    Returns (completed, remaining_firings, final_tokens).
     """
     q = repetition_vector(graph)
-    remaining = dict(q)
-    tokens = {e.name: e.initial_tokens for e in graph.edges}
+    actors = graph.actors
+    edges = graph.edges
+    names = [a.name for a in actors]
+    actor_index = {name: i for i, name in enumerate(names)}
+    edge_index = {e.name: i for i, e in enumerate(edges)}
 
-    progress = True
-    while progress:
-        progress = False
-        for actor in graph:
-            name = actor.name
-            while remaining[name] > 0 and all(
-                tokens[e.name] >= e.consumption for e in graph.in_edges(name)
-            ):
-                for e in graph.in_edges(name):
-                    tokens[e.name] -= e.consumption
-                for e in graph.out_edges(name):
-                    tokens[e.name] += e.production
-                remaining[name] -= 1
-                progress = True
-    completed = all(v == 0 for v in remaining.values())
-    return completed, remaining, tokens
+    tokens: List[int] = [e.initial_tokens for e in edges]
+    remaining: List[int] = [q[name] for name in names]
+    in_rates: List[List[Tuple[int, int]]] = [
+        [(edge_index[e.name], e.consumption) for e in graph.in_edges(name)]
+        for name in names
+    ]
+    # (edge index, production, consumer index) per out-edge: producing on
+    # an edge re-examines exactly its consumer.
+    out_rates: List[List[Tuple[int, int, int]]] = [
+        [(edge_index[e.name], e.production, actor_index[e.dst])
+         for e in graph.out_edges(name)]
+        for name in names
+    ]
+
+    n = len(actors)
+    stack: List[int] = [i for i in range(n) if remaining[i] > 0]
+    on_stack: List[bool] = [remaining[i] > 0 for i in range(n)]
+    while stack:
+        idx = stack.pop()
+        on_stack[idx] = False
+        rates = in_rates[idx]
+        while remaining[idx] > 0 and all(
+            tokens[e] >= c for e, c in rates
+        ):
+            for e, c in rates:
+                tokens[e] -= c
+            for e, p, dst in out_rates[idx]:
+                tokens[e] += p
+                if remaining[dst] > 0 and not on_stack[dst]:
+                    on_stack[dst] = True
+                    stack.append(dst)
+            remaining[idx] -= 1
+
+    completed = all(v == 0 for v in remaining)
+    return (
+        completed,
+        {name: remaining[i] for i, name in enumerate(names)},
+        {e.name: tokens[i] for i, e in enumerate(edges)},
+    )
 
 
 def is_deadlock_free(graph: SDFGraph) -> bool:

@@ -14,6 +14,29 @@ firing *end*.  Concurrent firings of one actor ("auto-concurrency") are
 limited by ``auto_concurrency`` (default 1, matching a software actor bound
 to a processor); pass ``None`` for the unlimited theoretical semantics, in
 which case every actor must have at least one input edge.
+
+Implementation notes (the hot path of every throughput guarantee)
+-----------------------------------------------------------------
+The engine is *incremental*: instead of re-scanning every actor after each
+event, it keeps a dirty-set of actors whose inputs, concurrency slots or
+processors changed since they were last examined.  This is sound because a
+firing *start* only consumes tokens and occupies resources -- it can never
+enable another firing -- so enabling events are exactly: token production
+at a firing *end*, a concurrency slot freeing at a firing end, and a
+processor freeing at a firing end.  Each of those marks precisely the
+affected actors (the consuming endpoint of each produced-on edge, the
+finishing actor, the processor's actors).  All per-step state lives in
+integer-indexed arrays precomputed once from the graph in ``__init__``;
+name-keyed views (:attr:`tokens`, :attr:`completed`, ...) are derived on
+demand for callers.
+
+The dirty-set engine starts firings in the same deterministic order as the
+naive full rescan (static-order processors in declaration order, then the
+remaining actors in graph insertion order), so recorded traces, hook-call
+order and tie-breaking among simultaneous completions are identical to the
+retained reference implementation
+(:mod:`repro.sdf.simulation_reference`), which the differential test suite
+checks on randomized graphs.
 """
 
 from __future__ import annotations
@@ -41,7 +64,12 @@ class Firing:
 
 @dataclass
 class SimulationTrace:
-    """Recorded execution: firings plus per-edge occupancy statistics."""
+    """Recorded execution: firings plus per-edge occupancy statistics.
+
+    ``completed_count`` is a *snapshot* taken when :meth:`SelfTimedSimulator.run`
+    returns (and at reset); it does not mutate retroactively if the simulator
+    keeps stepping after the trace was handed out.
+    """
 
     firings: List[Firing] = field(default_factory=list)
     max_tokens: Dict[str, int] = field(default_factory=dict)
@@ -84,6 +112,10 @@ class SelfTimedSimulator:
         measured, data-dependent execution times through the same engine.
     record_trace:
         Keep a full firing list (memory-heavy for long runs).
+
+    :meth:`reset` re-reads every edge's ``initial_tokens`` from the graph,
+    so callers may mutate initial token counts in place (the buffer-sizing
+    warm path does) and re-analyze without rebuilding the simulator.
     """
 
     def __init__(
@@ -145,40 +177,169 @@ class SelfTimedSimulator:
                     "time 0 (add a self-edge or set a concurrency cap)"
                 )
 
+        # ---- integer-indexed adjacency, precomputed once ----
+        actors = graph.actors
+        edges = graph.edges
+        self._actor_names: List[str] = [a.name for a in actors]
+        self._actor_index: Dict[str, int] = {
+            name: i for i, name in enumerate(self._actor_names)
+        }
+        # Edge *objects* are kept so reset() can re-read initial tokens
+        # mutated in place by the buffer-sizing warm path.
+        self._edge_objs: Tuple = edges
+        self._edge_names: List[str] = [e.name for e in edges]
+        edge_index = {name: i for i, name in enumerate(self._edge_names)}
+        self._edge_index: Dict[str, int] = edge_index
+
+        self._exec_time: List[int] = [a.execution_time for a in actors]
+        self._cap: List[Optional[int]] = [
+            a.concurrency if a.concurrency is not None else auto_concurrency
+            for a in actors
+        ]
+        # Per-actor (edge index, rate) arrays and the per-edge consumer.
+        self._in_rates: List[List[Tuple[int, int]]] = [
+            [(edge_index[e.name], e.consumption)
+             for e in graph.in_edges(a.name)]
+            for a in actors
+        ]
+        self._out_rates: List[List[Tuple[int, int]]] = [
+            [(edge_index[e.name], e.production)
+             for e in graph.out_edges(a.name)]
+            for a in actors
+        ]
+        self._consumer_of: List[int] = [
+            self._actor_index[e.dst] for e in edges
+        ]
+
+        # Processors as small integers; static-order processors keep their
+        # declaration order (it fixes the deterministic start order).
+        proc_index: Dict[str, int] = {}
+        proc_names: List[str] = []
+
+        def proc_id(name: str) -> int:
+            pid = proc_index.get(name)
+            if pid is None:
+                pid = len(proc_names)
+                proc_index[name] = pid
+                proc_names.append(name)
+            return pid
+
+        self._static_proc_ids: List[int] = [
+            proc_id(proc) for proc in self.static_order
+        ]
+        self._proc_of: List[int] = [-1] * len(actors)
+        for i, name in enumerate(self._actor_names):
+            proc = self.processor_of.get(name)
+            if proc is not None:
+                self._proc_of[i] = proc_id(proc)
+        self._proc_names: List[str] = proc_names
+        self._proc_index: Dict[str, int] = proc_index
+        n_procs = len(proc_names)
+        self._proc_is_static: List[bool] = [False] * n_procs
+        self._static_rank: List[int] = [-1] * n_procs
+        for rank, pid in enumerate(self._static_proc_ids):
+            self._proc_is_static[pid] = True
+            self._static_rank[pid] = rank
+        self._proc_members: List[List[int]] = [[] for _ in range(n_procs)]
+        for i, pid in enumerate(self._proc_of):
+            if pid >= 0:
+                self._proc_members[pid].append(i)
+        self._order_idx: Dict[int, List[int]] = {
+            proc_index[proc]: [self._actor_index[a] for a in order]
+            for proc, order in self.static_order.items()
+        }
+        self._interleaved_idx: Dict[int, List[int]] = {
+            proc_index[proc]: [self._actor_index[a] for a in names]
+            for proc, names in self._interleaved.items()
+        }
+        # Actors the greedy (non-static-order) section may start, in graph
+        # insertion order.
+        self._greedy_actors: List[int] = [
+            i for i in range(len(actors))
+            if self._proc_of[i] < 0
+            or not self._proc_is_static[self._proc_of[i]]
+        ]
+
         self.reset()
 
     # ------------------------------------------------------------------
     # state
     # ------------------------------------------------------------------
     def reset(self) -> None:
-        """Return to the graph's initial state at time 0."""
+        """Return to the graph's initial state at time 0.
+
+        Initial token counts are re-read from the edge objects, so in-place
+        mutations of ``initial_tokens`` take effect on the next reset.
+        """
         self.now = 0
-        self.tokens: Dict[str, int] = {
-            e.name: e.initial_tokens for e in self.graph.edges
-        }
-        self._ongoing: Dict[str, int] = {a.name: 0 for a in self.graph}
-        self._completed: Dict[str, int] = {a.name: 0 for a in self.graph}
-        self._started: Dict[str, int] = {a.name: 0 for a in self.graph}
-        self._queue: List[Tuple[int, int, str, int]] = []  # (end, seq, actor, start)
+        self._tokens: List[int] = [
+            e.initial_tokens for e in self._edge_objs
+        ]
+        n = len(self._actor_names)
+        self._ongoing: List[int] = [0] * n
+        self._completed: List[int] = [0] * n
+        self._started: List[int] = [0] * n
+        # (end, seq, actor index, start)
+        self._queue: List[Tuple[int, int, int, int]] = []
         self._seq = 0
-        self._proc_busy_until: Dict[str, int] = {}
-        self._order_pos: Dict[str, int] = {
-            proc: 0 for proc in self.static_order
-        }
-        self.trace = SimulationTrace(
-            max_tokens={e.name: e.initial_tokens for e in self.graph.edges},
-            completed_count=self._completed,
+        self._proc_busy: List[int] = [0] * len(self._proc_names)
+        self._order_pos: List[int] = [0] * len(self._proc_names)
+        self._max_tokens: List[int] = list(self._tokens)
+        self._trace = SimulationTrace(
+            max_tokens={
+                name: self._tokens[i]
+                for i, name in enumerate(self._edge_names)
+            },
+            completed_count={name: 0 for name in self._actor_names},
         )
+        # Everything is potentially startable at time 0.
+        self._actor_dirty: List[bool] = [False] * n
+        self._dirty_actors: List[int] = []
+        self._proc_dirty: List[bool] = [False] * len(self._proc_names)
+        self._dirty_procs: List[int] = []
+        for pid in self._static_proc_ids:
+            self._proc_dirty[pid] = True
+            self._dirty_procs.append(pid)
+        for idx in self._greedy_actors:
+            self._actor_dirty[idx] = True
+            self._dirty_actors.append(idx)
+
+    @property
+    def trace(self) -> SimulationTrace:
+        """The recorded trace, with ``completed_count`` refreshed.
+
+        Refreshing on access (rather than on every firing) keeps the hot
+        loop free of dict writes while step()-driven callers still read
+        current counts; a ``completed_count`` dict obtained earlier is a
+        snapshot and does not mutate retroactively.
+        """
+        return self._finalize_trace()
+
+    @property
+    def tokens(self) -> Dict[str, int]:
+        """Current token counts per edge name (snapshot dict)."""
+        t = self._tokens
+        return {name: t[i] for i, name in enumerate(self._edge_names)}
 
     @property
     def completed(self) -> Dict[str, int]:
         """Completed firing counts per actor."""
-        return dict(self._completed)
+        c = self._completed
+        return {name: c[i] for i, name in enumerate(self._actor_names)}
 
     @property
     def started(self) -> Dict[str, int]:
         """Started firing counts per actor (>= completed)."""
-        return dict(self._started)
+        s = self._started
+        return {name: s[i] for i, name in enumerate(self._actor_names)}
+
+    def completed_of(self, actor: str) -> int:
+        """Completed firing count of one actor (O(1); the hot-loop form)."""
+        return self._completed[self._actor_index[actor]]
+
+    def started_of(self, actor: str) -> int:
+        """Started firing count of one actor (O(1))."""
+        return self._started[self._actor_index[actor]]
 
     def ongoing_firings(self) -> List[Tuple[str, int]]:
         """(actor, remaining cycles) for every firing in flight, sorted.
@@ -187,8 +348,10 @@ class SelfTimedSimulator:
         time-shift-invariant component of the execution state -- exactly
         what recurrent-state detection needs.
         """
+        names = self._actor_names
         return sorted(
-            (actor, end - self.now) for end, _seq, actor, _start in self._queue
+            (names[idx], end - self.now)
+            for end, _seq, idx, _start in self._queue
         )
 
     def state_key(self) -> Tuple:
@@ -196,124 +359,196 @@ class SelfTimedSimulator:
 
         Two equal keys mean the executions will evolve identically from this
         point on, which is the foundation of the periodic-phase detection in
-        :mod:`repro.sdf.throughput`.
+        :mod:`repro.sdf.throughput`.  The key is built from the preallocated
+        index arrays (token counts in edge declaration order, in-flight
+        firings as sorted (actor index, remaining) pairs, static-order
+        positions in declaration order); it is an opaque value -- only
+        equality and hashing are meaningful.
         """
-        token_part = tuple(sorted(self.tokens.items()))
-        firing_part = tuple(self.ongoing_firings())
+        now = self.now
+        firing_part = tuple(sorted(
+            (idx, end - now) for end, _seq, idx, _start in self._queue
+        ))
+        order_pos = self._order_pos
+        order_idx = self._order_idx
         order_part = tuple(
-            sorted(
-                (proc, pos % len(self.static_order[proc]))
-                for proc, pos in self._order_pos.items()
-            )
+            order_pos[pid] % len(order_idx[pid])
+            for pid in self._static_proc_ids
         )
-        return (token_part, firing_part, order_part)
+        return (tuple(self._tokens), firing_part, order_part)
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def _duration(self, actor: str) -> int:
-        index = self._started[actor]
+    def _duration(self, idx: int) -> int:
+        index = self._started[idx]
         if self._execution_time_of is not None:
-            duration = self._execution_time_of(actor, index)
+            duration = self._execution_time_of(
+                self._actor_names[idx], index
+            )
         else:
-            duration = self.graph.actor(actor).execution_time
+            duration = self._exec_time[idx]
         if duration < 0:
             raise SimulationError(
-                f"negative execution time for firing {index} of {actor!r}"
+                f"negative execution time for firing {index} of "
+                f"{self._actor_names[idx]!r}"
             )
         return duration
 
-    def _concurrency_cap(self, actor: str) -> Optional[int]:
-        """Per-actor concurrency limit: the actor's own setting wins over
-        the simulator-wide default."""
-        per_actor = self.graph.actor(actor).concurrency
-        if per_actor is not None:
-            return per_actor
-        return self.auto_concurrency
-
-    def _is_ready(self, actor: str) -> bool:
-        cap = self._concurrency_cap(actor)
-        if cap is not None and self._ongoing[actor] >= cap:
+    def _is_ready_idx(self, idx: int) -> bool:
+        cap = self._cap[idx]
+        if cap is not None and self._ongoing[idx] >= cap:
             return False
-        for edge in self.graph.in_edges(actor):
-            if self.tokens[edge.name] < edge.consumption:
+        tokens = self._tokens
+        for e, c in self._in_rates[idx]:
+            if tokens[e] < c:
                 return False
         return True
 
+    def _is_ready(self, actor: str) -> bool:
+        return self._is_ready_idx(self._actor_index[actor])
+
     def _proc_free(self, proc: str) -> bool:
-        return self._proc_busy_until.get(proc, 0) <= self.now
+        pid = self._proc_index.get(proc, -1)
+        return pid < 0 or self._proc_busy[pid] <= self.now
 
-    def _start_firing(self, actor: str) -> None:
-        for edge in self.graph.in_edges(actor):
-            self.tokens[edge.name] -= edge.consumption
-        duration = self._duration(actor)
+    # -- dirty-set bookkeeping -----------------------------------------
+    def _mark_actor(self, idx: int) -> None:
+        """Record that ``idx`` may have become startable."""
+        pid = self._proc_of[idx]
+        if pid >= 0 and self._proc_is_static[pid]:
+            if not self._proc_dirty[pid]:
+                self._proc_dirty[pid] = True
+                self._dirty_procs.append(pid)
+        elif not self._actor_dirty[idx]:
+            self._actor_dirty[idx] = True
+            self._dirty_actors.append(idx)
+
+    def _mark_proc_free(self, pid: int) -> None:
+        """Record that processor ``pid`` just went idle."""
+        if self._proc_is_static[pid]:
+            if not self._proc_dirty[pid]:
+                self._proc_dirty[pid] = True
+                self._dirty_procs.append(pid)
+        else:
+            dirty = self._actor_dirty
+            stack = self._dirty_actors
+            for idx in self._proc_members[pid]:
+                if not dirty[idx]:
+                    dirty[idx] = True
+                    stack.append(idx)
+
+    def _start_firing(self, idx: int) -> None:
+        tokens = self._tokens
+        for e, c in self._in_rates[idx]:
+            tokens[e] -= c
+        duration = self._duration(idx)
         end = self.now + duration
-        self._started[actor] += 1
-        self._ongoing[actor] += 1
-        heapq.heappush(self._queue, (end, self._seq, actor, self.now))
+        self._started[idx] += 1
+        self._ongoing[idx] += 1
+        heapq.heappush(self._queue, (end, self._seq, idx, self.now))
         self._seq += 1
-        proc = self.processor_of.get(actor)
-        if proc is not None:
-            self._proc_busy_until[proc] = end
+        pid = self._proc_of[idx]
+        if pid >= 0:
+            self._proc_busy[pid] = end
 
-    def _finish_firing(self, actor: str, start: int) -> None:
-        for edge in self.graph.out_edges(actor):
-            self.tokens[edge.name] += edge.production
-            if self.tokens[edge.name] > self.trace.max_tokens[edge.name]:
-                self.trace.max_tokens[edge.name] = self.tokens[edge.name]
-        self._ongoing[actor] -= 1
-        completed_index = self._completed[actor]
-        self._completed[actor] += 1
+    def _finish_firing(self, idx: int, start: int) -> None:
+        tokens = self._tokens
+        maxes = self._max_tokens
+        consumer = self._consumer_of
+        for e, p in self._out_rates[idx]:
+            value = tokens[e] + p
+            tokens[e] = value
+            if value > maxes[e]:
+                maxes[e] = value
+                # Dict write only on a fresh peak: rare after the warm-up
+                # phase of a bounded graph, so the live trace dict stays
+                # current at array speed.
+                self._trace.max_tokens[self._edge_names[e]] = value
+            self._mark_actor(consumer[e])
+        self._ongoing[idx] -= 1
+        completed_index = self._completed[idx]
+        self._completed[idx] = completed_index + 1
+        self._mark_actor(idx)
+        pid = self._proc_of[idx]
+        if pid >= 0:
+            # The firing that just ended is the one that made the
+            # processor busy (starts require a free processor), so the
+            # processor is idle again as of now.
+            self._mark_proc_free(pid)
+        actor = self._actor_names[idx]
         if self.record_trace:
-            self.trace.firings.append(Firing(actor, start, self.now))
+            self._trace.firings.append(Firing(actor, start, self.now))
         if self._on_finish is not None:
             # Called after token production, before any dependent firing
             # can start -- the hook point for value transport in the
             # platform simulator.
             self._on_finish(actor, completed_index)
 
+    def _run_static_proc(self, pid: int, started: List[str]) -> None:
+        """Start everything a static-order processor may start right now:
+        interleaved (communication-library) work first, then the
+        lookup-table head."""
+        order = self._order_idx[pid]
+        interleaved = self._interleaved_idx.get(pid, ())
+        names = self._actor_names
+        while self._proc_busy[pid] <= self.now:
+            inter = -1
+            for i in interleaved:
+                if self._is_ready_idx(i):
+                    inter = i
+                    break
+            if inter >= 0:
+                self._start_firing(inter)
+                started.append(names[inter])
+                continue
+            idx = order[self._order_pos[pid] % len(order)]
+            if not self._is_ready_idx(idx):
+                break
+            self._start_firing(idx)
+            self._order_pos[pid] += 1
+            started.append(names[idx])
+
     def _start_all_ready(self) -> List[str]:
-        """Start every firing allowed right now; returns started actor names."""
+        """Start every firing allowed right now; returns started actor names.
+
+        Only dirty actors/processors are examined.  A firing start consumes
+        tokens and occupies resources but never enables another firing
+        (tokens are produced at firing *end*), so one pass over the dirty
+        sets reaches the same fixpoint as a full rescan -- and in the same
+        order: static-order processors in declaration order, then the
+        remaining actors in graph insertion order.
+        """
         started: List[str] = []
-        progress = True
-        while progress:
-            progress = False
-            # Static-order processors: interleaved (communication-library)
-            # work first, then the lookup-table head.
-            for proc, order in self.static_order.items():
-                while self._proc_free(proc):
-                    interleaved = next(
-                        (
-                            a
-                            for a in self._interleaved.get(proc, ())
-                            if self._is_ready(a)
-                        ),
-                        None,
-                    )
-                    if interleaved is not None:
-                        self._start_firing(interleaved)
-                        started.append(interleaved)
-                        progress = True
-                        continue
-                    actor = order[self._order_pos[proc] % len(order)]
-                    if not self._is_ready(actor):
-                        break
-                    self._start_firing(actor)
-                    self._order_pos[proc] += 1
-                    started.append(actor)
-                    progress = True
-            # Unordered processors and unbound actors: greedy.
-            for actor in self.graph:
-                name = actor.name
-                proc = self.processor_of.get(name)
-                if proc is not None and proc in self.static_order:
-                    continue  # handled above
-                while self._is_ready(name) and (
-                    proc is None or self._proc_free(proc)
-                ):
-                    self._start_firing(name)
-                    started.append(name)
-                    progress = True
+        if self._dirty_procs:
+            dirty_procs = self._dirty_procs
+            self._dirty_procs = []
+            if len(dirty_procs) > 1:
+                dirty_procs.sort(key=self._static_rank.__getitem__)
+            for pid in dirty_procs:
+                self._proc_dirty[pid] = False
+                self._run_static_proc(pid, started)
+        if self._dirty_actors:
+            dirty = self._dirty_actors
+            self._dirty_actors = []
+            if len(dirty) > 1:
+                dirty.sort()
+            names = self._actor_names
+            proc_busy = self._proc_busy
+            for idx in dirty:
+                self._actor_dirty[idx] = False
+                pid = self._proc_of[idx]
+                if pid >= 0:
+                    while (
+                        self._is_ready_idx(idx)
+                        and proc_busy[pid] <= self.now
+                    ):
+                        self._start_firing(idx)
+                        started.append(names[idx])
+                else:
+                    while self._is_ready_idx(idx):
+                        self._start_firing(idx)
+                        started.append(names[idx])
         return started
 
     def step(self) -> List[Tuple[str, int]]:
@@ -326,17 +561,39 @@ class SelfTimedSimulator:
         (deadlocked or finished).
         """
         self._start_all_ready()
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             return []
-        end = self._queue[0][0]
+        end = queue[0][0]
         self.now = end
         finished: List[Tuple[str, int]] = []
-        while self._queue and self._queue[0][0] == end:
-            _end, _seq, actor, start = heapq.heappop(self._queue)
-            self._finish_firing(actor, start)
-            finished.append((actor, end))
+        names = self._actor_names
+        while queue and queue[0][0] == end:
+            _end, _seq, idx, start = heapq.heappop(queue)
+            self._finish_firing(idx, start)
+            finished.append((names[idx], end))
         self._start_all_ready()
         return finished
+
+    def _finalize_trace(self) -> SimulationTrace:
+        """Hand out the trace with a private ``completed_count`` snapshot.
+
+        Each handout is a fresh :class:`SimulationTrace` owning its own
+        completed-count dict, so a trace obtained earlier never mutates
+        retroactively -- not even when the trace is finalized again by a
+        later ``run()`` or property access.  ``firings`` and
+        ``max_tokens`` are shared live views of the ongoing recording
+        (their historic semantics).
+        """
+        completed = self._completed
+        return SimulationTrace(
+            firings=self._trace.firings,
+            max_tokens=self._trace.max_tokens,
+            completed_count={
+                name: completed[i]
+                for i, name in enumerate(self._actor_names)
+            },
+        )
 
     def run(
         self,
@@ -359,33 +616,32 @@ class SelfTimedSimulator:
         while True:
             finished = self.step()
             if not finished:
-                return self.trace
+                return self._finalize_trace()
             if max_time is not None and self.now >= max_time:
-                return self.trace
+                return self._finalize_trace()
             if max_firings is not None and (
-                sum(self._completed.values()) >= max_firings
+                sum(self._completed) >= max_firings
             ):
-                return self.trace
+                return self._finalize_trace()
             if stop_when is not None and stop_when(self):
-                return self.trace
+                return self._finalize_trace()
 
     def is_quiescent(self) -> bool:
         """True when nothing is running and nothing can start."""
         if self._queue:
             return False
-        for actor in self.graph:
-            name = actor.name
-            proc = self.processor_of.get(name)
-            if proc is not None and proc in self.static_order:
-                order = self.static_order[proc]
-                next_actor = order[self._order_pos[proc] % len(order)]
-                is_interleaved = name in self._interleaved.get(proc, ())
-                if (next_actor == name or is_interleaved) and self._is_ready(
-                    name
+        for idx in range(len(self._actor_names)):
+            pid = self._proc_of[idx]
+            if pid >= 0 and self._proc_is_static[pid]:
+                order = self._order_idx[pid]
+                head = order[self._order_pos[pid] % len(order)]
+                is_interleaved = idx in self._interleaved_idx.get(pid, ())
+                if (head == idx or is_interleaved) and self._is_ready_idx(
+                    idx
                 ):
                     return False
-            elif self._is_ready(name) and (
-                proc is None or self._proc_free(proc)
+            elif self._is_ready_idx(idx) and (
+                pid < 0 or self._proc_busy[pid] <= self.now
             ):
                 return False
         return True

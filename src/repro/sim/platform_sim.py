@@ -369,7 +369,8 @@ class PlatformSimulator:
 
     def completed_iterations(self) -> int:
         """Complete graph iterations delivered by the whole pipeline."""
-        completed = self._sim.completed
+        # completed_of is O(1); this runs once per simulation step.
         return min(
-            completed[a] // self.q[a] for a in self.bound.app_actors
+            self._sim.completed_of(a) // self.q[a]
+            for a in self.bound.app_actors
         )

@@ -162,3 +162,38 @@ def test_bounded_throughput_increases_with_capacity(two_actor_pipeline):
         current = analyze_throughput(g).throughput
         assert current >= previous
         previous = current
+
+
+class TestWarmPath:
+    def test_retune_buffer_capacity_in_place(self, two_actor_pipeline):
+        g = add_buffer_edges(
+            two_actor_pipeline, BufferDistribution({"p2q": 3})
+        )
+        from repro.sdf import retune_buffer_capacity
+
+        retune_buffer_capacity(g, "p2q", 5)
+        assert g.edge(buffer_edge_name("p2q")).initial_tokens == 5
+        with pytest.raises(GraphError, match="below a"):
+            retune_buffer_capacity(g, "p2q", 0)
+
+    def test_sizing_result_matches_fresh_rebuild(self, figure2_graph):
+        """The in-place warm search must land on a distribution whose
+        *freshly rebuilt* bounded graph reproduces the returned analysis
+        bit for bit."""
+        constraint = Fraction(1, 16)
+        distribution, result = minimal_buffer_distribution(
+            figure2_graph, throughput_constraint=constraint
+        )
+        rebuilt = add_buffer_edges(figure2_graph, distribution)
+        assert analyze_throughput(rebuilt) == result
+        assert result.throughput >= constraint
+
+    def test_source_graph_left_untouched(self, figure2_graph):
+        before = {
+            e.name: e.initial_tokens for e in figure2_graph.edges
+        }
+        minimal_buffer_distribution(
+            figure2_graph, throughput_constraint=Fraction(1, 20)
+        )
+        after = {e.name: e.initial_tokens for e in figure2_graph.edges}
+        assert before == after

@@ -205,3 +205,67 @@ def test_reset_restores_initial_state(figure2_graph):
     assert sim.now == 0
     assert sim.tokens["selfA"] == 1
     assert sim.completed == {"A": 0, "B": 0, "C": 0}
+
+
+def test_trace_completed_count_is_a_snapshot(two_actor_pipeline):
+    """A trace returned by run() must not mutate retroactively when the
+    simulator keeps stepping (regression: completed_count aliased the
+    simulator's live dict)."""
+    sim = SelfTimedSimulator(two_actor_pipeline)
+    trace = sim.run(max_firings=2)
+    snapshot = dict(trace.completed_count)
+    assert sum(snapshot.values()) >= 2
+    for _ in range(5):
+        sim.step()
+    assert sim.completed != snapshot  # the simulator did advance...
+    assert trace.completed_count == snapshot  # ...but the trace stood still
+
+
+def test_trace_completed_count_updates_on_next_run(two_actor_pipeline):
+    sim = SelfTimedSimulator(two_actor_pipeline)
+    first = dict(sim.run(max_firings=2).completed_count)
+    second = dict(sim.run(max_firings=6).completed_count)
+    assert sum(second.values()) > sum(first.values())
+    assert second == sim.completed
+
+
+def test_reset_rereads_mutated_initial_tokens(two_actor_pipeline):
+    """The buffer-sizing warm path mutates initial tokens in place; the
+    simulator must pick the new counts up on reset."""
+    sim = SelfTimedSimulator(two_actor_pipeline)
+    assert sim.tokens["p2q"] == 0
+    two_actor_pipeline.edge("p2q").initial_tokens = 3
+    sim.reset()
+    assert sim.tokens["p2q"] == 3
+    assert sim.trace.max_tokens["p2q"] == 3
+
+
+def test_completed_of_and_started_of(two_actor_pipeline):
+    sim = SelfTimedSimulator(two_actor_pipeline)
+    sim.run(max_firings=4)
+    assert sim.completed_of("P") == sim.completed["P"]
+    assert sim.started_of("P") == sim.started["P"]
+
+
+def test_trace_property_reflects_step_driven_progress(two_actor_pipeline):
+    """Callers that drive step() directly (the platform simulator) read
+    the trace via the property; its completed_count must be current even
+    though run() never finalized it."""
+    sim = SelfTimedSimulator(two_actor_pipeline)
+    for _ in range(4):
+        sim.step()
+    assert sum(sim.completed.values()) > 0
+    assert sim.trace.completed_count == sim.completed
+
+
+def test_earlier_trace_survives_later_finalization(two_actor_pipeline):
+    """Re-finalizing (second run(), trace property access) must not rewrite
+    a trace handed out earlier -- every handout owns its snapshot."""
+    sim = SelfTimedSimulator(two_actor_pipeline)
+    first = sim.run(max_firings=2)
+    snapshot = dict(first.completed_count)
+    for _ in range(5):
+        sim.step()
+    _ = sim.trace                 # property access re-finalizes
+    _ = sim.run(max_firings=20)   # and so does a second run()
+    assert first.completed_count == snapshot

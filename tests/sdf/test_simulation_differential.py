@@ -1,0 +1,267 @@
+"""Differential tests: incremental engine vs. the retained reference.
+
+The incremental dirty-set simulator (:mod:`repro.sdf.simulation`) must be
+*observably identical* to the retained full-rescan reference engine
+(:mod:`repro.sdf.simulation_reference`): same firing traces (including
+order among simultaneous events), same token peaks, same completion
+counts, same quiescence verdicts, and exactly the same ``Fraction``
+throughput / period / transient from the state-space analysis.  These
+tests drive both engines over randomized (seeded, reproducible) SDF
+graphs, bindings and static orders and compare everything.
+"""
+
+import random
+from math import gcd
+
+import pytest
+
+from repro.exceptions import DeadlockError, ReproError
+from repro.sdf.buffers import (
+    BufferDistribution,
+    add_buffer_edges,
+    bufferable_edges,
+    minimal_capacity_bound,
+)
+from repro.sdf.deadlock import is_deadlock_free
+from repro.sdf.graph import SDFGraph
+from repro.sdf.repetition import repetition_vector
+from repro.sdf.simulation import SelfTimedSimulator
+from repro.sdf.simulation_reference import (
+    ReferenceSelfTimedSimulator,
+    reference_analyze_throughput,
+)
+from repro.sdf.throughput import analyze_throughput
+
+
+def random_bounded_graph(rng: random.Random) -> SDFGraph:
+    """A random consistent, bounded, usually-live SDF graph.
+
+    Consistency by construction: a repetition vector is drawn first and
+    every edge's rates are derived from it (p * q[src] == c * q[dst]).
+    Explicit edges then get credit back-edges at the structural liveness
+    bound plus random slack; if the result still deadlocks, capacities
+    are grown a few times (mirroring sizing phase 1).
+    """
+    n = rng.randint(2, 6)
+    g = SDFGraph(f"rand{rng.randrange(1 << 16)}")
+    q = [rng.randint(1, 4) for _ in range(n)]
+    for i in range(n):
+        g.add_actor(f"a{i}", execution_time=rng.choice((0, 1, 2, 3, 5, 8)))
+
+    def rates(src: int, dst: int):
+        m = rng.randint(1, 3)
+        g_ = gcd(q[src], q[dst])
+        return m * q[dst] // g_, m * q[src] // g_
+
+    edge_id = 0
+
+    def connect(src: int, dst: int, tokens: int) -> None:
+        nonlocal edge_id
+        p, c = rates(src, dst)
+        g.add_edge(
+            f"e{edge_id}", f"a{src}", f"a{dst}",
+            production=p, consumption=c,
+            initial_tokens=tokens,
+            token_size=rng.choice((0, 4, 12)),
+        )
+        edge_id += 1
+
+    for i in range(n - 1):  # the chain
+        connect(i, i + 1, rng.randint(0, 2))
+    for _ in range(rng.randint(0, 2)):  # extra forward edges
+        src = rng.randrange(n - 1)
+        dst = rng.randrange(src + 1, n)
+        connect(src, dst, rng.randint(0, 2))
+    for i in range(n):  # occasional state self-edges
+        if rng.random() < 0.3:
+            g.add_edge(
+                f"self{i}", f"a{i}", f"a{i}",
+                production=1, consumption=1,
+                initial_tokens=rng.randint(1, 2),
+            )
+
+    capacities = {
+        e.name: minimal_capacity_bound(e) + rng.randint(0, 3)
+        for e in bufferable_edges(g)
+    }
+    bounded = add_buffer_edges(g, BufferDistribution(capacities))
+    for _ in range(4):
+        if is_deadlock_free(bounded):
+            break
+        for name in capacities:
+            capacities[name] += max(
+                g.edge(name).production, g.edge(name).consumption
+            )
+        bounded = add_buffer_edges(g, BufferDistribution(capacities))
+    return bounded
+
+
+def random_binding(rng: random.Random, graph: SDFGraph):
+    """Randomly bind a subset of actors to one of up to three processors."""
+    processor_of = {}
+    for actor in graph:
+        if rng.random() < 0.7:
+            processor_of[actor.name] = f"p{rng.randrange(3)}"
+    return processor_of
+
+
+def derive_static_orders(graph, processor_of, rng: random.Random):
+    """One-greedy-iteration static orders (the scheduling recipe, inline)."""
+    q = repetition_vector(graph)
+    sim = ReferenceSelfTimedSimulator(
+        graph, processor_of=processor_of, record_trace=True
+    )
+    targets = {a: q[a] for a in processor_of}
+    sim.run(
+        stop_when=lambda s: all(
+            s.started[a] >= n for a, n in targets.items()
+        ),
+        max_firings=sum(q.values()) * 4 + 200,
+    )
+    counted = {a: 0 for a in targets}
+    orders = {}
+    for firing in sorted(sim.trace.firings, key=lambda f: (f.start, f.end)):
+        actor = firing.actor
+        if actor not in targets or counted[actor] >= targets[actor]:
+            continue
+        counted[actor] += 1
+        orders.setdefault(processor_of[actor], []).append(actor)
+    for actor, needed in targets.items():
+        while counted[actor] < needed:
+            counted[actor] += 1
+            orders.setdefault(processor_of[actor], []).append(actor)
+    return {proc: order for proc, order in orders.items() if order}
+
+
+def assert_same_execution(fast, slow, *, compare_tokens=True):
+    """Both engines advanced identically (traces, counters, statistics)."""
+    assert fast.now == slow.now
+    assert fast.completed == slow.completed
+    assert fast.started == slow.started
+    assert fast.trace.firings == slow.trace.firings
+    assert fast.trace.max_tokens == slow.trace.max_tokens
+    assert fast.trace.completed_count == slow.trace.completed_count
+    assert fast.ongoing_firings() == slow.ongoing_firings()
+    assert fast.is_quiescent() == slow.is_quiescent()
+    if compare_tokens:
+        assert fast.tokens == slow.tokens
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_unconstrained_execution_matches_reference(seed):
+    rng = random.Random(1000 + seed)
+    graph = random_bounded_graph(rng)
+    concurrency = rng.choice((1, 2, None))
+    fast = SelfTimedSimulator(
+        graph, auto_concurrency=concurrency, record_trace=True
+    )
+    slow = ReferenceSelfTimedSimulator(
+        graph, auto_concurrency=concurrency, record_trace=True
+    )
+    fast.run(max_firings=80)
+    slow.run(max_firings=80)
+    assert_same_execution(fast, slow)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_bound_execution_matches_reference(seed):
+    rng = random.Random(2000 + seed)
+    graph = random_bounded_graph(rng)
+    processor_of = random_binding(rng, graph)
+    fast = SelfTimedSimulator(
+        graph, processor_of=processor_of, record_trace=True
+    )
+    slow = ReferenceSelfTimedSimulator(
+        graph, processor_of=processor_of, record_trace=True
+    )
+    fast.run(max_firings=80)
+    slow.run(max_firings=80)
+    assert_same_execution(fast, slow)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_static_order_execution_matches_reference(seed):
+    rng = random.Random(3000 + seed)
+    graph = random_bounded_graph(rng)
+    processor_of = random_binding(rng, graph)
+    orders = derive_static_orders(graph, processor_of, rng)
+    kwargs = dict(processor_of=processor_of, static_order=orders,
+                  record_trace=True)
+    fast = SelfTimedSimulator(graph, **kwargs)
+    slow = ReferenceSelfTimedSimulator(graph, **kwargs)
+    fast.run(max_firings=80)
+    slow.run(max_firings=80)
+    assert_same_execution(fast, slow)
+
+
+def _both_analyses(graph, **kwargs):
+    """Run both analyzers; return (result, result) or (error, error)."""
+    outcomes = []
+    for analyze in (analyze_throughput, reference_analyze_throughput):
+        try:
+            outcomes.append(analyze(graph, **kwargs))
+        except ReproError as error:
+            outcomes.append(type(error))
+    return outcomes
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_throughput_analysis_matches_reference(seed):
+    rng = random.Random(4000 + seed)
+    graph = random_bounded_graph(rng)
+    fast, slow = _both_analyses(graph, max_iterations=2_000)
+    assert fast == slow  # identical ThroughputResult or same error class
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_mapped_throughput_analysis_matches_reference(seed):
+    rng = random.Random(5000 + seed)
+    graph = random_bounded_graph(rng)
+    processor_of = random_binding(rng, graph)
+    orders = derive_static_orders(graph, processor_of, rng)
+    fast, slow = _both_analyses(
+        graph,
+        processor_of=processor_of,
+        static_order=orders,
+        max_iterations=2_000,
+    )
+    assert fast == slow
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_data_dependent_times_match_reference(seed):
+    rng = random.Random(6000 + seed)
+    graph = random_bounded_graph(rng)
+    series = {
+        a.name: [rng.randint(0, 7) for _ in range(5)] for a in graph
+    }
+
+    def exec_time(actor, index):
+        values = series[actor]
+        return values[index % len(values)]
+
+    fast = SelfTimedSimulator(
+        graph, execution_time_of=exec_time, record_trace=True
+    )
+    slow = ReferenceSelfTimedSimulator(
+        graph, execution_time_of=exec_time, record_trace=True
+    )
+    fast.run(max_firings=60)
+    slow.run(max_firings=60)
+    assert_same_execution(fast, slow)
+
+
+def test_blocked_static_order_detected_identically():
+    g = SDFGraph("blocked")
+    g.add_actor("A", execution_time=1)
+    g.add_actor("B", execution_time=1)
+    g.add_edge("ab", "A", "B")
+    g.add_edge("ba", "B", "A", initial_tokens=1)
+    kwargs = dict(
+        processor_of={"A": "t", "B": "t"},
+        static_order={"t": ["B", "A"]},  # B first, but B needs A's token
+    )
+    with pytest.raises(DeadlockError):
+        analyze_throughput(g, **kwargs)
+    with pytest.raises(DeadlockError):
+        reference_analyze_throughput(g, **kwargs)

@@ -182,3 +182,92 @@ def test_reference_actor_choice_does_not_matter(figure2_graph):
     by_b = analyze_throughput(g, reference_actor="B")
     by_c = analyze_throughput(g, reference_actor="C")
     assert by_a.throughput == by_b.throughput == by_c.throughput
+
+
+def test_processing_bound_rejects_actorless_graph():
+    from repro.exceptions import GraphError
+
+    g = SDFGraph("empty")
+    with pytest.raises(GraphError, match="no actors"):
+        processing_throughput_bound(g)
+
+
+def test_processing_bound_rejects_all_zero_times():
+    g = SDFGraph("zeros")
+    g.add_actor("A", execution_time=0)
+    g.add_edge("selfA", "A", "A", initial_tokens=1)
+    with pytest.raises(SimulationError, match="zero execution time"):
+        processing_throughput_bound(g)
+
+
+class TestThroughputAnalyzer:
+    def test_matches_one_shot_analysis(self, figure2_graph):
+        from repro.sdf.throughput import ThroughputAnalyzer
+
+        g = bounded(figure2_graph, {"a2b": 4, "a2c": 2, "b2c": 3})
+        analyzer = ThroughputAnalyzer(g)
+        assert analyzer.analyze() == analyze_throughput(g)
+
+    def test_reanalyze_after_in_place_token_mutation(self):
+        """Warm path: mutate credit tokens in place, re-analyze, and get
+        exactly what a fresh build-and-analyze produces."""
+        from repro.sdf.buffers import retune_buffer_capacity
+        from repro.sdf.throughput import ThroughputAnalyzer
+
+        g = SDFGraph("ring")
+        g.add_actor("A", execution_time=3)
+        g.add_actor("B", execution_time=4)
+        g.add_edge("ab", "A", "B", token_size=4)
+        bounded_graph = bounded(g, {"ab": 1})
+        analyzer = ThroughputAnalyzer(bounded_graph)
+        assert analyzer.analyze().throughput == Fraction(1, 7)
+        for capacity in (2, 3, 2, 1):
+            retune_buffer_capacity(bounded_graph, "ab", capacity)
+            warm = analyzer.analyze()
+            cold = analyze_throughput(bounded(g, {"ab": capacity}))
+            assert warm == cold
+
+    def test_skip_deadlock_precheck_still_detects_blockage(self):
+        from repro.sdf.throughput import ThroughputAnalyzer
+
+        g = SDFGraph("dead")
+        g.add_actor("A", execution_time=1)
+        g.add_actor("B", execution_time=1)
+        g.add_edge("ab", "A", "B")
+        g.add_edge("ba", "B", "A")  # no initial tokens: deadlock
+        analyzer = ThroughputAnalyzer(g)
+        with pytest.raises(DeadlockError):
+            analyzer.analyze(check_deadlock=False)
+
+    def test_per_call_iteration_budget_override(self, figure2_graph):
+        from repro.sdf.throughput import ThroughputAnalyzer
+
+        g = SDFGraph("unbounded")
+        g.add_actor("P", execution_time=1)
+        g.add_actor("Q", execution_time=2)
+        g.add_edge("pq", "P", "Q", token_size=4)
+        g.add_edge("selfP", "P", "P", initial_tokens=1)
+        g.add_edge("selfQ", "Q", "Q", initial_tokens=1)
+        analyzer = ThroughputAnalyzer(g, max_iterations=5)
+        with pytest.raises(UnboundedExecutionError, match="within 5 "):
+            analyzer.analyze()
+        with pytest.raises(UnboundedExecutionError, match="within 9 "):
+            analyzer.analyze(max_iterations=9)
+
+
+def test_deadlock_reported_before_bad_reference_actor():
+    """Historic error ordering: the deadlock pre-check fires before the
+    reference actor is resolved."""
+    g = SDFGraph("dead")
+    g.add_actor("A", execution_time=1)
+    g.add_actor("B", execution_time=1)
+    g.add_edge("ab", "A", "B")
+    g.add_edge("ba", "B", "A")  # no initial tokens: deadlock
+    with pytest.raises(DeadlockError):
+        analyze_throughput(g, reference_actor="ZZZ")
+
+
+def test_bad_reference_actor_still_rejected(figure2_graph):
+    g = bounded(figure2_graph, {"a2b": 4, "a2c": 2, "b2c": 3})
+    with pytest.raises(SimulationError, match="reference actor"):
+        analyze_throughput(g, reference_actor="ZZZ")

@@ -186,3 +186,69 @@ class TestDSE:
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+class TestMaxIterationsPlumbing:
+    def test_analyze_accepts_budget(self, graph_file, capsys):
+        assert main(
+            ["analyze", graph_file, "--max-iterations", "50000"]
+        ) == 0
+        assert "throughput:" in capsys.readouterr().out
+
+    def test_analyze_rejects_nonpositive_budget(self, graph_file, capsys):
+        assert main(["analyze", graph_file, "--max-iterations", "0"]) == 1
+        assert "--max-iterations" in capsys.readouterr().err
+
+    def test_analyze_json_carries_budget_into_mapping(self, graph_file,
+                                                      capsys):
+        assert main(
+            ["analyze", graph_file, "--json", "--max-iterations", "20000"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "error" not in payload["mapping"]
+
+    def test_explore_budget_override(self, capsys):
+        code = main(
+            ["explore", "gradient", "--max-tiles", "1",
+             "--effort", "low", "--max-iterations", "20000"]
+        )
+        assert code == 0
+
+    def test_explore_rejects_nonpositive_budget(self, capsys):
+        code = main(
+            ["explore", "gradient", "--max-tiles", "1",
+             "--max-iterations", "-3"]
+        )
+        assert code == 1
+        assert "--max-iterations" in capsys.readouterr().err
+
+
+class TestEffortIterationSuffix:
+    def test_of_parses_override(self):
+        from repro.mapping.flow import MappingEffort
+
+        effort = MappingEffort.of("low+it12345")
+        assert effort.max_iterations == 12345
+        assert effort.max_buffer_rounds == (
+            MappingEffort.of("low").max_buffer_rounds
+        )
+        # the derived name round-trips through string plumbing
+        assert MappingEffort.of(effort.name) == effort
+
+    def test_with_iterations_is_stable(self):
+        from repro.mapping.flow import MappingEffort
+
+        base = MappingEffort.of("normal")
+        assert base.with_iterations(base.max_iterations) is base
+        derived = base.with_iterations(99)
+        assert derived.with_iterations(77).name == "normal+it77"
+
+    def test_bad_overrides_rejected(self):
+        from repro.mapping.flow import MappingEffort
+
+        with pytest.raises(ValueError, match="positive integer"):
+            MappingEffort.of("low+itxyz")
+        with pytest.raises(ValueError, match="unknown mapping effort"):
+            MappingEffort.of("turbo+it5")
+        with pytest.raises(ValueError, match=">= 1"):
+            MappingEffort.of("low").with_iterations(0)
