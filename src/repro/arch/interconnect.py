@@ -118,6 +118,19 @@ class FSLInterconnect(Interconnect):
     def allocated_connections(self) -> Tuple[Connection, ...]:
         return tuple(self._connections)
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: parameters plus current allocations."""
+        if not isinstance(other, FSLInterconnect):
+            return NotImplemented
+        return (
+            self.fifo_depth_words == other.fifo_depth_words
+            and self.latency_cycles == other.latency_cycles
+            and self.max_links_per_tile == other.max_links_per_tile
+            and self._connections == other._connections
+        )
+
+    __hash__ = object.__hash__  # mutable allocation state
+
     def describe(self) -> str:
         return (
             f"FSL point-to-point ({len(self._connections)} links, depth "

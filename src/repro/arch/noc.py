@@ -135,6 +135,11 @@ class SDMNoC(Interconnect):
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    @property
+    def tile_names(self) -> Tuple[str, ...]:
+        """Tiles in placement (row-major) order, as given at construction."""
+        return tuple(self._position)
+
     def position_of(self, tile: str) -> Coordinate:
         try:
             return self._position[tile]
@@ -227,6 +232,23 @@ class SDMNoC(Interconnect):
 
     def allocated_connections(self) -> Tuple[Connection, ...]:
         return tuple(a.connection for a in self._allocations)
+
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: placement, parameters and allocations."""
+        if not isinstance(other, SDMNoC):
+            return NotImplemented
+        return (
+            self._position == other._position
+            and self.wires_per_link == other.wires_per_link
+            and self.default_connection_wires
+            == other.default_connection_wires
+            and self.router_latency == other.router_latency
+            and self.buffer_words_per_hop == other.buffer_words_per_hop
+            and self.flow_control == other.flow_control
+            and self._allocations == other._allocations
+        )
+
+    __hash__ = object.__hash__  # mutable allocation state
 
     def describe(self) -> str:
         return (

@@ -1,0 +1,48 @@
+"""Versioned, canonical artifact schema for everything the flow produces.
+
+The paper's flow exists to remove manual hand-offs between tools
+(Section 2's common input format); this package extends that idea to
+every *result* the reproduction computes.  Any public result type --
+application and architecture models, mappings, schedules, design points,
+Pareto fronts, effort reports, whole flow results, use-case unions --
+converts to a versioned canonical JSON payload with
+:func:`to_payload` and back with :func:`from_payload`, so results can be
+persisted, diffed, resumed, distributed and served instead of dying with
+the Python process.
+
+See ``docs/artifacts.md`` for the schema reference, the
+versioning/compatibility policy, and the FlowSession resume semantics
+built on top (:mod:`repro.flow.session`).
+"""
+
+from repro.artifacts.schema import (
+    ArtifactError,
+    SCHEMA_VERSION,
+    artifact_digest,
+    canonical_json,
+    check_envelope,
+    envelope,
+    from_payload,
+    kind_of,
+    registered_kinds,
+    to_payload,
+)
+from repro.artifacts import codecs as _codecs  # registers all codecs
+from repro.artifacts.store import ArtifactStore, PersistentEvaluationCache
+
+del _codecs
+
+__all__ = [
+    "ArtifactError",
+    "ArtifactStore",
+    "PersistentEvaluationCache",
+    "SCHEMA_VERSION",
+    "artifact_digest",
+    "canonical_json",
+    "check_envelope",
+    "envelope",
+    "from_payload",
+    "kind_of",
+    "registered_kinds",
+    "to_payload",
+]

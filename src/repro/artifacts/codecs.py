@@ -1,0 +1,833 @@
+"""Codecs: every public result type <-> its canonical artifact payload.
+
+One codec per domain object, registered with
+:func:`repro.artifacts.schema.register`.  Nested objects are encoded as
+full (enveloped) payloads, so every sub-document is self-describing and
+round-trips through the generic :func:`~repro.artifacts.schema.to_payload`
+/ :func:`~repro.artifacts.schema.from_payload` pair on its own.
+
+Two deliberate losses, both documented in ``docs/artifacts.md``:
+
+* functional models (Python callables on
+  :class:`~repro.appmodel.implementation.ActorImplementation`) are
+  recorded by qualified name for provenance but decode to ``None`` --
+  an artifact can be mapped and analyzed anywhere, but only the process
+  that built the application can simulate it.  The mapping analysis
+  never executes them, so fingerprints and mapping results are
+  unaffected (see :mod:`repro.flow.fingerprint`).
+* transient allocation state (interconnect reservations, live
+  simulators) is excluded; decoded architectures come back with a clean
+  interconnect, exactly like :meth:`ArchitectureModel.reset_interconnect`
+  leaves them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.appmodel.implementation import ActorImplementation
+from repro.appmodel.metrics import ImplementationMetrics, MemoryRequirements
+from repro.appmodel.model import ApplicationModel
+from repro.arch.area import AreaEstimate
+from repro.arch.components import (
+    CommunicationAssist,
+    Memory,
+    NetworkInterface,
+    Peripheral,
+    ProcessorType,
+)
+from repro.arch.interconnect import FSLInterconnect
+from repro.arch.noc import SDMNoC
+from repro.arch.platform import ArchitectureModel
+from repro.arch.tile import Tile
+from repro.artifacts.schema import (
+    decode_fraction,
+    encode_fraction,
+    from_payload,
+    register,
+    to_payload,
+)
+from repro.comm.params import ChannelParameters
+from repro.flow.design_flow import FlowResult
+from repro.flow.dse import (
+    CacheStats,
+    CandidatePoint,
+    DesignPoint,
+    EvaluationOutcome,
+    ExplorationResult,
+    ParetoFront,
+    TileMix,
+)
+from repro.flow.effort import EffortReport, StepTiming
+from repro.flow.usecases import UseCaseMapping
+from repro.mamps.project import PlatformProject
+from repro.mapping.pipeline import StrategyTuple
+from repro.mapping.spec import ChannelMapping, Mapping, MappingResult
+from repro.sdf.graph import SDFGraph
+from repro.sdf.throughput import ThroughputResult
+from repro.sim.platform_sim import MeasuredThroughput
+
+
+def _callable_ref(function: Optional[Any]) -> Optional[str]:
+    """Provenance-only identifier of a functional model."""
+    if function is None:
+        return None
+    return getattr(function, "__qualname__", repr(function))
+
+
+def _maybe(payload: Optional[Dict[str, Any]]) -> Optional[Any]:
+    return None if payload is None else from_payload(payload)
+
+
+# ----------------------------------------------------------------------
+# SDF graph
+# ----------------------------------------------------------------------
+def _encode_graph(graph: SDFGraph) -> Dict[str, Any]:
+    return {
+        "name": graph.name,
+        "actors": [
+            {
+                "name": a.name,
+                "execution_time": a.execution_time,
+                "group": a.group,
+                "concurrency": a.concurrency,
+            }
+            for a in graph.actors
+        ],
+        "edges": [
+            {
+                "name": e.name,
+                "src": e.src,
+                "dst": e.dst,
+                "production": e.production,
+                "consumption": e.consumption,
+                "initial_tokens": e.initial_tokens,
+                "token_size": e.token_size,
+                "implicit": e.implicit,
+            }
+            for e in graph.edges
+        ],
+    }
+
+
+def _decode_graph(payload: Dict[str, Any]) -> SDFGraph:
+    graph = SDFGraph(payload["name"])
+    for a in payload["actors"]:
+        graph.add_actor(
+            a["name"],
+            execution_time=a["execution_time"],
+            group=a.get("group"),
+            concurrency=a.get("concurrency"),
+        )
+    for e in payload["edges"]:
+        graph.add_edge(
+            e["name"],
+            e["src"],
+            e["dst"],
+            production=e["production"],
+            consumption=e["consumption"],
+            initial_tokens=e["initial_tokens"],
+            token_size=e["token_size"],
+            implicit=e["implicit"],
+        )
+    return graph
+
+
+register("sdf-graph", SDFGraph, _encode_graph, _decode_graph)
+
+
+# ----------------------------------------------------------------------
+# application model
+# ----------------------------------------------------------------------
+def _encode_implementation(impl: ActorImplementation) -> Dict[str, Any]:
+    return {
+        "actor": impl.actor,
+        "pe_type": impl.pe_type,
+        "wcet": impl.metrics.wcet,
+        "instruction_bytes": impl.metrics.memory.instruction_bytes,
+        "data_bytes": impl.metrics.memory.data_bytes,
+        "argument_order": list(impl.argument_order),
+        "name": impl.name,
+        "function": _callable_ref(impl.function),
+        "init_function": _callable_ref(impl.init_function),
+    }
+
+
+def _decode_implementation(payload: Dict[str, Any]) -> ActorImplementation:
+    return ActorImplementation(
+        actor=payload["actor"],
+        pe_type=payload["pe_type"],
+        metrics=ImplementationMetrics(
+            wcet=payload["wcet"],
+            memory=MemoryRequirements(
+                instruction_bytes=payload["instruction_bytes"],
+                data_bytes=payload["data_bytes"],
+            ),
+        ),
+        argument_order=list(payload["argument_order"]),
+        name=payload["name"],
+    )
+
+
+register(
+    "actor-implementation",
+    ActorImplementation,
+    _encode_implementation,
+    _decode_implementation,
+)
+
+
+def _encode_application(app: ApplicationModel) -> Dict[str, Any]:
+    return {
+        "name": app.name,
+        "constraint": encode_fraction(app.throughput_constraint),
+        "graph": to_payload(app.graph),
+        "implementations": [
+            to_payload(impl) for impl in app.implementations
+        ],
+    }
+
+
+def _decode_application(payload: Dict[str, Any]) -> ApplicationModel:
+    return ApplicationModel(
+        graph=from_payload(payload["graph"]),
+        implementations=[
+            from_payload(p) for p in payload["implementations"]
+        ],
+        throughput_constraint=decode_fraction(payload["constraint"]),
+        name=payload["name"],
+    )
+
+
+register(
+    "application", ApplicationModel, _encode_application,
+    _decode_application,
+)
+
+
+# ----------------------------------------------------------------------
+# architecture model (tiles, TileMix memories, FSL / NoC interconnect)
+# ----------------------------------------------------------------------
+def _encode_tile(tile: Tile) -> Dict[str, Any]:
+    processor = None
+    if tile.processor is not None:
+        processor = {
+            "name": tile.processor.name,
+            "context_switch_cycles": tile.processor.context_switch_cycles,
+        }
+    ca = None
+    if tile.communication_assist is not None:
+        ca = {
+            "setup_cycles": tile.communication_assist.setup_cycles,
+            "cycles_per_word": tile.communication_assist.cycles_per_word,
+        }
+    return {
+        "name": tile.name,
+        "role": tile.role,
+        "processor": processor,
+        "instruction_bytes": tile.instruction_memory.capacity_bytes,
+        "data_bytes": tile.data_memory.capacity_bytes,
+        "ni_fifo_depth_words": tile.network_interface.fifo_depth_words,
+        "peripherals": [p.name for p in tile.peripherals],
+        "communication_assist": ca,
+    }
+
+
+def _decode_tile(payload: Dict[str, Any]) -> Tile:
+    processor = payload["processor"]
+    ca = payload["communication_assist"]
+    return Tile(
+        name=payload["name"],
+        processor=(
+            None
+            if processor is None
+            else ProcessorType(
+                name=processor["name"],
+                context_switch_cycles=processor["context_switch_cycles"],
+            )
+        ),
+        instruction_memory=Memory(payload["instruction_bytes"]),
+        data_memory=Memory(payload["data_bytes"]),
+        network_interface=NetworkInterface(
+            fifo_depth_words=payload["ni_fifo_depth_words"]
+        ),
+        peripherals=tuple(
+            Peripheral(name) for name in payload["peripherals"]
+        ),
+        communication_assist=(
+            None
+            if ca is None
+            else CommunicationAssist(
+                setup_cycles=ca["setup_cycles"],
+                cycles_per_word=ca["cycles_per_word"],
+            )
+        ),
+        role=payload["role"],
+    )
+
+
+register("tile", Tile, _encode_tile, _decode_tile)
+
+
+def _encode_fsl(fabric: FSLInterconnect) -> Dict[str, Any]:
+    return {
+        "fifo_depth_words": fabric.fifo_depth_words,
+        "latency_cycles": fabric.latency_cycles,
+        "max_links_per_tile": fabric.max_links_per_tile,
+    }
+
+
+def _decode_fsl(payload: Dict[str, Any]) -> FSLInterconnect:
+    return FSLInterconnect(
+        fifo_depth_words=payload["fifo_depth_words"],
+        latency_cycles=payload["latency_cycles"],
+        max_links_per_tile=payload["max_links_per_tile"],
+    )
+
+
+register("interconnect-fsl", FSLInterconnect, _encode_fsl, _decode_fsl)
+
+
+def _encode_noc(fabric: SDMNoC) -> Dict[str, Any]:
+    return {
+        "tiles": list(fabric.tile_names),
+        "wires_per_link": fabric.wires_per_link,
+        "default_connection_wires": fabric.default_connection_wires,
+        "router_latency": fabric.router_latency,
+        "buffer_words_per_hop": fabric.buffer_words_per_hop,
+        "flow_control": fabric.flow_control,
+    }
+
+
+def _decode_noc(payload: Dict[str, Any]) -> SDMNoC:
+    return SDMNoC(
+        payload["tiles"],
+        wires_per_link=payload["wires_per_link"],
+        default_connection_wires=payload["default_connection_wires"],
+        router_latency=payload["router_latency"],
+        buffer_words_per_hop=payload["buffer_words_per_hop"],
+        flow_control=payload["flow_control"],
+    )
+
+
+register("interconnect-noc", SDMNoC, _encode_noc, _decode_noc)
+
+
+def _encode_architecture(arch: ArchitectureModel) -> Dict[str, Any]:
+    return {
+        "name": arch.name,
+        "tiles": [to_payload(tile) for tile in arch.tiles],
+        "interconnect": (
+            None
+            if arch.interconnect is None
+            else to_payload(arch.interconnect)
+        ),
+    }
+
+
+def _decode_architecture(payload: Dict[str, Any]) -> ArchitectureModel:
+    return ArchitectureModel(
+        name=payload["name"],
+        tiles=[from_payload(p) for p in payload["tiles"]],
+        interconnect=_maybe(payload["interconnect"]),
+    )
+
+
+register(
+    "architecture", ArchitectureModel, _encode_architecture,
+    _decode_architecture,
+)
+
+
+# ----------------------------------------------------------------------
+# mapping: channel parameters, channel mappings, the mapping, the result
+# ----------------------------------------------------------------------
+def _encode_channel_parameters(
+    parameters: ChannelParameters,
+) -> Dict[str, Any]:
+    return {
+        "words_in_flight": parameters.words_in_flight,
+        "network_buffer_words": parameters.network_buffer_words,
+        "injection_cycles_per_word": parameters.injection_cycles_per_word,
+        "channel_latency": parameters.channel_latency,
+    }
+
+
+def _decode_channel_parameters(
+    payload: Dict[str, Any],
+) -> ChannelParameters:
+    return ChannelParameters(
+        words_in_flight=payload["words_in_flight"],
+        network_buffer_words=payload["network_buffer_words"],
+        injection_cycles_per_word=payload["injection_cycles_per_word"],
+        channel_latency=payload["channel_latency"],
+    )
+
+
+register(
+    "channel-parameters",
+    ChannelParameters,
+    _encode_channel_parameters,
+    _decode_channel_parameters,
+)
+
+
+def _encode_channel_mapping(channel: ChannelMapping) -> Dict[str, Any]:
+    return {
+        "edge": channel.edge,
+        "src_tile": channel.src_tile,
+        "dst_tile": channel.dst_tile,
+        "capacity": channel.capacity,
+        "alpha_src": channel.alpha_src,
+        "alpha_dst": channel.alpha_dst,
+        "parameters": (
+            None
+            if channel.parameters is None
+            else to_payload(channel.parameters)
+        ),
+    }
+
+
+def _decode_channel_mapping(payload: Dict[str, Any]) -> ChannelMapping:
+    return ChannelMapping(
+        edge=payload["edge"],
+        src_tile=payload["src_tile"],
+        dst_tile=payload["dst_tile"],
+        capacity=payload["capacity"],
+        alpha_src=payload["alpha_src"],
+        alpha_dst=payload["alpha_dst"],
+        parameters=_maybe(payload["parameters"]),
+    )
+
+
+register(
+    "channel-mapping",
+    ChannelMapping,
+    _encode_channel_mapping,
+    _decode_channel_mapping,
+)
+
+
+def _encode_mapping(mapping: Mapping) -> Dict[str, Any]:
+    return {
+        "application": mapping.application,
+        "architecture": mapping.architecture,
+        "actor_binding": dict(mapping.actor_binding),
+        "implementations": {
+            actor: to_payload(impl)
+            for actor, impl in mapping.implementations.items()
+        },
+        "channels": {
+            name: to_payload(channel)
+            for name, channel in mapping.channels.items()
+        },
+        "static_orders": {
+            tile: list(order)
+            for tile, order in mapping.static_orders.items()
+        },
+    }
+
+
+def _decode_mapping(payload: Dict[str, Any]) -> Mapping:
+    return Mapping(
+        application=payload["application"],
+        architecture=payload["architecture"],
+        actor_binding=dict(payload["actor_binding"]),
+        implementations={
+            actor: from_payload(p)
+            for actor, p in payload["implementations"].items()
+        },
+        channels={
+            name: from_payload(p)
+            for name, p in payload["channels"].items()
+        },
+        static_orders={
+            tile: list(order)
+            for tile, order in payload["static_orders"].items()
+        },
+    )
+
+
+register("mapping", Mapping, _encode_mapping, _decode_mapping)
+
+
+def _encode_throughput(result: ThroughputResult) -> Dict[str, Any]:
+    return {
+        "throughput": encode_fraction(result.throughput),
+        "period": result.period,
+        "iterations_per_period": result.iterations_per_period,
+        "transient_iterations": result.transient_iterations,
+    }
+
+
+def _decode_throughput(payload: Dict[str, Any]) -> ThroughputResult:
+    return ThroughputResult(
+        throughput=decode_fraction(payload["throughput"]),
+        period=payload["period"],
+        iterations_per_period=payload["iterations_per_period"],
+        transient_iterations=payload["transient_iterations"],
+    )
+
+
+register(
+    "throughput-result", ThroughputResult, _encode_throughput,
+    _decode_throughput,
+)
+
+
+def _encode_mapping_result(result: MappingResult) -> Dict[str, Any]:
+    return {
+        "mapping": to_payload(result.mapping),
+        "throughput": to_payload(result.throughput),
+        "constraint": encode_fraction(result.constraint),
+        "buffer_growth_rounds": result.buffer_growth_rounds,
+    }
+
+
+def _decode_mapping_result(payload: Dict[str, Any]) -> MappingResult:
+    return MappingResult(
+        mapping=from_payload(payload["mapping"]),
+        throughput=from_payload(payload["throughput"]),
+        constraint=decode_fraction(payload["constraint"]),
+        buffer_growth_rounds=payload["buffer_growth_rounds"],
+    )
+
+
+register(
+    "mapping-result", MappingResult, _encode_mapping_result,
+    _decode_mapping_result,
+)
+
+
+# ----------------------------------------------------------------------
+# strategies and exploration
+# ----------------------------------------------------------------------
+def _encode_strategy(strategy: StrategyTuple) -> Dict[str, Any]:
+    return {
+        "binding": strategy.binding,
+        "routing": strategy.routing,
+        "buffer_policy": strategy.buffer_policy,
+        "scheduling": strategy.scheduling,
+        "seed": strategy.seed,
+    }
+
+
+def _decode_strategy(payload: Dict[str, Any]) -> StrategyTuple:
+    return StrategyTuple(
+        binding=payload["binding"],
+        routing=payload["routing"],
+        buffer_policy=payload["buffer_policy"],
+        scheduling=payload["scheduling"],
+        seed=payload["seed"],
+    )
+
+
+register(
+    "strategy-tuple", StrategyTuple, _encode_strategy, _decode_strategy
+)
+
+
+def _encode_tile_mix(mix: TileMix) -> Dict[str, Any]:
+    return {
+        "name": mix.name,
+        "master_kb": list(mix.master_kb),
+        "slave_kb": list(mix.slave_kb),
+    }
+
+
+def _decode_tile_mix(payload: Dict[str, Any]) -> TileMix:
+    return TileMix(
+        name=payload["name"],
+        master_kb=tuple(payload["master_kb"]),
+        slave_kb=tuple(payload["slave_kb"]),
+    )
+
+
+register("tile-mix", TileMix, _encode_tile_mix, _decode_tile_mix)
+
+
+def _encode_candidate(candidate: CandidatePoint) -> Dict[str, Any]:
+    return {
+        "tiles": candidate.tiles,
+        "interconnect": candidate.interconnect,
+        "with_ca": candidate.with_ca,
+        "mix": to_payload(candidate.mix),
+        "effort": candidate.effort,
+        "strategy": to_payload(candidate.strategy),
+    }
+
+
+def _decode_candidate(payload: Dict[str, Any]) -> CandidatePoint:
+    return CandidatePoint(
+        tiles=payload["tiles"],
+        interconnect=payload["interconnect"],
+        with_ca=payload["with_ca"],
+        mix=from_payload(payload["mix"]),
+        effort=payload["effort"],
+        strategy=from_payload(payload["strategy"]),
+    )
+
+
+register(
+    "candidate-point", CandidatePoint, _encode_candidate,
+    _decode_candidate,
+)
+
+
+def _encode_area(area: AreaEstimate) -> Dict[str, Any]:
+    return {"slices": area.slices, "brams": area.brams}
+
+
+def _decode_area(payload: Dict[str, Any]) -> AreaEstimate:
+    return AreaEstimate(slices=payload["slices"], brams=payload["brams"])
+
+
+register("area-estimate", AreaEstimate, _encode_area, _decode_area)
+
+
+def _encode_design_point(point: DesignPoint) -> Dict[str, Any]:
+    return {
+        "label": point.label,  # derived; kept for downstream tooling
+        "tiles": point.tiles,
+        "interconnect": point.interconnect,
+        "with_ca": point.with_ca,
+        "throughput": encode_fraction(point.throughput),
+        "area": to_payload(point.area),
+        "constraint_met": point.constraint_met,
+        "mix": point.mix,
+        "effort": point.effort,
+        "strategy": to_payload(point.strategy),
+        "candidate": (
+            None
+            if point.candidate is None
+            else to_payload(point.candidate)
+        ),
+    }
+
+
+def _decode_design_point(payload: Dict[str, Any]) -> DesignPoint:
+    return DesignPoint(
+        tiles=payload["tiles"],
+        interconnect=payload["interconnect"],
+        with_ca=payload["with_ca"],
+        throughput=decode_fraction(payload["throughput"]),
+        area=from_payload(payload["area"]),
+        constraint_met=payload["constraint_met"],
+        mix=payload["mix"],
+        effort=payload["effort"],
+        strategy=from_payload(payload["strategy"]),
+        candidate=_maybe(payload["candidate"]),
+    )
+
+
+register(
+    "design-point", DesignPoint, _encode_design_point,
+    _decode_design_point,
+)
+
+
+def _encode_front(front: ParetoFront) -> Dict[str, Any]:
+    return {"points": [to_payload(p) for p in front.points()]}
+
+
+def _decode_front(payload: Dict[str, Any]) -> ParetoFront:
+    front = ParetoFront()
+    for p in payload["points"]:
+        front.add(from_payload(p))
+    return front
+
+
+register("pareto-front", ParetoFront, _encode_front, _decode_front)
+
+
+def _encode_cache_stats(stats: CacheStats) -> Dict[str, Any]:
+    return {"hits": stats.hits, "misses": stats.misses}
+
+
+def _decode_cache_stats(payload: Dict[str, Any]) -> CacheStats:
+    return CacheStats(hits=payload["hits"], misses=payload["misses"])
+
+
+register(
+    "cache-stats", CacheStats, _encode_cache_stats, _decode_cache_stats
+)
+
+
+def _encode_outcome(outcome: EvaluationOutcome) -> Dict[str, Any]:
+    return {
+        "label": outcome.label,
+        "point": (
+            None if outcome.point is None else to_payload(outcome.point)
+        ),
+        "reason": outcome.reason,
+    }
+
+
+def _decode_outcome(payload: Dict[str, Any]) -> EvaluationOutcome:
+    return EvaluationOutcome(
+        label=payload["label"],
+        point=_maybe(payload["point"]),
+        reason=payload["reason"],
+    )
+
+
+register(
+    "evaluation-outcome", EvaluationOutcome, _encode_outcome,
+    _decode_outcome,
+)
+
+
+def _encode_exploration(result: ExplorationResult) -> Dict[str, Any]:
+    return {
+        "points": [to_payload(p) for p in result.points],
+        "failures": [list(pair) for pair in result.failures],
+        "front": None if result.front is None else to_payload(result.front),
+        "cache_stats": (
+            None
+            if result.cache_stats is None
+            else to_payload(result.cache_stats)
+        ),
+        "elapsed_seconds": result.elapsed_seconds,
+        "jobs": result.jobs,
+        "early_exit": result.early_exit,
+        "skipped": result.skipped,
+    }
+
+
+def _decode_exploration(payload: Dict[str, Any]) -> ExplorationResult:
+    return ExplorationResult(
+        points=[from_payload(p) for p in payload["points"]],
+        failures=[tuple(pair) for pair in payload["failures"]],
+        front=_maybe(payload["front"]),
+        cache_stats=_maybe(payload["cache_stats"]),
+        elapsed_seconds=payload["elapsed_seconds"],
+        jobs=payload["jobs"],
+        early_exit=payload["early_exit"],
+        skipped=payload["skipped"],
+    )
+
+
+register(
+    "exploration-result", ExplorationResult, _encode_exploration,
+    _decode_exploration,
+)
+
+
+# ----------------------------------------------------------------------
+# flow results: effort, measurement, project, flow, use-cases
+# ----------------------------------------------------------------------
+def _encode_effort(report: EffortReport) -> Dict[str, Any]:
+    return {
+        "timings": [
+            {"name": t.name, "seconds": t.seconds} for t in report.timings
+        ]
+    }
+
+
+def _decode_effort(payload: Dict[str, Any]) -> EffortReport:
+    return EffortReport(
+        timings=[
+            StepTiming(name=t["name"], seconds=t["seconds"])
+            for t in payload["timings"]
+        ]
+    )
+
+
+register("effort-report", EffortReport, _encode_effort, _decode_effort)
+
+
+def _encode_measured(measured: MeasuredThroughput) -> Dict[str, Any]:
+    return {
+        "throughput": encode_fraction(measured.throughput),
+        "iterations": measured.iterations,
+        "cycles": measured.cycles,
+        "warmup_iterations": measured.warmup_iterations,
+    }
+
+
+def _decode_measured(payload: Dict[str, Any]) -> MeasuredThroughput:
+    return MeasuredThroughput(
+        throughput=decode_fraction(payload["throughput"]),
+        iterations=payload["iterations"],
+        cycles=payload["cycles"],
+        warmup_iterations=payload["warmup_iterations"],
+    )
+
+
+register(
+    "measured-throughput", MeasuredThroughput, _encode_measured,
+    _decode_measured,
+)
+
+
+def _encode_project(project: PlatformProject) -> Dict[str, Any]:
+    return {"name": project.name, "files": dict(project.files)}
+
+
+def _decode_project(payload: Dict[str, Any]) -> PlatformProject:
+    return PlatformProject(
+        name=payload["name"], files=dict(payload["files"])
+    )
+
+
+register(
+    "platform-project", PlatformProject, _encode_project, _decode_project
+)
+
+
+def _encode_flow_result(result: FlowResult) -> Dict[str, Any]:
+    # The simulator is a live process object; it is deliberately not
+    # part of the artifact (decoded results carry simulator=None).
+    return {
+        "mapping_result": to_payload(result.mapping_result),
+        "project": to_payload(result.project),
+        "measured": (
+            None if result.measured is None else to_payload(result.measured)
+        ),
+        "effort": to_payload(result.effort),
+    }
+
+
+def _decode_flow_result(payload: Dict[str, Any]) -> FlowResult:
+    return FlowResult(
+        mapping_result=from_payload(payload["mapping_result"]),
+        project=from_payload(payload["project"]),
+        simulator=None,
+        measured=_maybe(payload["measured"]),
+        effort=from_payload(payload["effort"]),
+    )
+
+
+register(
+    "flow-result", FlowResult, _encode_flow_result, _decode_flow_result
+)
+
+
+def _encode_use_cases(mapping: UseCaseMapping) -> Dict[str, Any]:
+    return {
+        "results": {
+            name: to_payload(result)
+            for name, result in mapping.results.items()
+        },
+        "link_pairs": [list(pair) for pair in mapping.link_pairs],
+        "tiles_used": list(mapping.tiles_used),
+    }
+
+
+def _decode_use_cases(payload: Dict[str, Any]) -> UseCaseMapping:
+    return UseCaseMapping(
+        results={
+            name: from_payload(p)
+            for name, p in payload["results"].items()
+        },
+        link_pairs=tuple(
+            tuple(pair) for pair in payload["link_pairs"]
+        ),
+        tiles_used=tuple(payload["tiles_used"]),
+    )
+
+
+register(
+    "use-case-mapping", UseCaseMapping, _encode_use_cases,
+    _decode_use_cases,
+)

@@ -11,8 +11,15 @@ Commands mirror the tool invocations of the original flow:
 * ``demo [sequence] [--tiles N] [--interconnect fsl|noc]`` -- run the
   MJPEG case study end to end and print the Fig. 6-style numbers plus
   Table 1;
-* ``run --spec scenario.toml`` -- execute a declarative FlowSpec
-  scenario (see :mod:`repro.flow.spec`) through the full flow;
+* ``run --spec scenario.toml [--workspace DIR] [--json]`` -- execute a
+  declarative FlowSpec scenario (see :mod:`repro.flow.spec`) through the
+  full flow; with ``--workspace`` it runs as a resumable
+  :class:`~repro.flow.session.FlowSession` (required for
+  multi-application specs);
+* ``batch <spec>... --workspace DIR [--jobs N] [--table]`` -- run many
+  scenarios against one shared artifact workspace, resuming every stage
+  whose input fingerprints are unchanged, and emit a machine-readable
+  batch report;
 * ``explore [sequence] [--max-tiles N] [--jobs N] [--effort LEVEL]
   [--binding NAME] [--buffer-policy NAME] [--seed N] [--heterogeneous]
   [--with-ca] [--early-exit] [--csv]`` -- explore the template design
@@ -38,6 +45,38 @@ from repro.sdf import (
 from repro.sdf.io_sdf3 import load_graph
 
 
+def _legacy_mapping_aliases(result, architecture_name: str) -> dict:
+    """Deprecated flat aliases of the canonical mapping-result payload.
+
+    Kept for one release so pre-schema consumers of ``analyze --json``
+    keep working; new tooling should read the enveloped payload
+    (``schema_version``/``kind``/``mapping``/``throughput``) instead.
+    """
+    channels = {}
+    for name, channel in result.mapping.channels.items():
+        channels[name] = {
+            "src_tile": channel.src_tile,
+            "dst_tile": channel.dst_tile,
+            "intra_tile": channel.intra_tile,
+            "capacity": channel.capacity,
+            "alpha_src": channel.alpha_src,
+            "alpha_dst": channel.alpha_dst,
+        }
+    return {
+        "architecture": architecture_name,
+        "binding": dict(result.mapping.actor_binding),
+        "static_orders": {
+            t: list(o) for t, o in result.mapping.static_orders.items()
+        },
+        "channels": channels,
+        "guaranteed_throughput": str(result.guaranteed_throughput),
+        "guaranteed_per_mega_cycle": float(
+            result.guaranteed_throughput * 1_000_000
+        ),
+        "constraint_met": result.constraint_met,
+    }
+
+
 def _mapping_payload(
     graph,
     tiles: int,
@@ -45,6 +84,11 @@ def _mapping_payload(
     max_iterations: Optional[int] = None,
 ) -> dict:
     """Map a bare graph onto a template platform, as JSON-able data.
+
+    The payload is the canonical ``mapping-result`` artifact
+    (:mod:`repro.artifacts`) -- the same shape ``run --json`` embeds and
+    ``FlowSession`` persists -- plus the deprecated flat aliases of the
+    pre-schema CLI (see :func:`_legacy_mapping_aliases`).
 
     Graph files carry no implementation metrics, so each actor gets a
     synthesized single-PE implementation whose WCET is its execution
@@ -86,30 +130,9 @@ def _mapping_payload(
     )
     arch = architecture_from_template(tiles, interconnect)
     result = map_application(app, arch, max_iterations=max_iterations)
-    channels = {}
-    for name, channel in result.mapping.channels.items():
-        channels[name] = {
-            "src_tile": channel.src_tile,
-            "dst_tile": channel.dst_tile,
-            "intra_tile": channel.intra_tile,
-            "capacity": channel.capacity,
-            "alpha_src": channel.alpha_src,
-            "alpha_dst": channel.alpha_dst,
-        }
-    return {
-        "architecture": arch.name,
-        "binding": dict(result.mapping.actor_binding),
-        "static_orders": {
-            t: list(o) for t, o in result.mapping.static_orders.items()
-        },
-        "channels": channels,
-        "guaranteed_throughput": str(result.guaranteed_throughput),
-        "guaranteed_per_mega_cycle": float(
-            result.guaranteed_throughput * 1_000_000
-        ),
-        "constraint_met": result.constraint_met,
-        "buffer_growth_rounds": result.buffer_growth_rounds,
-    }
+    payload = result.to_payload()
+    payload.update(_legacy_mapping_aliases(result, arch.name))
+    return payload
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -190,18 +213,76 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.flow import DesignFlow, load_flow_spec
+    from repro.flow import DesignFlow, FlowSession, load_flow_spec
 
     spec = load_flow_spec(args.spec)
-    print(spec.describe())
-    print()
+    if args.workspace or spec.multi:
+        # the resumable session path (required for multi-app specs)
+        if not args.workspace:
+            raise ReproError(
+                f"spec {spec.name!r} declares multiple applications; "
+                "pass --workspace DIR (or use 'repro batch') to run it "
+                "as a resumable session"
+            )
+        if args.output:
+            raise ReproError(
+                "--output needs the full flow (MAMPS generation), which "
+                "the analysis-side session path does not run; drop "
+                "--workspace to generate the project"
+            )
+        if args.iterations is not None:
+            raise ReproError(
+                "--iterations configures measurement, which the "
+                "analysis-side session path does not run; drop "
+                "--workspace to measure"
+            )
+        session = FlowSession(args.workspace, spec)
+        result = session.run()
+        if args.json:
+            from repro.artifacts import canonical_json, to_payload
+
+            print(canonical_json(to_payload(result)))
+        else:
+            print(spec.describe())
+            print()
+            print(result.summary())
+            if result.use_cases is not None:
+                print()
+                print(result.use_cases.as_table())
+        return 0
+
     flow = DesignFlow.from_spec(spec)
-    result = flow.run(iterations=args.iterations)
-    print(result.summary())
+    result = flow.run(
+        iterations=args.iterations if args.iterations is not None else 16
+    )
+    if args.json:
+        from repro.artifacts import canonical_json, to_payload
+
+        print(canonical_json(to_payload(result)))
+    else:
+        print(spec.describe())
+        print()
+        print(result.summary())
     if args.output:
         root = result.project.write_to(args.output)
-        print(f"\nproject written to {root}")
+        # keep --json stdout a single parseable document
+        stream = sys.stderr if args.json else sys.stdout
+        print(f"\nproject written to {root}", file=stream)
     return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.artifacts import canonical_json, to_payload
+    from repro.flow import run_batch
+
+    if args.jobs < 1:
+        raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
+    report = run_batch(args.specs, args.workspace, jobs=args.jobs)
+    if args.table:
+        print(report.as_table())
+    else:
+        print(canonical_json(to_payload(report)))
+    return 0 if report.ok else 1
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
@@ -259,6 +340,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     )
     if args.csv:
         print(exploration_csv(result))
+    elif args.json:
+        from repro.artifacts import canonical_json
+
+        print(canonical_json(result.to_payload()))
     else:
         print(format_exploration_report(result))
     return 0
@@ -325,11 +410,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--spec", required=True,
         help="path to the scenario document (see docs/mapping.md)",
     )
-    run.add_argument("--iterations", type=int, default=16)
     run.add_argument(
-        "--output", help="write the generated project under this directory"
+        "--iterations", type=int, default=None,
+        help="measurement iterations of the full flow (default 16; "
+             "incompatible with --workspace)",
+    )
+    run.add_argument(
+        "--output", help="write the generated project under this "
+                         "directory (incompatible with --workspace)"
+    )
+    run.add_argument(
+        "--workspace", metavar="DIR",
+        help="run as a resumable analysis-side FlowSession against this "
+             "workspace (stages with unchanged input fingerprints are "
+             "skipped; required for multi-application specs)",
+    )
+    run.add_argument(
+        "--json", action="store_true",
+        help="emit the canonical artifact payload instead of the "
+             "human-readable summary (see docs/artifacts.md)",
     )
     run.set_defaults(handler=_cmd_run)
+
+    batch = commands.add_parser(
+        "batch",
+        help="run many FlowSpec scenarios against one shared workspace",
+    )
+    batch.add_argument(
+        "specs", nargs="+",
+        help="paths to scenario documents (TOML or JSON)",
+    )
+    batch.add_argument(
+        "--workspace", required=True, metavar="DIR",
+        help="shared artifact workspace; re-running the same batch "
+             "against it resumes every unchanged stage",
+    )
+    batch.add_argument(
+        "--jobs", type=int, default=1,
+        help="concurrent sessions (default 1: serial; output and "
+             "artifacts are identical either way)",
+    )
+    batch.add_argument(
+        "--table", action="store_true",
+        help="human-readable table instead of the canonical JSON report",
+    )
+    batch.set_defaults(handler=_cmd_batch)
 
     for alias in ("explore", "dse"):
         explore = commands.add_parser(
@@ -394,6 +519,11 @@ def build_parser() -> argparse.ArgumentParser:
         explore.add_argument(
             "--csv", action="store_true",
             help="emit machine-readable CSV instead of the report",
+        )
+        explore.add_argument(
+            "--json", action="store_true",
+            help="emit the canonical exploration-result artifact "
+                 "payload (see docs/artifacts.md)",
         )
         explore.set_defaults(handler=_cmd_explore)
     return parser

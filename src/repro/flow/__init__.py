@@ -27,6 +27,8 @@ from repro.flow.dse import (
     ParetoFront,
     TileMix,
     UNIFORM_MIX,
+    UseCaseEvaluator,
+    WorkerPool,
     explore_design_space,
 )
 from repro.flow.fingerprint import (
@@ -48,8 +50,17 @@ from repro.mapping.pipeline import (
 )
 from repro.flow.usecases import (
     UseCaseMapping,
+    build_use_case_mapping,
     generate_use_case_platform,
     map_use_cases,
+)
+from repro.flow.session import (
+    BatchEntry,
+    BatchReport,
+    FlowSession,
+    SessionResult,
+    StageRecord,
+    run_batch,
 )
 
 __all__ = [
@@ -86,7 +97,16 @@ __all__ = [
     "StrategyTuple",
     "build_case_study_app",
     "load_flow_spec",
+    "UseCaseEvaluator",
+    "WorkerPool",
     "UseCaseMapping",
+    "build_use_case_mapping",
     "map_use_cases",
     "generate_use_case_platform",
+    "BatchEntry",
+    "BatchReport",
+    "FlowSession",
+    "SessionResult",
+    "StageRecord",
+    "run_batch",
 ]

@@ -54,6 +54,24 @@ class FlowResult:
     def measured_throughput(self) -> Optional[Fraction]:
         return self.measured.throughput if self.measured else None
 
+    def to_payload(self) -> Dict[str, object]:
+        """Canonical versioned artifact payload (:mod:`repro.artifacts`).
+
+        The live simulator is not serializable; decoded results carry
+        ``simulator=None`` (mapping result, generated project, measured
+        throughput and effort timings survive).
+        """
+        from repro.artifacts.schema import to_payload
+
+        return to_payload(self)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "FlowResult":
+        from repro.artifacts.schema import check_envelope, from_payload
+
+        check_envelope(payload, "flow-result")
+        return from_payload(payload)
+
     def summary(self) -> str:
         lines = [
             f"guaranteed: {float(self.guaranteed_throughput * 1e6):.4f} "
@@ -147,11 +165,13 @@ class DesignFlow:
 
         if not isinstance(spec, FlowSpec):
             spec = load_flow_spec(spec)
+        # honour per-app overrides exactly like FlowSession does, so a
+        # spec means the same thing with and without a workspace
         return cls(
             app if app is not None else spec.build_application(),
             spec.build_architecture(),
-            constraint=spec.constraint,
-            fixed=dict(spec.fixed) or None,
+            constraint=spec.constraint_for(spec.app),
+            fixed=spec.fixed_for(spec.app),
             effort=spec.effort,
             pipeline=spec.strategies.build_pipeline(),
         )

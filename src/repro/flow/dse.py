@@ -208,6 +208,19 @@ class DesignPoint:
         suffix += self.strategy.label_suffix()
         return f"{self.tiles}t/{self.interconnect}{suffix}"
 
+    def to_payload(self) -> Dict[str, object]:
+        """Canonical versioned artifact payload (:mod:`repro.artifacts`)."""
+        from repro.artifacts.schema import to_payload
+
+        return to_payload(self)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "DesignPoint":
+        from repro.artifacts.schema import check_envelope, from_payload
+
+        check_envelope(payload, "design-point")
+        return from_payload(payload)
+
     def dominates(self, other: "DesignPoint") -> bool:
         """Pareto dominance: no worse in both objectives, better in one.
         Throughput is maximized, slice count minimized."""
@@ -254,6 +267,16 @@ class ParetoFront:
 
     def __contains__(self, point: DesignPoint) -> bool:
         return point in self._members
+
+    def __eq__(self, other: object) -> bool:
+        """Same member *set* (insertion order is irrelevant to a front)."""
+        if not isinstance(other, ParetoFront):
+            return NotImplemented
+        return len(self._members) == len(other._members) and all(
+            member in other._members for member in self._members
+        )
+
+    __hash__ = None  # mutable
 
 
 # ----------------------------------------------------------------------
@@ -430,6 +453,94 @@ class Evaluator:
         return outcome
 
 
+class UseCaseEvaluator:
+    """Evaluate candidates against *several* applications (use-cases).
+
+    The MAMPS platform is shared by time-multiplexed use-cases
+    (:mod:`repro.flow.usecases`): a candidate platform is only useful
+    when **every** application maps onto it.  This evaluator runs one
+    per-application :class:`Evaluator` against a shared cache and folds
+    the outcomes:
+
+    * infeasible for any application -> infeasible (reason names the
+      application);
+    * otherwise the combined point reports the *minimum* per-application
+      throughput (the platform's bottleneck guarantee) and meets the
+      constraint only when every application meets its own.
+
+    Cache entries stay per-application, so overlapping studies and
+    single-application sweeps reuse each other's work.  The union's
+    physical-link feasibility (FSL port limits) is checked when a chosen
+    point is promoted through :func:`repro.flow.usecases.map_use_cases`,
+    not per candidate -- each per-application mapping is individually
+    routable, which the per-candidate analysis already guarantees.
+    """
+
+    def __init__(
+        self,
+        apps: Sequence[ApplicationModel],
+        constraints: Optional[Dict[str, Optional[Fraction]]] = None,
+        fixed: Optional[Dict[str, Dict[str, str]]] = None,
+        cache: Optional[EvaluationCache] = None,
+    ) -> None:
+        if not apps:
+            raise ValueError("UseCaseEvaluator needs at least one app")
+        names = [app.name for app in apps]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"use-case applications need distinct names, got {names}"
+            )
+        self.apps = tuple(apps)
+        self.cache = cache if cache is not None else EvaluationCache()
+        self._evaluators = [
+            Evaluator(
+                app,
+                constraint=(constraints or {}).get(app.name),
+                fixed=(fixed or {}).get(app.name),
+                cache=self.cache,
+            )
+            for app in apps
+        ]
+        #: The binding constraint the explorer's early-exit logic checks;
+        #: any application having one makes early exit meaningful.
+        active = [
+            e.constraint for e in self._evaluators
+            if e.constraint is not None
+        ]
+        self.constraint: Optional[Fraction] = min(active) if active else None
+
+    @property
+    def evaluations(self) -> int:
+        return sum(e.evaluations for e in self._evaluators)
+
+    def evaluate(self, candidate: CandidatePoint) -> EvaluationOutcome:
+        points: List[DesignPoint] = []
+        for app, evaluator in zip(self.apps, self._evaluators):
+            outcome = evaluator.evaluate(candidate)
+            if outcome.point is None:
+                return EvaluationOutcome(
+                    label=candidate.label,
+                    reason=f"{app.name}: {outcome.reason}",
+                )
+            points.append(outcome.point)
+        bottleneck = min(points, key=lambda p: p.throughput)
+        return EvaluationOutcome(
+            label=candidate.label,
+            point=DesignPoint(
+                tiles=candidate.tiles,
+                interconnect=candidate.interconnect,
+                with_ca=candidate.with_ca,
+                throughput=bottleneck.throughput,
+                area=bottleneck.area,
+                constraint_met=all(p.constraint_met for p in points),
+                mix=candidate.mix.name,
+                effort=candidate.effort,
+                strategy=candidate.strategy,
+                candidate=candidate,
+            ),
+        )
+
+
 # ----------------------------------------------------------------------
 # exploration results
 # ----------------------------------------------------------------------
@@ -445,6 +556,19 @@ class ExplorationResult:
     jobs: int = 1
     early_exit: bool = False
     skipped: int = 0  # candidates never evaluated due to early exit
+
+    def to_payload(self) -> Dict[str, object]:
+        """Canonical versioned artifact payload (:mod:`repro.artifacts`)."""
+        from repro.artifacts.schema import to_payload
+
+        return to_payload(self)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "ExplorationResult":
+        from repro.artifacts.schema import check_envelope, from_payload
+
+        check_envelope(payload, "exploration-result")
+        return from_payload(payload)
 
     def pareto_frontier(self) -> List[DesignPoint]:
         if self.front is not None:
@@ -491,6 +615,48 @@ class ExplorationResult:
 
 
 # ----------------------------------------------------------------------
+# the worker pool (shared with the batch runner)
+# ----------------------------------------------------------------------
+class WorkerPool:
+    """Deterministic ordered fan-out over a thread pool.
+
+    ``jobs == 1`` stays strictly serial (no pool, no threads), so a
+    single-job run is bit-for-bit what a loop would do.  With more jobs,
+    work items are submitted eagerly and results are *consumed* in
+    submission order, which is what keeps parallel output identical to
+    serial output.  This is the worker plumbing behind both
+    :class:`ParallelExplorer` and the batch runner
+    (:func:`repro.flow.session.run_batch`).
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def map_ordered(self, worker, items, fold=None):
+        """Apply ``worker`` to every item; results in submission order.
+
+        ``fold`` consumes the lazily produced result iterator and its
+        return value is returned; it may stop early (remaining futures
+        are cancelled -- workers should also honour a stop flag, since a
+        running future cannot be cancelled).  The default fold collects
+        a list.
+        """
+        if fold is None:
+            fold = list
+        if self.jobs == 1:
+            return fold(worker(item) for item in items)
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            futures = [pool.submit(worker, item) for item in items]
+            try:
+                return fold(future.result() for future in futures)
+            finally:
+                for future in futures:
+                    future.cancel()  # no-op for completed futures
+
+
+# ----------------------------------------------------------------------
 # the explorer
 # ----------------------------------------------------------------------
 class ParallelExplorer:
@@ -509,7 +675,11 @@ class ParallelExplorer:
     keeping early-exit output independent of ``jobs``.
     """
 
-    def __init__(self, evaluator: Evaluator, jobs: int = 1) -> None:
+    def __init__(
+        self,
+        evaluator: "Union[Evaluator, UseCaseEvaluator]",
+        jobs: int = 1,
+    ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.evaluator = evaluator
@@ -537,25 +707,14 @@ class ParallelExplorer:
                 return None
             return self.evaluator.evaluate(candidate)
 
-        if self.jobs == 1:
-            outcomes: Iterator[Optional[EvaluationOutcome]] = (
-                run(c) for c in candidates
-            )
-            consumed = self._collect(
+        consumed = WorkerPool(self.jobs).map_ordered(
+            run,
+            candidates,
+            fold=lambda outcomes: self._collect(
                 candidates, outcomes, points, failures, front,
                 early_exit, stopped,
-            )
-        else:
-            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                futures = [pool.submit(run, c) for c in candidates]
-                consumed = self._collect(
-                    candidates,
-                    (f.result() for f in futures),
-                    points, failures, front, early_exit, stopped,
-                )
-                if stopped.is_set():
-                    for future in futures:
-                        future.cancel()
+            ),
+        )
         skipped = len(candidates) - consumed
         return ExplorationResult(
             points=points,
@@ -600,7 +759,7 @@ class ParallelExplorer:
 # the one-call entry point
 # ----------------------------------------------------------------------
 def explore_design_space(
-    app: ApplicationModel,
+    app: Union[ApplicationModel, Sequence[ApplicationModel]],
     tile_counts: Sequence[int] = (1, 2, 3, 4, 5),
     interconnects: Sequence[str] = ("fsl", "noc"),
     ca_options: Sequence[bool] = (False,),
@@ -630,6 +789,15 @@ def explore_design_space(
     ``scheduling``/``seed``) or wholesale via ``strategy``; cache keys
     embed the choice, so sweeping the same space under two strategies
     never produces a false cache hit.
+
+    ``app`` may also be a *sequence* of applications with distinct
+    names: the sweep then scores each candidate as a shared use-case
+    platform through :class:`UseCaseEvaluator` (minimum per-application
+    guarantee; feasible only when every application maps).  In that form
+    ``constraint`` applies to every application (each application's own
+    ``throughput_constraint`` is used where it is ``None``) and
+    ``fixed`` pins actors *per application name*
+    (``{app_name: {actor: tile}}``).
     """
     effort_name = MappingEffort.of(effort).name
     if strategy is None:
@@ -649,8 +817,21 @@ def explore_design_space(
         effort=effort_name,
         strategy=strategy,
     )
-    evaluator = Evaluator(
-        app, constraint=constraint, fixed=fixed, cache=cache
-    )
+    if isinstance(app, ApplicationModel):
+        evaluator: Union[Evaluator, UseCaseEvaluator] = Evaluator(
+            app, constraint=constraint, fixed=fixed, cache=cache
+        )
+    else:
+        apps = list(app)
+        evaluator = UseCaseEvaluator(
+            apps,
+            constraints=(
+                None
+                if constraint is None
+                else {a.name: constraint for a in apps}
+            ),
+            fixed=fixed,
+            cache=cache,
+        )
     explorer = ParallelExplorer(evaluator, jobs=jobs)
     return explorer.explore(space, early_exit=early_exit)

@@ -18,16 +18,20 @@ Fingerprints cover everything the conservative mapping analysis reads:
   peripherals, communication assist) and the interconnect's structural
   parameters (kind, FIFO depths, mesh wiring, flow control).
 
-Functional models (Python callables) are identified by qualified name
-only: the analysis never executes them, so their bodies cannot change a
-mapping result.
+Functional models (Python callables) are excluded entirely: the
+analysis never executes them, so they cannot change a mapping result --
+and excluding them makes the fingerprint *portable*: an application
+reloaded from a workspace artifact (:mod:`repro.artifacts`, where
+callables decode to ``None``) fingerprints identically to the freshly
+built one, which is what lets a :class:`~repro.flow.session.FlowSession`
+resume mapping stages across processes.
 """
 
 from __future__ import annotations
 
 import hashlib
 from fractions import Fraction
-from typing import Any, Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional
 
 from repro.appmodel.model import ApplicationModel
 from repro.arch.interconnect import FSLInterconnect
@@ -43,16 +47,12 @@ def _digest(parts: Iterable[str]) -> str:
     return h.hexdigest()
 
 
-def _callable_id(function: Optional[Any]) -> str:
-    if function is None:
-        return "-"
-    return getattr(function, "__qualname__", repr(function))
-
-
 def application_fingerprint(app: ApplicationModel) -> str:
     """Stable hex digest of everything the mapping analysis reads from
-    ``app``.  Token *values* and functional bodies are excluded: the
-    conservative analysis only consumes structure, WCETs and sizes."""
+    ``app``.  Token *values* and functional models are excluded: the
+    conservative analysis only consumes structure, WCETs and sizes, so
+    a timing-only copy (e.g. one reloaded from an artifact) shares the
+    fingerprint of the functional original."""
     parts = ["app", app.name, str(app.throughput_constraint)]
     for actor in sorted(app.graph.actors, key=lambda a: a.name):
         parts.append(
@@ -72,7 +72,6 @@ def application_fingerprint(app: ApplicationModel) -> str:
             f"impl:{impl.actor}:{impl.pe_type}:{impl.metrics.wcet}"
             f":{impl.metrics.memory.instruction_bytes}"
             f":{impl.metrics.memory.data_bytes}"
-            f":{_callable_id(impl.function)}"
         )
     return _digest(parts)
 

@@ -154,7 +154,13 @@ def format_exploration_report(result: "ExplorationResult") -> str:
 
 
 def exploration_csv(result: "ExplorationResult") -> str:
-    """Machine-readable exploration dump, one evaluated point per row."""
+    """Machine-readable exploration dump, one evaluated point per row.
+
+    Column names and values mirror the fields of the canonical
+    ``design-point`` artifact payload (:mod:`repro.artifacts`), so the
+    CSV is a flat projection of what ``explore --json`` and persisted
+    artifacts carry -- one schema, three renderings.
+    """
     frontier = {p.label for p in result.pareto_frontier()}
     rows = [
         "label,tiles,interconnect,with_ca,mix,effort,"

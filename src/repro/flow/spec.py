@@ -32,6 +32,33 @@ A complete TOML example::
     [mapping.fixed]
     VLD = "tile0"
 
+A spec may instead declare *several* applications (use-cases) that share
+the platform, one ``[[apps]]`` table each::
+
+    name = "set-top-box"
+
+    [[apps]]
+    name = "decoder"
+    sequence = "gradient"
+    frames = 1
+    constraint = "1/120000"
+
+    [[apps]]
+    name = "osd"
+    sequence = "checkerboard"
+    frames = 1
+
+    [apps.fixed]        # pins actors of the *preceding* [[apps]] table
+    VLD = "tile0"
+
+    [architecture]
+    tiles = 4
+
+Multi-application specs run through :class:`repro.flow.session.FlowSession`
+(which maps every use-case and checks the union platform) and through the
+multi-application design-space exploration path
+(:class:`repro.flow.dse.UseCaseEvaluator`).
+
 Unknown keys are rejected so a typo cannot silently fall back to a
 default strategy.
 """
@@ -42,7 +69,7 @@ import json
 from dataclasses import dataclass, field
 from fractions import Fraction
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.arch.template import architecture_from_template
 from repro.exceptions import ReproError
@@ -55,11 +82,23 @@ class FlowSpecError(ReproError):
 
 @dataclass(frozen=True)
 class AppSpec:
-    """Which case-study input to decode (``[app]``)."""
+    """One application of the scenario (``[app]`` or one ``[[apps]]``).
+
+    ``name`` identifies the use-case (defaults to the sequence name);
+    ``constraint`` and ``fixed`` override the spec-level throughput
+    constraint and actor pins for this application only.
+    """
 
     sequence: str = "gradient"
     quality: Optional[int] = None
     frames: int = 2
+    name: str = ""
+    constraint: Optional[Fraction] = None
+    fixed: Optional[Dict[str, str]] = None
+
+    @property
+    def effective_name(self) -> str:
+        return self.name or self.sequence
 
 
 @dataclass(frozen=True)
@@ -77,15 +116,25 @@ class ArchSpec:
 
 @dataclass(frozen=True)
 class FlowSpec:
-    """One declarative scenario: app + architecture + mapping choices."""
+    """One declarative scenario: app(s) + architecture + mapping choices."""
 
     name: str = "scenario"
-    app: AppSpec = field(default_factory=AppSpec)
+    apps: Tuple[AppSpec, ...] = (AppSpec(),)
     architecture: ArchSpec = field(default_factory=ArchSpec)
     constraint: Optional[Fraction] = None
     effort: str = "normal"
     fixed: Dict[str, str] = field(default_factory=dict)
     strategies: StrategyTuple = field(default_factory=StrategyTuple)
+
+    @property
+    def app(self) -> AppSpec:
+        """The first (for single-application specs: the only) app."""
+        return self.apps[0]
+
+    @property
+    def multi(self) -> bool:
+        """True when the spec declares several use-case applications."""
+        return len(self.apps) > 1
 
     # ------------------------------------------------------------------
     # construction
@@ -95,13 +144,45 @@ class FlowSpec:
         """Build and validate a spec from a parsed document."""
         data = dict(data)
         name = _take(data, "name", str, default="scenario")
+        has_single = "app" in data
         app = _section(data, "app", _parse_app)
+        apps_raw = _take(data, "apps", list, default=None)
         architecture = _section(data, "architecture", _parse_arch)
         mapping = dict(_take(data, "mapping", dict, default={}))
         if data:
             raise FlowSpecError(
                 f"unknown top-level key(s) in flow spec: {sorted(data)}"
             )
+
+        if apps_raw is not None:
+            if has_single:
+                raise FlowSpecError(
+                    "flow spec declares both [app] and [[apps]]; use one"
+                )
+            if not apps_raw:
+                raise FlowSpecError("[[apps]] must list at least one app")
+            apps: List[AppSpec] = []
+            for index, entry in enumerate(apps_raw):
+                if not isinstance(entry, dict):
+                    raise FlowSpecError(
+                        f"[[apps]] entry {index} must be a table/object"
+                    )
+                entry = dict(entry)
+                parsed = _parse_app(entry)
+                if entry:
+                    raise FlowSpecError(
+                        f"unknown [[apps]] key(s) in flow spec: "
+                        f"{sorted(entry)}"
+                    )
+                apps.append(parsed)
+            names = [a.effective_name for a in apps]
+            if len(set(names)) != len(names):
+                raise FlowSpecError(
+                    f"use-case applications need distinct names, "
+                    f"got {names}"
+                )
+        else:
+            apps = [app]
 
         constraint = _parse_constraint(
             _take(mapping, "constraint", (str, int), default=None)
@@ -138,7 +219,7 @@ class FlowSpec:
             )
         return cls(
             name=name,
-            app=app,
+            apps=tuple(apps),
             architecture=architecture,
             constraint=constraint,
             effort=effort,
@@ -154,12 +235,44 @@ class FlowSpec:
     # realization
     # ------------------------------------------------------------------
     def build_application(self):
-        """Instantiate the case-study application this spec names."""
-        return build_case_study_app(
-            self.app.sequence,
-            quality=self.app.quality,
-            frames=self.app.frames,
+        """Instantiate the (single) case-study application of the spec."""
+        if self.multi:
+            raise FlowSpecError(
+                f"spec {self.name!r} declares {len(self.apps)} "
+                "applications; use build_applications() or run it through "
+                "repro.flow.session.FlowSession / 'repro batch'"
+            )
+        return self.build_app(self.apps[0])
+
+    def build_applications(self):
+        """Instantiate every application, renamed to its use-case name."""
+        return [self.build_app(app_spec) for app_spec in self.apps]
+
+    def build_app(self, app_spec: AppSpec):
+        """Instantiate one application, renamed to its use-case name."""
+        model = build_case_study_app(
+            app_spec.sequence,
+            quality=app_spec.quality,
+            frames=app_spec.frames,
         )
+        if app_spec.name or self.multi:
+            model.name = app_spec.effective_name
+        return model
+
+    def constraint_for(self, app_spec: AppSpec) -> Optional[Fraction]:
+        """Effective throughput constraint of one application."""
+        return (
+            app_spec.constraint
+            if app_spec.constraint is not None
+            else self.constraint
+        )
+
+    def fixed_for(self, app_spec: AppSpec) -> Optional[Dict[str, str]]:
+        """Effective actor pins of one application."""
+        fixed = (
+            app_spec.fixed if app_spec.fixed is not None else self.fixed
+        )
+        return dict(fixed) if fixed else None
 
     def build_architecture(self):
         """Instantiate the template architecture this spec names."""
@@ -175,11 +288,16 @@ class FlowSpec:
         )
 
     def describe(self) -> str:
-        bits = [
-            f"scenario {self.name!r}:",
-            f"  app: {self.app.sequence} "
-            f"(quality {self.app.quality or 'default'}, "
-            f"{self.app.frames} frame(s))",
+        bits = [f"scenario {self.name!r}:"]
+        for app_spec in self.apps:
+            label = "app" if not self.multi else \
+                f"use-case {app_spec.effective_name!r}"
+            bits.append(
+                f"  {label}: {app_spec.sequence} "
+                f"(quality {app_spec.quality or 'default'}, "
+                f"{app_spec.frames} frame(s))"
+            )
+        bits += [
             f"  architecture: {self.architecture.tiles} tile(s), "
             f"{self.architecture.interconnect}"
             + (" +CA" if self.architecture.with_ca else ""),
@@ -231,10 +349,23 @@ def _section(data: Dict[str, Any], key: str, parser):
 
 
 def _parse_app(section: Dict[str, Any]) -> AppSpec:
+    fixed = _take(section, "fixed", dict, default=None)
+    if fixed is not None:
+        fixed = dict(fixed)
+        for actor, tile in fixed.items():
+            if not isinstance(actor, str) or not isinstance(tile, str):
+                raise FlowSpecError(
+                    "[apps.fixed] must map actor names to tile names"
+                )
     return AppSpec(
         sequence=_take(section, "sequence", str, default="gradient"),
         quality=_take(section, "quality", int, default=None),
         frames=_take(section, "frames", int, default=2),
+        name=_take(section, "name", str, default=""),
+        constraint=_parse_constraint(
+            _take(section, "constraint", (str, int), default=None)
+        ),
+        fixed=fixed,
     )
 
 

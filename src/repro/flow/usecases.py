@@ -45,15 +45,33 @@ class UseCaseMapping:
     def guarantee_of(self, use_case: str) -> Fraction:
         return self.results[use_case].guaranteed_throughput
 
+    def to_payload(self) -> Dict[str, object]:
+        """Canonical versioned artifact payload (:mod:`repro.artifacts`)."""
+        from repro.artifacts.schema import to_payload
+
+        return to_payload(self)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "UseCaseMapping":
+        from repro.artifacts.schema import check_envelope, from_payload
+
+        check_envelope(payload, "use-case-mapping")
+        return from_payload(payload)
+
     def as_table(self) -> str:
-        lines = [
-            f"{'use-case':<16} {'guarantee/Mcycle':>17} {'tiles':>6} "
-            f"{'links':>6}"
-        ]
-        lines.append("-" * 50)
+        # column widths follow the content: long use-case names must
+        # widen the name column instead of breaking the header rule
+        name_width = max(
+            [len(name) for name in self.results] + [len("use-case")]
+        )
+        header = (
+            f"{'use-case':<{name_width}} {'guarantee/Mcycle':>17} "
+            f"{'tiles':>6} {'links':>6}"
+        )
+        lines = [header, "-" * len(header)]
         for name, result in sorted(self.results.items()):
             lines.append(
-                f"{name:<16} "
+                f"{name:<{name_width}} "
                 f"{float(result.guaranteed_throughput * 1e6):>17.4f} "
                 f"{len(result.mapping.used_tiles()):>6} "
                 f"{len(result.mapping.inter_tile_channels()):>6}"
@@ -105,6 +123,33 @@ def _check_union_feasible(
     # already checked during each mapping -- is sufficient.
 
 
+def build_use_case_mapping(
+    arch: ArchitectureModel, results: Dict[str, MappingResult]
+) -> UseCaseMapping:
+    """Fold per-use-case mapping results into the checked platform union.
+
+    This is the second half of :func:`map_use_cases`, split out so
+    callers that obtained the per-application results elsewhere -- e.g.
+    a :class:`~repro.flow.session.FlowSession` resuming them from a
+    workspace -- get the same union computation and physical-limit
+    checks.
+    """
+    pairs = _distinct_link_pairs(results)
+    _check_union_feasible(arch, pairs)
+
+    tiles_used: List[str] = []
+    for result in results.values():
+        for tile in result.mapping.used_tiles():
+            if tile not in tiles_used:
+                tiles_used.append(tile)
+
+    return UseCaseMapping(
+        results=results,
+        link_pairs=pairs,
+        tiles_used=tuple(sorted(tiles_used)),
+    )
+
+
 def map_use_cases(
     apps: Sequence[ApplicationModel],
     arch: ArchitectureModel,
@@ -130,20 +175,7 @@ def map_use_cases(
         pin = (fixed or {}).get(app.name)
         results[app.name] = map_application(app, arch, fixed=pin)
 
-    pairs = _distinct_link_pairs(results)
-    _check_union_feasible(arch, pairs)
-
-    tiles_used: List[str] = []
-    for result in results.values():
-        for tile in result.mapping.used_tiles():
-            if tile not in tiles_used:
-                tiles_used.append(tile)
-
-    return UseCaseMapping(
-        results=results,
-        link_pairs=pairs,
-        tiles_used=tuple(sorted(tiles_used)),
-    )
+    return build_use_case_mapping(arch, results)
 
 
 def generate_use_case_platform(

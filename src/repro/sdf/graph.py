@@ -297,6 +297,25 @@ class SDFGraph:
     def __iter__(self) -> Iterator[Actor]:
         return iter(self._actors.values())
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same name, actors and edges.
+
+        Insertion order is irrelevant (the dict comparisons are
+        order-insensitive), matching the artifact round-trip contract of
+        :mod:`repro.artifacts`: ``from_payload(to_payload(g)) == g``.
+        """
+        if not isinstance(other, SDFGraph):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self._actors == other._actors
+            and self._edges == other._edges
+        )
+
+    # graphs are mutable containers; keep identity hashing (same pragma
+    # as Actor/Edge, which hash by name while comparing structurally)
+    __hash__ = object.__hash__
+
     def __len__(self) -> int:
         return len(self._actors)
 
@@ -308,6 +327,22 @@ class SDFGraph:
             f"SDFGraph({self.name!r}, actors={len(self._actors)}, "
             f"edges={len(self._edges)})"
         )
+
+    # ------------------------------------------------------------------
+    # persistence (the canonical artifact schema; XML lives in io_sdf3)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> Dict[str, object]:
+        """Canonical versioned artifact payload (:mod:`repro.artifacts`)."""
+        from repro.artifacts.schema import to_payload
+
+        return to_payload(self)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "SDFGraph":
+        from repro.artifacts.schema import check_envelope, from_payload
+
+        check_envelope(payload, "sdf-graph")
+        return from_payload(payload)
 
     # ------------------------------------------------------------------
     # derived views

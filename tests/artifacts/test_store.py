@@ -1,0 +1,138 @@
+"""Tests for the on-disk artifact store and the persistent DSE cache."""
+
+import threading
+
+import pytest
+
+from repro.artifacts import (
+    ArtifactError,
+    ArtifactStore,
+    PersistentEvaluationCache,
+    canonical_json,
+    to_payload,
+)
+from repro.flow import DesignSpace, Evaluator, ParallelExplorer
+from tests.artifacts.test_roundtrip import make_app
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "artifacts")
+
+
+class TestArtifactStore:
+    def test_put_get_roundtrip(self, store):
+        payload = to_payload(make_app())
+        path = store.put("application", "k1", payload)
+        assert path.exists()
+        assert store.get("application", "k1") == payload
+        assert store.has("application", "k1")
+        assert store.get("application", "absent") is None
+
+    def test_files_are_canonical_bytes(self, store):
+        payload = to_payload(make_app())
+        path = store.put("application", "k1", payload)
+        assert path.read_text(encoding="utf-8") == \
+            canonical_json(payload) + "\n"
+
+    def test_kind_mismatch_rejected(self, store):
+        payload = to_payload(make_app())
+        with pytest.raises(ArtifactError, match="expected artifact kind"):
+            store.put("architecture", "k1", payload)
+        store.put("application", "k1", payload)
+        # path traversal is rejected before any filesystem access
+        with pytest.raises(ArtifactError, match="unsafe"):
+            store.get("architecture", "../application/k1")
+
+    def test_unsafe_keys_rejected(self, store):
+        payload = to_payload(make_app())
+        for bad in ("", "a/b", "..", ".hidden", "a b"):
+            with pytest.raises(ArtifactError, match="unsafe"):
+                store.put("application", bad, payload)
+
+    def test_corrupt_artifact_reported(self, store):
+        payload = to_payload(make_app())
+        path = store.put("application", "k1", payload)
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ArtifactError, match="corrupt"):
+            store.get("application", "k1")
+
+    def test_enumeration(self, store):
+        assert store.kinds() == ()
+        store.put("application", "b", to_payload(make_app()))
+        store.put("application", "a", to_payload(make_app()))
+        assert store.kinds() == ("application",)
+        assert store.keys("application") == ("a", "b")
+        assert store.keys("nothing") == ()
+        assert len(store) == 2
+
+    def test_concurrent_writers_of_same_key_are_safe(self, store):
+        payload = to_payload(make_app())
+        errors = []
+
+        def write():
+            try:
+                for _ in range(20):
+                    store.put("application", "hot", payload)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=write) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert store.get("application", "hot") == payload
+        # no temp files left behind
+        leftovers = [
+            p for p in (store.root / "application").iterdir()
+            if p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+    def test_object_helpers(self, store):
+        app = make_app()
+        store.put_object("k1", app)
+        assert store.get_object("application", "k1") == app
+        assert store.get_object("application", "nope") is None
+
+
+class TestPersistentEvaluationCache:
+    def test_outcomes_survive_process_boundaries(self, tmp_path):
+        app = make_app()
+        space = DesignSpace(tile_counts=(1, 2), interconnects=("fsl",))
+
+        cold = Evaluator(
+            app,
+            cache=PersistentEvaluationCache(ArtifactStore(tmp_path)),
+        )
+        first = ParallelExplorer(cold).explore(space)
+        assert cold.evaluations == len(space)
+
+        # a "new process": fresh store and cache objects over the same dir
+        warm = Evaluator(
+            app,
+            cache=PersistentEvaluationCache(ArtifactStore(tmp_path)),
+        )
+        second = ParallelExplorer(warm).explore(space)
+        assert warm.evaluations == 0
+        assert warm.cache.stats.hit_rate() == 1.0
+        assert second.as_table() == first.as_table()
+
+    def test_disk_hits_fill_the_memory_tier(self, tmp_path):
+        app = make_app()
+        store = ArtifactStore(tmp_path)
+        writer = PersistentEvaluationCache(store)
+        evaluator = Evaluator(app, cache=writer)
+        candidate = next(iter(
+            DesignSpace(tile_counts=(2,), interconnects=("fsl",))
+        ))
+        outcome = evaluator.evaluate(candidate)
+
+        reader = PersistentEvaluationCache(ArtifactStore(tmp_path))
+        key = store.keys("evaluation-outcome")[0]
+        assert reader.get(key) == outcome  # from disk
+        # second lookup is a pure memory hit even if the file vanishes
+        store.path_for("evaluation-outcome", key).unlink()
+        assert reader.get(key) == outcome

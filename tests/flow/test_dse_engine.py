@@ -424,3 +424,89 @@ class TestCLI:
         ) == 0
         out = capsys.readouterr().out
         assert out.startswith("label,tiles,")
+
+
+class TestUseCaseEvaluator:
+    def make_pair(self):
+        return [
+            build_chain_app("uc_video", (500, 700, 300)),
+            build_chain_app("uc_audio", (150, 250)),
+        ]
+
+    def test_combined_point_reports_bottleneck_guarantee(self):
+        from repro.flow.dse import UseCaseEvaluator
+
+        apps = self.make_pair()
+        space = DesignSpace(tile_counts=(2,), interconnects=("fsl",))
+        candidate = space.points()[0]
+        shared = EvaluationCache()
+        combined = UseCaseEvaluator(apps, cache=shared).evaluate(candidate)
+        singles = [
+            Evaluator(app, cache=shared).evaluate(candidate)
+            for app in apps
+        ]
+        assert combined.feasible
+        assert combined.point.throughput == min(
+            s.point.throughput for s in singles
+        )
+
+    def test_multi_app_explore_shares_the_cache_per_app(self):
+        from repro.flow.dse import UseCaseEvaluator
+
+        apps = self.make_pair()
+        space = DesignSpace(tile_counts=(1, 2), interconnects=("fsl",))
+        cache = EvaluationCache()
+        evaluator = UseCaseEvaluator(apps, cache=cache)
+        ParallelExplorer(evaluator).explore(space)
+        assert evaluator.evaluations == len(apps) * len(space)
+        # a later single-app sweep re-uses the per-app entries
+        single = Evaluator(apps[0], cache=cache)
+        ParallelExplorer(single).explore(space)
+        assert single.evaluations == 0
+
+    def test_explore_design_space_accepts_a_sequence(self):
+        result = explore_design_space(
+            self.make_pair(),
+            tile_counts=(1, 2),
+            interconnects=("fsl",),
+        )
+        assert len(result.points) == 2
+        assert all(p.constraint_met for p in result.points)
+
+    def test_infeasible_app_names_the_culprit(self):
+        from repro.flow.dse import UseCaseEvaluator
+
+        apps = self.make_pair()
+        evaluator = UseCaseEvaluator(
+            apps, fixed={"uc_audio": {"P": "tile9"}}
+        )
+        candidate = DesignSpace(
+            tile_counts=(2,), interconnects=("fsl",)
+        ).points()[0]
+        outcome = evaluator.evaluate(candidate)
+        assert not outcome.feasible
+        assert "uc_audio" in outcome.reason
+
+    def test_duplicate_names_rejected(self):
+        from repro.flow.dse import UseCaseEvaluator
+
+        app = build_chain_app("same")
+        with pytest.raises(ValueError, match="distinct"):
+            UseCaseEvaluator([app, build_chain_app("same")])
+
+    def test_constraint_gates_every_app(self):
+        from repro.flow.dse import UseCaseEvaluator
+
+        apps = self.make_pair()
+        # achievable for audio, hopeless for the video chain
+        evaluator = UseCaseEvaluator(
+            apps,
+            constraints={"uc_video": Fraction(1, 100),
+                         "uc_audio": Fraction(1, 100000)},
+        )
+        candidate = DesignSpace(
+            tile_counts=(2,), interconnects=("fsl",)
+        ).points()[0]
+        outcome = evaluator.evaluate(candidate)
+        assert outcome.feasible
+        assert not outcome.point.constraint_met

@@ -1,0 +1,256 @@
+"""Tests for FlowSession (resume) and run_batch (shared workspaces)."""
+
+import hashlib
+
+import pytest
+
+from repro.artifacts import from_payload, to_payload
+from repro.exceptions import ReproError
+from repro.flow import FlowSession, run_batch
+from repro.flow.session import BatchReport, SessionResult, StageRecord
+from repro.flow.spec import FlowSpec
+
+SOLO = {
+    "name": "solo",
+    "app": {"sequence": "gradient", "frames": 1},
+    "architecture": {"tiles": 2},
+    "mapping": {"fixed": {"VLD": "tile0"}},
+}
+
+DUO = {
+    "name": "duo",
+    "apps": [
+        {"name": "decoder", "sequence": "gradient", "frames": 1,
+         "fixed": {"VLD": "tile0"}},
+        {"name": "osd", "sequence": "checkerboard", "frames": 1},
+    ],
+    "architecture": {"tiles": 4, "interconnect": "noc"},
+    "mapping": {"binding": "spiral"},
+}
+
+
+@pytest.fixture
+def solo_spec():
+    return FlowSpec.from_dict(dict(SOLO))
+
+
+@pytest.fixture
+def duo_spec():
+    return FlowSpec.from_dict(dict(DUO))
+
+
+def artifact_tree(workspace):
+    """(relative path -> content hash) of every artifact in a workspace."""
+    root = workspace / "artifacts"
+    return {
+        str(p.relative_to(root)): hashlib.sha256(p.read_bytes()).hexdigest()
+        for p in sorted(root.rglob("*.json"))
+    }
+
+
+class TestFlowSession:
+    def test_first_run_computes_every_stage(self, tmp_path, solo_spec):
+        result = FlowSession(tmp_path, solo_spec).run()
+        assert result.resumed_stages == ()
+        assert result.computed_stages == (
+            "application:gradient", "architecture", "mapping:gradient",
+        )
+        assert result.guarantee_of("gradient") > 0
+        assert (tmp_path / "sessions" / "solo.json").exists()
+
+    def test_second_run_resumes_every_stage(self, tmp_path, solo_spec):
+        first = FlowSession(tmp_path, solo_spec).run()
+        second = FlowSession(tmp_path, solo_spec).run()
+        assert second.computed_stages == ()
+        assert second.resumed_stages == tuple(
+            s.stage for s in first.stages
+        )
+        assert second.resume_rate() == 1.0
+        assert second.guarantees() == first.guarantees()
+
+    def test_resume_works_across_session_objects_only_sharing_disk(
+        self, tmp_path, solo_spec
+    ):
+        FlowSession(tmp_path, solo_spec).run()
+        # fresh store object, same directory: simulates a new process
+        fresh = FlowSession(tmp_path, solo_spec)
+        assert fresh.store is not None
+        assert fresh.run().resume_rate() == 1.0
+
+    def test_changed_mapping_knobs_recompute_only_mapping(
+        self, tmp_path, solo_spec
+    ):
+        FlowSession(tmp_path, solo_spec).run()
+        changed = FlowSpec.from_dict(
+            {**SOLO, "mapping": {"fixed": {"VLD": "tile1"}}}
+        )
+        result = FlowSession(tmp_path, changed).run()
+        assert result.computed_stages == ("mapping:gradient",)
+        assert set(result.resumed_stages) == {
+            "application:gradient", "architecture",
+        }
+
+    def test_changed_architecture_recomputes_arch_and_mapping(
+        self, tmp_path, solo_spec
+    ):
+        FlowSession(tmp_path, solo_spec).run()
+        changed = FlowSpec.from_dict(
+            {**SOLO, "architecture": {"tiles": 3}}
+        )
+        result = FlowSession(tmp_path, changed).run()
+        assert result.resumed_stages == ("application:gradient",)
+        assert set(result.computed_stages) == {
+            "architecture", "mapping:gradient",
+        }
+
+    def test_multi_app_session_maps_every_use_case(
+        self, tmp_path, duo_spec
+    ):
+        result = FlowSession(tmp_path, duo_spec).run()
+        assert set(result.mappings) == {"decoder", "osd"}
+        assert result.use_cases is not None
+        assert set(result.use_cases.results) == {"decoder", "osd"}
+        assert result.computed_stages[-1] == "use-cases"
+        resumed = FlowSession(tmp_path, duo_spec).run()
+        assert resumed.resume_rate() == 1.0
+        assert resumed.use_cases == result.use_cases
+
+    def test_stage_timers_show_resume_is_cheap(self, tmp_path, duo_spec):
+        FlowSession(tmp_path, duo_spec).run()
+        result = FlowSession(tmp_path, duo_spec).run()
+        mapping_stages = [
+            s for s in result.stages if s.stage.startswith("mapping:")
+        ]
+        assert mapping_stages and all(s.resumed for s in mapping_stages)
+        # loading an artifact must be far below any real mapping run
+        assert all(s.seconds < 1.0 for s in mapping_stages)
+
+    def test_session_result_roundtrips(self, tmp_path, duo_spec):
+        result = FlowSession(tmp_path, duo_spec).run()
+        assert from_payload(to_payload(result)) == result
+
+    def test_session_report_loads_as_session_result(
+        self, tmp_path, solo_spec
+    ):
+        import json
+
+        FlowSession(tmp_path, solo_spec).run()
+        payload = json.loads(
+            (tmp_path / "sessions" / "solo.json").read_text("utf-8")
+        )
+        loaded = from_payload(payload)
+        assert isinstance(loaded, SessionResult)
+        assert loaded.spec_name == "solo"
+        assert all(isinstance(s, StageRecord) for s in loaded.stages)
+
+
+class TestRunBatch:
+    def test_concurrent_batch_matches_sequential_byte_for_byte(
+        self, tmp_path, solo_spec, duo_spec
+    ):
+        """Two multi-application specs (plus a single-app one) run
+        concurrently must write the exact bytes a serial run writes."""
+        trio_spec = FlowSpec.from_dict({
+            "name": "trio",
+            "apps": [
+                {"name": "decoder", "sequence": "gradient", "frames": 1,
+                 "fixed": {"VLD": "tile0"}},
+                {"name": "osd", "sequence": "checkerboard", "frames": 1},
+                {"name": "ticker", "sequence": "text", "frames": 1},
+            ],
+            "architecture": {"tiles": 5},
+        })
+        specs = [solo_spec, duo_spec, trio_spec]
+        ws_serial = tmp_path / "serial"
+        ws_parallel = tmp_path / "parallel"
+        serial = run_batch(specs, ws_serial, jobs=1)
+        parallel = run_batch(specs, ws_parallel, jobs=4)
+        assert serial.ok and parallel.ok
+        tree = artifact_tree(ws_serial)
+        assert tree  # non-empty
+        assert artifact_tree(ws_parallel) == tree
+        assert [e.guarantees for e in serial.entries] == \
+            [e.guarantees for e in parallel.entries]
+
+    def test_second_batch_resumes_everything(
+        self, tmp_path, solo_spec, duo_spec
+    ):
+        first = run_batch([solo_spec, duo_spec], tmp_path, jobs=2)
+        assert first.resume_rate() == 0.0
+        second = run_batch([solo_spec, duo_spec], tmp_path, jobs=2)
+        assert second.stages_total == first.stages_total
+        assert second.resume_rate() >= 0.9  # the CI gate; actually 1.0
+        assert second.resume_rate() == 1.0
+
+    def test_overlapping_specs_share_artifacts(self, tmp_path, solo_spec):
+        """Two scenarios with the same app stage share its artifact."""
+        other = FlowSpec.from_dict(
+            {**SOLO, "name": "solo-3t", "architecture": {"tiles": 3}}
+        )
+        report = run_batch([solo_spec, other], tmp_path)
+        assert report.ok
+        # one shared application artifact, two architectures/mappings
+        store_root = tmp_path / "artifacts"
+        assert len(list((store_root / "application").glob("*.json"))) == 1
+        assert len(list((store_root / "mapping-result").glob("*.json"))) \
+            == 2
+
+    def test_failing_spec_is_reported_not_raised(self, tmp_path,
+                                                 solo_spec):
+        bad = FlowSpec.from_dict(
+            {"name": "bad", "app": {"sequence": "gradient", "frames": 1},
+             "architecture": {"tiles": 2},
+             # unroutable pin: no such tile in a 2-tile platform
+             "mapping": {"fixed": {"VLD": "tile7"}}}
+        )
+        report = run_batch([solo_spec, bad], tmp_path)
+        assert not report.ok
+        by_name = {e.name: e for e in report.entries}
+        assert by_name["solo"].ok
+        assert not by_name["bad"].ok
+        assert by_name["bad"].error
+
+    def test_report_written_and_roundtrips(self, tmp_path, solo_spec):
+        import json
+
+        report = run_batch([solo_spec], tmp_path)
+        on_disk = json.loads(
+            (tmp_path / "batch-report.json").read_text("utf-8")
+        )
+        loaded = from_payload(on_disk)
+        assert isinstance(loaded, BatchReport)
+        assert loaded == from_payload(to_payload(report))
+        assert on_disk["resume_rate"] == 0.0
+
+    def test_spec_paths_are_accepted(self, tmp_path):
+        spec_file = tmp_path / "solo.json"
+        import json
+
+        spec_file.write_text(json.dumps(SOLO), encoding="utf-8")
+        report = run_batch([spec_file], tmp_path / "ws")
+        assert report.ok
+        assert report.entries[0].name == "solo"
+
+    def test_empty_batch_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="at least one"):
+            run_batch([], tmp_path)
+
+
+class TestReportHygiene:
+    def test_hostile_spec_names_stay_inside_the_workspace(self, tmp_path):
+        spec = FlowSpec.from_dict(
+            {**SOLO, "name": "../../evil/../name"}
+        )
+        FlowSession(tmp_path, spec).run()
+        session_files = list((tmp_path / "sessions").glob("*.json"))
+        assert len(session_files) == 1
+        assert session_files[0].parent == tmp_path / "sessions"
+        # nothing escaped the workspace
+        assert not (tmp_path.parent / "evil").exists()
+
+    def test_report_writes_leave_no_temp_files(self, tmp_path, solo_spec):
+        run_batch([solo_spec], tmp_path)
+        stray = [
+            p for p in tmp_path.rglob(".tmp-*") if p.is_file()
+        ]
+        assert stray == []

@@ -168,3 +168,108 @@ class TestRealization:
         flow = DesignFlow.from_spec(spec, app=build_chain_app())
         result = flow.run(measure=False)
         assert result.guaranteed_throughput > 0
+
+
+class TestMultiApp:
+    MULTI = {
+        "name": "stb",
+        "apps": [
+            {"name": "decoder", "sequence": "gradient", "frames": 1,
+             "constraint": "1/200000", "fixed": {"VLD": "tile0"}},
+            {"name": "osd", "sequence": "checkerboard", "frames": 1},
+        ],
+        "architecture": {"tiles": 4},
+        "mapping": {"constraint": "1/400000"},
+    }
+
+    def test_parses_apps_array(self):
+        spec = FlowSpec.from_dict(dict(self.MULTI))
+        assert spec.multi
+        assert [a.effective_name for a in spec.apps] == ["decoder", "osd"]
+        assert spec.app.sequence == "gradient"  # back-compat alias
+
+    def test_per_app_overrides_fall_back_to_spec_level(self):
+        spec = FlowSpec.from_dict(dict(self.MULTI))
+        decoder, osd = spec.apps
+        assert spec.constraint_for(decoder) == Fraction(1, 200000)
+        assert spec.constraint_for(osd) == Fraction(1, 400000)
+        assert spec.fixed_for(decoder) == {"VLD": "tile0"}
+        assert spec.fixed_for(osd) is None
+
+    def test_single_app_spec_is_not_multi(self):
+        spec = FlowSpec.from_dict({"app": {"sequence": "gradient"}})
+        assert not spec.multi
+        assert spec.apps == (spec.app,)
+
+    def test_app_and_apps_together_rejected(self):
+        with pytest.raises(FlowSpecError, match="both"):
+            FlowSpec.from_dict(
+                {"app": {}, "apps": [{"sequence": "gradient"}]}
+            )
+
+    def test_empty_apps_rejected(self):
+        with pytest.raises(FlowSpecError, match="at least one"):
+            FlowSpec.from_dict({"apps": []})
+
+    def test_duplicate_use_case_names_rejected(self):
+        with pytest.raises(FlowSpecError, match="distinct"):
+            FlowSpec.from_dict(
+                {"apps": [{"sequence": "gradient"},
+                          {"sequence": "gradient"}]}
+            )
+
+    def test_unknown_apps_key_rejected(self):
+        with pytest.raises(FlowSpecError, match=r"\[\[apps\]\]"):
+            FlowSpec.from_dict(
+                {"apps": [{"sequence": "gradient", "quallity": 3}]}
+            )
+
+    def test_toml_array_of_tables_form(self, tmp_path):
+        path = tmp_path / "multi.toml"
+        path.write_text(
+            "\n".join([
+                'name = "multi"',
+                "[[apps]]",
+                'name = "decoder"',
+                'sequence = "gradient"',
+                "frames = 1",
+                "[apps.fixed]",
+                'VLD = "tile0"',
+                "[[apps]]",
+                'name = "osd"',
+                'sequence = "checkerboard"',
+                "frames = 1",
+                "[architecture]",
+                "tiles = 4",
+            ]),
+            encoding="utf-8",
+        )
+        spec = load_flow_spec(path)
+        assert spec.multi
+        assert spec.apps[0].fixed == {"VLD": "tile0"}
+        assert spec.apps[1].fixed is None
+
+    def test_build_application_refuses_multi(self):
+        spec = FlowSpec.from_dict(dict(self.MULTI))
+        with pytest.raises(FlowSpecError, match="FlowSession"):
+            spec.build_application()
+        apps = spec.build_applications()
+        assert [a.name for a in apps] == ["decoder", "osd"]
+
+    def test_describe_lists_every_use_case(self):
+        spec = FlowSpec.from_dict(dict(self.MULTI))
+        text = spec.describe()
+        assert "use-case 'decoder'" in text
+        assert "use-case 'osd'" in text
+
+    def test_from_spec_honours_per_app_overrides(self):
+        spec = FlowSpec.from_dict({
+            "name": "pinned",
+            "app": {"sequence": "gradient", "frames": 1,
+                    "constraint": "1/9000",
+                    "fixed": {"VLD": "tile0"}},
+            "architecture": {"tiles": 2},
+        })
+        flow = DesignFlow.from_spec(spec)
+        assert flow.constraint == Fraction(1, 9000)
+        assert flow.fixed == {"VLD": "tile0"}

@@ -139,3 +139,30 @@ class TestUseCaseProject:
         root = project.write_to(tmp_path)
         assert (root / "union_platform.txt").exists()
         assert (root / "usecases" / "video" / "system.mhs").exists()
+
+
+class TestAsTableWidths:
+    def test_long_use_case_names_widen_the_table(self):
+        long_name = "set_top_box_picture_in_picture_decoder"
+        apps = [
+            make_app(long_name, (400, 700, 300)),
+            make_app("audio", (150, 250)),
+        ]
+        arch = architecture_from_template(3, "fsl")
+        mapping = map_use_cases(apps, arch)
+        lines = mapping.as_table().splitlines()
+        header, rule = lines[0], lines[1]
+        # the rule matches the header width, and no data row overflows it
+        assert len(rule) == len(header)
+        assert set(rule) == {"-"}
+        for line in lines[2:-1]:
+            assert len(line) <= len(header)
+        name_column = header.index(" guarantee/Mcycle")
+        assert name_column >= len(long_name)
+
+    def test_short_names_keep_a_compact_table(self, two_apps):
+        arch = architecture_from_template(3, "fsl")
+        table = map_use_cases(two_apps, arch).as_table()
+        header = table.splitlines()[0]
+        assert header.startswith("use-case")
+        assert len(header) < 60

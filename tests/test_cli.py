@@ -252,3 +252,246 @@ class TestEffortIterationSuffix:
             MappingEffort.of("turbo+it5")
         with pytest.raises(ValueError, match=">= 1"):
             MappingEffort.of("low").with_iterations(0)
+
+
+class TestCanonicalPayloads:
+    def test_analyze_json_embeds_canonical_mapping_artifact(
+        self, graph_file, capsys
+    ):
+        assert main(["analyze", graph_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        mapping = payload["mapping"]
+        # the canonical envelope...
+        assert mapping["kind"] == "mapping-result"
+        assert mapping["schema_version"] >= 1
+        assert mapping["mapping"]["kind"] == "mapping"
+        assert mapping["throughput"]["kind"] == "throughput-result"
+        # ...decodes back to a full MappingResult
+        from repro.artifacts import from_payload
+        from repro.mapping.spec import MappingResult
+
+        result = from_payload(mapping)
+        assert isinstance(result, MappingResult)
+        assert set(result.mapping.actor_binding) == {"A", "B"}
+        # ...and the deprecated flat aliases are still present
+        assert set(mapping["binding"]) == {"A", "B"}
+        assert mapping["guaranteed_throughput"] == str(
+            result.guaranteed_throughput
+        )
+
+    def test_explore_json_emits_exploration_artifact(self, capsys):
+        code = main(
+            ["explore", "gradient", "--max-tiles", "2", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "exploration-result"
+        from repro.artifacts import from_payload
+        from repro.flow import ExplorationResult
+
+        result = from_payload(payload)
+        assert isinstance(result, ExplorationResult)
+        assert result.points
+
+    def test_explore_csv_matches_canonical_payload(self, capsys):
+        assert main(
+            ["explore", "gradient", "--max-tiles", "2", "--csv"]
+        ) == 0
+        rows = capsys.readouterr().out.strip().splitlines()
+        header = rows[0].split(",")
+        assert header[0] == "label"
+        assert main(
+            ["explore", "gradient", "--max-tiles", "2", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        labels = [p["label"] for p in payload["points"]]
+        assert [r.split(",")[0] for r in rows[1:]] == labels
+
+    def test_run_json_emits_flow_result_artifact(self, tmp_path, capsys):
+        spec = tmp_path / "scenario.toml"
+        spec.write_text(
+            "\n".join([
+                'name = "json-run"',
+                "[app]",
+                "frames = 1",
+                "[architecture]",
+                "tiles = 2",
+                "[mapping.fixed]",
+                'VLD = "tile0"',
+            ]),
+            encoding="utf-8",
+        )
+        assert main(
+            ["run", "--spec", str(spec), "--iterations", "4", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "flow-result"
+        from repro.artifacts import from_payload
+
+        result = from_payload(payload)
+        assert result.measured is not None
+        assert result.project.files
+
+
+class TestRunWorkspace:
+    def test_run_with_workspace_resumes(self, tmp_path, capsys):
+        spec = tmp_path / "scenario.toml"
+        spec.write_text(
+            "\n".join([
+                'name = "ws-run"',
+                "[app]",
+                "frames = 1",
+                "[architecture]",
+                "tiles = 2",
+                "[mapping.fixed]",
+                'VLD = "tile0"',
+            ]),
+            encoding="utf-8",
+        )
+        ws = tmp_path / "ws"
+        assert main(["run", "--spec", str(spec),
+                     "--workspace", str(ws)]) == 0
+        first = capsys.readouterr().out
+        assert "0/3 stage(s) resumed" in first
+        assert main(["run", "--spec", str(spec),
+                     "--workspace", str(ws)]) == 0
+        second = capsys.readouterr().out
+        assert "3/3 stage(s) resumed" in second
+
+    def test_multi_app_spec_requires_workspace(self, tmp_path, capsys):
+        spec = tmp_path / "multi.toml"
+        spec.write_text(
+            "\n".join([
+                "[[apps]]",
+                'sequence = "gradient"',
+                "frames = 1",
+                "[[apps]]",
+                'sequence = "checkerboard"',
+                "frames = 1",
+                "[architecture]",
+                "tiles = 4",
+            ]),
+            encoding="utf-8",
+        )
+        assert main(["run", "--spec", str(spec)]) == 1
+        assert "--workspace" in capsys.readouterr().err
+
+
+class TestBatch:
+    def write_specs(self, tmp_path):
+        a = tmp_path / "a.toml"
+        a.write_text(
+            "\n".join([
+                'name = "batch-a"',
+                "[app]",
+                "frames = 1",
+                "[architecture]",
+                "tiles = 2",
+                "[mapping.fixed]",
+                'VLD = "tile0"',
+            ]),
+            encoding="utf-8",
+        )
+        b = tmp_path / "b.toml"
+        b.write_text(
+            "\n".join([
+                'name = "batch-b"',
+                "[[apps]]",
+                'name = "decoder"',
+                'sequence = "gradient"',
+                "frames = 1",
+                "[[apps]]",
+                'name = "osd"',
+                'sequence = "checkerboard"',
+                "frames = 1",
+                "[architecture]",
+                "tiles = 4",
+            ]),
+            encoding="utf-8",
+        )
+        return a, b
+
+    def test_batch_reports_json_and_resumes(self, tmp_path, capsys):
+        a, b = self.write_specs(tmp_path)
+        ws = tmp_path / "ws"
+        code = main(["batch", str(a), str(b),
+                     "--workspace", str(ws), "--jobs", "2"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["kind"] == "batch-report"
+        assert report["ok"] is True
+        assert report["resume_rate"] == 0.0
+        assert len(report["entries"]) == 2
+        # second run over the same workspace resumes everything
+        assert main(["batch", str(a), str(b),
+                     "--workspace", str(ws)]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["resume_rate"] == 1.0
+        assert (ws / "batch-report.json").exists()
+
+    def test_batch_table_output(self, tmp_path, capsys):
+        a, _ = self.write_specs(tmp_path)
+        assert main(["batch", str(a), "--workspace",
+                     str(tmp_path / "ws"), "--table"]) == 0
+        out = capsys.readouterr().out
+        assert "batch-a" in out
+        assert "resumed" in out
+
+    def test_failing_spec_fails_the_batch_exit_code(self, tmp_path,
+                                                    capsys):
+        a, _ = self.write_specs(tmp_path)
+        broken = tmp_path / "broken.toml"
+        broken.write_text('[mapping]\nbinding = "quantum"\n',
+                          encoding="utf-8")
+        code = main(["batch", str(a), str(broken),
+                     "--workspace", str(tmp_path / "ws")])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        failed = [e for e in report["entries"] if not e["ok"]]
+        assert failed and "quantum" in failed[0]["error"]
+
+
+class TestRunFlagCompatibility:
+    def write_spec(self, tmp_path):
+        spec = tmp_path / "s.toml"
+        spec.write_text(
+            "\n".join([
+                "[app]", "frames = 1",
+                "[architecture]", "tiles = 2",
+                "[mapping.fixed]", 'VLD = "tile0"',
+            ]),
+            encoding="utf-8",
+        )
+        return spec
+
+    def test_json_with_output_keeps_stdout_parseable(self, tmp_path,
+                                                     capsys):
+        spec = self.write_spec(tmp_path)
+        assert main(["run", "--spec", str(spec), "--iterations", "4",
+                     "--json", "--output", str(tmp_path / "proj")]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # a single JSON document
+        assert payload["kind"] == "flow-result"
+        assert "project written" in captured.err
+        assert any((tmp_path / "proj").iterdir())
+
+    def test_workspace_rejects_full_flow_flags(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        ws = str(tmp_path / "ws")
+        assert main(["run", "--spec", str(spec), "--workspace", ws,
+                     "--output", str(tmp_path / "proj")]) == 1
+        assert "--output" in capsys.readouterr().err
+        assert main(["run", "--spec", str(spec), "--workspace", ws,
+                     "--iterations", "8"]) == 1
+        assert "--iterations" in capsys.readouterr().err
+
+    def test_workspace_collision_with_file_errors_cleanly(self, tmp_path,
+                                                          capsys):
+        spec = self.write_spec(tmp_path)
+        blocker = tmp_path / "blocked"
+        blocker.write_text("", encoding="utf-8")
+        assert main(["run", "--spec", str(spec),
+                     "--workspace", str(blocker)]) == 1
+        assert "cannot create artifact workspace" in \
+            capsys.readouterr().err
