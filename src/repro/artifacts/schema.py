@@ -93,21 +93,32 @@ def envelope(kind: str, body: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def check_envelope(
-    payload: Any, kind: Optional[str] = None
-) -> Dict[str, Any]:
+    payload: Any, kind: Optional[str] = None, lenient: bool = False
+) -> Optional[Dict[str, Any]]:
     """Validate the envelope; returns the payload for chaining.
 
     ``kind`` pins the expected kind (pass ``None`` to accept any
     registered one).  Documents written by a newer schema version are
     rejected -- this reader cannot know what it would misinterpret.
+
+    ``lenient=True`` downgrades a *malformed* envelope (not an object,
+    missing/mistyped ``schema_version`` or ``kind``) to a ``None``
+    return instead of raising -- the classification the store uses to
+    treat corrupt files as cache misses.  A newer ``schema_version``
+    (healthy document, reader too old) and a ``kind`` mismatch (an
+    addressing bug) raise either way.
     """
     if not isinstance(payload, dict):
+        if lenient:
+            return None
         raise ArtifactError(
             f"artifact payload must be an object, got "
             f"{type(payload).__name__}"
         )
     version = payload.get("schema_version")
     if not isinstance(version, int) or isinstance(version, bool):
+        if lenient:
+            return None
         raise ArtifactError(
             "artifact payload has no integer 'schema_version'"
         )
@@ -118,6 +129,8 @@ def check_envelope(
         )
     found = payload.get("kind")
     if not isinstance(found, str) or not found:
+        if lenient:
+            return None
         raise ArtifactError("artifact payload has no 'kind'")
     if kind is not None and found != kind:
         raise ArtifactError(

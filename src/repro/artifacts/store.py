@@ -119,7 +119,38 @@ class ArtifactStore:
         return target
 
     def get(self, kind: str, key: str) -> Optional[Dict[str, Any]]:
-        """Read one artifact payload, or ``None`` when absent."""
+        """Read one artifact payload, or ``None`` when absent.
+
+        Corrupt documents -- truncated or otherwise unparseable JSON, or
+        a missing envelope -- also read as *absent*: store writes are
+        atomic, so a corrupt file can only come from outside (a torn
+        copy, a filled disk, a crashed foreign writer), and the safe
+        response is a cache miss that recomputes and atomically rewrites
+        the entry rather than an exception that wedges every consumer of
+        the workspace.  Two failure modes still raise deliberately: a
+        *newer* ``schema_version`` (the file is healthy; this build is
+        too old to read it) and an envelope ``kind`` mismatch (an
+        addressing bug in the caller, not data corruption).
+        """
+        document = self._read_document(kind, key)
+        return None if document is None else document[1]
+
+    def get_text(self, kind: str, key: str) -> Optional[str]:
+        """The exact on-disk text of one artifact, or ``None``.
+
+        The flow service's read-through: the document is validated (it
+        must parse and carry the right envelope; corrupt files read as
+        absent, exactly like :meth:`get`) but served verbatim, so a
+        response built from ``get_text`` is byte-identical to the stored
+        canonical artifact.
+        """
+        document = self._read_document(kind, key)
+        return None if document is None else document[0]
+
+    def _read_document(
+        self, kind: str, key: str
+    ) -> Optional[Tuple[str, Dict[str, Any]]]:
+        """(text, validated payload) of one artifact; absent/corrupt -> None."""
         target = self.path_for(kind, key)
         try:
             text = target.read_text(encoding="utf-8")
@@ -131,11 +162,12 @@ class ArtifactStore:
             ) from None
         try:
             payload = json.loads(text)
-        except json.JSONDecodeError as error:
-            raise ArtifactError(
-                f"corrupt artifact {target}: {error}"
-            ) from None
-        return check_envelope(payload, kind)
+        except json.JSONDecodeError:
+            return None  # corrupt: treated as a miss (see get())
+        checked = check_envelope(payload, kind, lenient=True)
+        if checked is None:
+            return None  # envelope missing/mangled: also corrupt
+        return text, checked
 
     def has(self, kind: str, key: str) -> bool:
         return self.path_for(kind, key).exists()

@@ -24,7 +24,12 @@ Commands mirror the tool invocations of the original flow:
   [--binding NAME] [--buffer-policy NAME] [--seed N] [--heterogeneous]
   [--with-ca] [--early-exit] [--csv]`` -- explore the template design
   space for the MJPEG decoder with the parallel, cached exploration
-  engine and print the Pareto report (``dse`` is the compatible alias).
+  engine and print the Pareto report (``dse`` is the compatible alias);
+* ``serve --workspace DIR [--host H] [--port P] [--jobs N]
+  [--max-queue N]`` -- run the flow service (:mod:`repro.service`): an
+  HTTP JSON API that accepts FlowSpec submissions, coalesces identical
+  in-flight requests, and serves repeated requests straight from the
+  workspace artifacts with zero re-analysis (see docs/service.md).
 """
 
 from __future__ import annotations
@@ -45,38 +50,6 @@ from repro.sdf import (
 from repro.sdf.io_sdf3 import load_graph
 
 
-def _legacy_mapping_aliases(result, architecture_name: str) -> dict:
-    """Deprecated flat aliases of the canonical mapping-result payload.
-
-    Kept for one release so pre-schema consumers of ``analyze --json``
-    keep working; new tooling should read the enveloped payload
-    (``schema_version``/``kind``/``mapping``/``throughput``) instead.
-    """
-    channels = {}
-    for name, channel in result.mapping.channels.items():
-        channels[name] = {
-            "src_tile": channel.src_tile,
-            "dst_tile": channel.dst_tile,
-            "intra_tile": channel.intra_tile,
-            "capacity": channel.capacity,
-            "alpha_src": channel.alpha_src,
-            "alpha_dst": channel.alpha_dst,
-        }
-    return {
-        "architecture": architecture_name,
-        "binding": dict(result.mapping.actor_binding),
-        "static_orders": {
-            t: list(o) for t, o in result.mapping.static_orders.items()
-        },
-        "channels": channels,
-        "guaranteed_throughput": str(result.guaranteed_throughput),
-        "guaranteed_per_mega_cycle": float(
-            result.guaranteed_throughput * 1_000_000
-        ),
-        "constraint_met": result.constraint_met,
-    }
-
-
 def _mapping_payload(
     graph,
     tiles: int,
@@ -87,8 +60,9 @@ def _mapping_payload(
 
     The payload is the canonical ``mapping-result`` artifact
     (:mod:`repro.artifacts`) -- the same shape ``run --json`` embeds and
-    ``FlowSession`` persists -- plus the deprecated flat aliases of the
-    pre-schema CLI (see :func:`_legacy_mapping_aliases`).
+    ``FlowSession`` persists.  (The pre-schema flat aliases the payload
+    once carried were deprecated for one release and are now gone; read
+    the enveloped document.)
 
     Graph files carry no implementation metrics, so each actor gets a
     synthesized single-PE implementation whose WCET is its execution
@@ -130,9 +104,7 @@ def _mapping_payload(
     )
     arch = architecture_from_template(tiles, interconnect)
     result = map_application(app, arch, max_iterations=max_iterations)
-    payload = result.to_payload()
-    payload.update(_legacy_mapping_aliases(result, arch.name))
-    return payload
+    return result.to_payload()
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -213,7 +185,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.flow import DesignFlow, FlowSession, load_flow_spec
+    from repro.flow import DesignFlow, execute_spec, load_flow_spec
 
     spec = load_flow_spec(args.spec)
     if args.workspace or spec.multi:
@@ -236,8 +208,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "analysis-side session path does not run; drop "
                 "--workspace to measure"
             )
-        session = FlowSession(args.workspace, spec)
-        result = session.run()
+        result = execute_spec(spec, args.workspace)
         if args.json:
             from repro.artifacts import canonical_json, to_payload
 
@@ -349,6 +320,41 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import FlowServiceServer, FlowScheduler
+
+    if args.jobs < 1:
+        raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
+    if args.max_queue < 1:
+        raise ReproError(f"--max-queue must be >= 1, got {args.max_queue}")
+    scheduler = FlowScheduler(
+        args.workspace, jobs=args.jobs, max_queue=args.max_queue
+    )
+    try:
+        server = FlowServiceServer(
+            scheduler, host=args.host, port=args.port, quiet=args.quiet
+        )
+    except OSError as error:
+        scheduler.close()
+        raise ReproError(
+            f"cannot bind {args.host}:{args.port}: {error}"
+        ) from None
+    print(
+        f"flow service on {server.url} "
+        f"(workspace {scheduler.workspace}, {args.jobs} worker(s), "
+        f"queue bound {args.max_queue})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.server_close()
+        scheduler.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     # deferred: the strategy registry pulls in the whole mapping stack,
     # which commands like `analyze` never need at startup
@@ -455,6 +461,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="human-readable table instead of the canonical JSON report",
     )
     batch.set_defaults(handler=_cmd_batch)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve FlowSpec scenarios over HTTP from a shared workspace",
+    )
+    serve.add_argument(
+        "--workspace", required=True, metavar="DIR",
+        help="artifact workspace the service computes into and serves "
+             "from; a warm workspace (e.g. from 'repro batch') answers "
+             "known requests with zero re-analysis",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8787,
+        help="TCP port (default 8787; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=2,
+        help="concurrent flow computations (default 2)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=32,
+        help="max jobs queued or running before submissions are "
+             "rejected with HTTP 429 (default 32)",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-request access logging on stderr",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     for alias in ("explore", "dse"):
         explore = commands.add_parser(

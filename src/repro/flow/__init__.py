@@ -34,6 +34,7 @@ from repro.flow.dse import (
 from repro.flow.fingerprint import (
     application_fingerprint,
     architecture_fingerprint,
+    flow_request_key,
 )
 from repro.flow.spec import (
     AppSpec,
@@ -60,6 +61,7 @@ from repro.flow.session import (
     FlowSession,
     SessionResult,
     StageRecord,
+    execute_spec,
     run_batch,
 )
 
@@ -88,6 +90,7 @@ __all__ = [
     "application_fingerprint",
     "architecture_fingerprint",
     "explore_design_space",
+    "flow_request_key",
     "AppSpec",
     "ArchSpec",
     "DEFAULT_STRATEGIES",
@@ -108,5 +111,6 @@ __all__ = [
     "FlowSession",
     "SessionResult",
     "StageRecord",
+    "execute_spec",
     "run_batch",
 ]

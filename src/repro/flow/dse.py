@@ -633,6 +633,43 @@ class WorkerPool:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    def submit(self, worker, *args):
+        """Submit one call to the pool's *persistent* executor.
+
+        Unlike :meth:`map_ordered`, which tears its thread pool down at
+        the end of every batch, ``submit`` keeps one executor (of
+        ``jobs`` workers) alive until :meth:`close` -- the long-lived
+        mode the flow service scheduler (:mod:`repro.service`) runs on,
+        where requests arrive over time rather than as one sequence.
+        Returns the ``concurrent.futures.Future`` of the call;
+        ``jobs == 1`` still executes asynchronously on the (single)
+        worker thread, serializing submissions.
+        """
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.jobs, thread_name_prefix="flow-pool"
+                )
+            return self._executor.submit(worker, *args)
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the persistent executor down.
+
+        Only needed after :meth:`submit`; :meth:`map_ordered` cleans up
+        after itself.  Idempotent.  ``wait=False`` returns without
+        joining running workers -- for shutdown paths that already
+        waited out a drain timeout and must hand control back rather
+        than block behind a wedged job.  (The interpreter still joins
+        executor threads at exit; ``wait=False`` bounds *this* call,
+        not a hung worker's lifetime.)
+        """
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait)
 
     def map_ordered(self, worker, items, fold=None):
         """Apply ``worker`` to every item; results in submission order.

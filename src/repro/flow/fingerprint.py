@@ -29,14 +29,19 @@ resume mapping stages across processes.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
+import json
 from fractions import Fraction
-from typing import Dict, Iterable, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Optional
 
 from repro.appmodel.model import ApplicationModel
 from repro.arch.interconnect import FSLInterconnect
 from repro.arch.noc import SDMNoC
 from repro.arch.platform import ArchitectureModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.flow.spec import FlowSpec
 
 
 def _digest(parts: Iterable[str]) -> str:
@@ -110,6 +115,62 @@ def architecture_fingerprint(arch: ArchitectureModel) -> str:
         )
     parts.extend(_interconnect_parts(arch))
     return _digest(parts)
+
+
+def flow_request_key(spec: "FlowSpec") -> str:
+    """Content address of one FlowSpec *request*: the dedup key of the
+    flow service (:mod:`repro.service`).
+
+    Covers everything :class:`~repro.flow.session.FlowSession` reads
+    from the spec: applications (sequence, quality, frames, use-case
+    name), the architecture template parameters, the effort preset, the
+    strategy tuple, and -- per application -- the *effective* constraint
+    and pins (:meth:`FlowSpec.constraint_for` / :meth:`FlowSpec.fixed_for`,
+    exactly what the session hands the mapper).  Encoding the effective
+    values rather than the raw document layout means two documents that
+    would run the exact same session share the key (e.g. spec-level pins
+    vs the same pins repeated per app), and two that differ in any
+    knob the session acts on never do.  Nothing transient (paths,
+    wall-clock, process identity) participates, which is what lets a
+    served response be reused across submissions, server restarts and
+    machines sharing a workspace.
+    """
+    document = {
+        "name": spec.name,
+        "apps": [
+            {
+                "sequence": app.sequence,
+                "quality": app.quality,
+                "frames": app.frames,
+                "name": app.effective_name,
+                "constraint": (
+                    None
+                    if spec.constraint_for(app) is None
+                    else str(spec.constraint_for(app))
+                ),
+                # fixed_for normalizes no-pins to None, so an empty
+                # pin table and an absent one share the key they share
+                # a session with
+                "fixed": (
+                    None
+                    if spec.fixed_for(app) is None
+                    else dict(sorted(spec.fixed_for(app).items()))
+                ),
+            }
+            for app in spec.apps
+        ],
+        # asdict covers every ArchSpec field, so a spec knob added
+        # later cannot be silently left out of the request identity
+        "architecture": dataclasses.asdict(spec.architecture),
+        "effort": spec.effort,
+        "strategies": spec.strategies.cache_token(),
+    }
+    return _digest(
+        [
+            "flow-request",
+            json.dumps(document, sort_keys=True, separators=(",", ":")),
+        ]
+    )
 
 
 def evaluation_key(

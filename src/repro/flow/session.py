@@ -36,6 +36,7 @@ reports.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from fractions import Fraction
@@ -72,6 +73,15 @@ from repro.mapping.spec import MappingResult
 COMPUTED = "computed"
 #: Status of a stage satisfied by an existing artifact.
 RESUMED = "resumed"
+
+#: Stage progress observer: called as ``progress("start", stage, None)``
+#: when a stage begins and ``progress("finish", stage, record)`` when it
+#: completes (``record`` is the finished :class:`StageRecord`, so the
+#: observer sees whether the stage computed or resumed and how long it
+#: took).  Observers run on the session's thread; exceptions propagate
+#: and abort the run.  This is how the flow service reports per-stage
+#: status for in-flight jobs.
+ProgressCallback = Callable[[str, str, Optional["StageRecord"]], None]
 
 
 def _filename_safe(name: str) -> str:
@@ -171,6 +181,7 @@ class FlowSession:
         workspace: Union[str, Path],
         spec: Union[FlowSpec, str, Path],
         store: Optional[ArtifactStore] = None,
+        progress: Optional[ProgressCallback] = None,
     ) -> None:
         if not isinstance(spec, FlowSpec):
             spec = load_flow_spec(spec)
@@ -181,6 +192,7 @@ class FlowSession:
             if store is not None
             else ArtifactStore(self.workspace / "artifacts")
         )
+        self.progress = progress
 
     # ------------------------------------------------------------------
     # durable DSE cache sharing the session's workspace
@@ -299,6 +311,8 @@ class FlowSession:
         caller (functional models, which artifacts do not carry, are
         dropped either way; sessions are analysis-side by design).
         """
+        if self.progress is not None:
+            self.progress("start", stage, None)
         start = time.perf_counter()
         path = self.store.path_for(kind, key)
         payload = self.store.get(kind, key)
@@ -309,16 +323,17 @@ class FlowSession:
             path = self.store.put(kind, key, payload)
             status = COMPUTED
         obj = from_payload(payload)
-        result.stages.append(
-            StageRecord(
-                stage=stage,
-                kind=kind,
-                key=key,
-                status=status,
-                seconds=time.perf_counter() - start,
-                path=str(path.relative_to(self.workspace)),
-            )
+        record = StageRecord(
+            stage=stage,
+            kind=kind,
+            key=key,
+            status=status,
+            seconds=time.perf_counter() - start,
+            path=str(path.relative_to(self.workspace)),
         )
+        result.stages.append(record)
+        if self.progress is not None:
+            self.progress("finish", stage, record)
         return obj
 
     def _app_key(self, app_spec: AppSpec) -> str:
@@ -335,17 +350,13 @@ class FlowSession:
         )
 
     def _arch_key(self) -> str:
-        a = self.spec.architecture
+        # asdict covers every ArchSpec field (canonical encoding sorts
+        # keys, so the digest matches the hand-rolled original); a new
+        # template knob cannot be left out of the stage identity
         return artifact_digest(
             {
                 "kind": "arch-stage-key",
-                "tiles": a.tiles,
-                "interconnect": a.interconnect,
-                "with_ca": a.with_ca,
-                "instruction_kb": a.instruction_kb,
-                "data_kb": a.data_kb,
-                "slave_instruction_kb": a.slave_instruction_kb,
-                "slave_data_kb": a.slave_data_kb,
+                **dataclasses.asdict(self.spec.architecture),
             }
         )
 
@@ -356,6 +367,25 @@ class FlowSession:
         atomic_write_text(
             target, canonical_json(to_payload(result)) + "\n"
         )
+
+
+def execute_spec(
+    spec: Union[FlowSpec, str, Path],
+    workspace: Union[str, Path],
+    store: Optional[ArtifactStore] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> SessionResult:
+    """Run (or resume) one FlowSpec as a session over ``workspace``.
+
+    The single execution entry point shared by ``repro run
+    --workspace``, the batch runner and the flow service scheduler
+    (:mod:`repro.service`): parse the spec if needed, run every stage
+    against the workspace's :class:`~repro.artifacts.store.ArtifactStore`
+    (pass ``store`` to share one instance across callers) and report
+    stage-level progress through ``progress``.
+    """
+    session = FlowSession(workspace, spec, store=store, progress=progress)
+    return session.run()
 
 
 # ----------------------------------------------------------------------
@@ -449,8 +479,7 @@ def run_batch(
         source = item.name if isinstance(item, FlowSpec) else str(item)
         begin = time.perf_counter()
         try:
-            session = FlowSession(workspace, item, store=store)
-            outcome = session.run()
+            outcome = execute_spec(item, workspace, store=store)
         except Exception as error:  # noqa: BLE001 - a bad spec must be
             # reported in its entry, never abort the sibling sessions
             detail = str(error) if isinstance(error, ReproError) else \

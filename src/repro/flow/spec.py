@@ -65,6 +65,7 @@ default strategy.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import dataclass, field
 from fractions import Fraction
@@ -287,6 +288,40 @@ class FlowSpec:
             slave_data_kb=a.slave_data_kb,
         )
 
+    def to_document(self) -> Dict[str, Any]:
+        """The JSON-able document form of this spec.
+
+        The inverse of :meth:`from_dict`:
+        ``FlowSpec.from_dict(spec.to_document()) == spec``.  This is the
+        body a client POSTs to the flow service (:mod:`repro.service`),
+        and what lets a spec loaded from TOML travel over HTTP as JSON.
+        """
+        mapping: Dict[str, Any] = {
+            "effort": self.effort,
+            "binding": self.strategies.binding,
+            "routing": self.strategies.routing,
+            "buffer_policy": self.strategies.buffer_policy,
+            "scheduling": self.strategies.scheduling,
+        }
+        if self.strategies.seed is not None:
+            mapping["seed"] = self.strategies.seed
+        if self.constraint is not None:
+            mapping["constraint"] = str(self.constraint)
+        if self.fixed:
+            mapping["fixed"] = dict(self.fixed)
+        document: Dict[str, Any] = {
+            "name": self.name,
+            "architecture": dataclasses.asdict(self.architecture),
+            "mapping": mapping,
+        }
+        if self.multi:
+            document["apps"] = [
+                _app_document(app) for app in self.apps
+            ]
+        else:
+            document["app"] = _app_document(self.app)
+        return document
+
     def describe(self) -> str:
         bits = [f"scenario {self.name!r}:"]
         for app_spec in self.apps:
@@ -312,6 +347,23 @@ class FlowSpec:
             )
             bits.append(f"  pinned: {pins}")
         return "\n".join(bits)
+
+
+def _app_document(app: AppSpec) -> Dict[str, Any]:
+    """JSON-able form of one AppSpec (omits unset optionals)."""
+    document: Dict[str, Any] = {
+        "sequence": app.sequence,
+        "frames": app.frames,
+    }
+    if app.quality is not None:
+        document["quality"] = app.quality
+    if app.name:
+        document["name"] = app.name
+    if app.constraint is not None:
+        document["constraint"] = str(app.constraint)
+    if app.fixed is not None:
+        document["fixed"] = dict(app.fixed)
+    return document
 
 
 # ----------------------------------------------------------------------

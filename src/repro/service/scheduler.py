@@ -1,0 +1,556 @@
+"""Async flow-serving scheduler: dedup, coalescing, artifact fast path.
+
+The design-time/run-time split of Weichslgartner et al. (PAPERS.md),
+operationalized: mapping artifacts are *computed* once -- by a
+:class:`~repro.flow.session.FlowSession` running on a bounded worker
+pool -- and *served* cheaply ever after, straight from the workspace's
+:class:`~repro.artifacts.store.ArtifactStore`.
+
+:class:`FlowScheduler` accepts FlowSpec submissions from any thread and
+funnels them through a private asyncio event loop (one dedicated
+thread), which serializes all bookkeeping without locks:
+
+* **dedup / coalescing** -- requests are keyed by
+  :func:`repro.flow.fingerprint.flow_request_key`, the content hash of
+  everything a session reads from the spec.  A request whose key is
+  already *in flight* joins the existing job (one computation fans out
+  to every waiter); a request whose key is already *served* comes back
+  instantly from the stored ``flow-response`` artifact with zero
+  re-analysis -- sequentially, concurrently, or after a server restart
+  over a warm workspace.
+* **bounded execution** -- computations run on a persistent
+  :class:`~repro.flow.dse.WorkerPool` (the same worker plumbing
+  :func:`repro.flow.session.run_batch` fans out on) with at most
+  ``max_queue`` jobs queued or running; excess submissions are rejected
+  with :class:`QueueFullError` (HTTP 429 at the API layer).
+* **per-stage progress** -- each job subscribes to the session's
+  :data:`~repro.flow.session.ProgressCallback`, so a status poll of a
+  running job reports which stage is executing and which stages
+  computed vs resumed.
+
+The served document, :class:`FlowResponse`, is the *deterministic*
+projection of a session result: the canonical mapping payloads per
+use-case, the use-case union, guarantees and constraint verdicts --
+but no wall-clock stage timings.  Two computations of the same request,
+on any machine under any scheduling, therefore produce byte-identical
+canonical payloads, and every embedded mapping payload is byte-identical
+to the ``mapping-result`` artifact ``repro run --workspace`` persists
+for the same spec.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.artifacts.schema import (
+    canonical_json,
+    from_payload,
+    register,
+    to_payload,
+)
+from repro.artifacts.store import ArtifactStore
+from repro.exceptions import ReproError
+from repro.flow.dse import WorkerPool
+from repro.flow.fingerprint import flow_request_key
+from repro.flow.session import SessionResult, StageRecord, execute_spec
+from repro.flow.spec import FlowSpec, load_flow_spec
+from repro.flow.usecases import UseCaseMapping
+from repro.mapping.spec import MappingResult
+
+#: Artifact kind of the served response documents.
+RESPONSE_KIND = "flow-response"
+
+#: Job lifecycle states (``status`` in every job view).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: Where a completed job's response came from (``source`` in the view).
+SOURCE_COMPUTED = "computed"
+SOURCE_ARTIFACTS = "artifacts"
+
+
+class FlowServiceError(ReproError):
+    """Raised for scheduler misuse and failed service operations."""
+
+
+class QueueFullError(FlowServiceError):
+    """Raised when a submission exceeds the scheduler's queue bound."""
+
+
+class UnknownJobError(FlowServiceError):
+    """Raised when a job id does not name a tracked job."""
+
+
+# ----------------------------------------------------------------------
+# the served document
+# ----------------------------------------------------------------------
+@dataclass
+class FlowResponse:
+    """Deterministic result document of one served flow request.
+
+    A projection of :class:`~repro.flow.session.SessionResult` that
+    excludes everything wall-clock (stage timings, computed-vs-resumed
+    provenance): only the analysis content survives, so the canonical
+    payload of a request is a pure function of the request -- the
+    property the service's byte-identity guarantee rests on.  Stage
+    provenance is still observable per job via the status endpoint.
+    """
+
+    spec_name: str
+    request_key: str
+    mappings: Dict[str, MappingResult]
+    use_cases: Optional[UseCaseMapping] = None
+
+    @classmethod
+    def from_session(
+        cls, request_key: str, result: SessionResult
+    ) -> "FlowResponse":
+        return cls(
+            spec_name=result.spec_name,
+            request_key=request_key,
+            mappings=dict(result.mappings),
+            use_cases=result.use_cases,
+        )
+
+    def guarantees(self) -> Dict[str, str]:
+        """Exact guaranteed throughput per use-case (fraction strings)."""
+        return {
+            name: str(result.guaranteed_throughput)
+            for name, result in sorted(self.mappings.items())
+        }
+
+    def constraints_met(self) -> bool:
+        return all(r.constraint_met for r in self.mappings.values())
+
+
+def _encode_response(response: FlowResponse) -> Dict[str, Any]:
+    return {
+        "spec_name": response.spec_name,
+        "request_key": response.request_key,
+        "mappings": {
+            name: to_payload(result)
+            for name, result in response.mappings.items()
+        },
+        "use_cases": (
+            None
+            if response.use_cases is None
+            else to_payload(response.use_cases)
+        ),
+        "guarantees": response.guarantees(),
+        "constraints_met": response.constraints_met(),
+    }
+
+
+def _decode_response(payload: Dict[str, Any]) -> FlowResponse:
+    return FlowResponse(
+        spec_name=payload["spec_name"],
+        request_key=payload["request_key"],
+        mappings={
+            name: from_payload(p)
+            for name, p in payload["mappings"].items()
+        },
+        use_cases=(
+            None
+            if payload["use_cases"] is None
+            else from_payload(payload["use_cases"])
+        ),
+    )
+
+
+register(RESPONSE_KIND, FlowResponse, _encode_response, _decode_response)
+
+
+# ----------------------------------------------------------------------
+# jobs
+# ----------------------------------------------------------------------
+class Job:
+    """One scheduled flow request and its (possibly shared) outcome.
+
+    Mutated from two threads -- the scheduler loop (status transitions)
+    and the worker running the session (stage progress) -- so all state
+    lives behind one lock and escapes only as :meth:`view` snapshots.
+    """
+
+    def __init__(self, job_id: str, request_key: str, spec: FlowSpec):
+        self.id = job_id
+        self.request_key = request_key
+        self.spec = spec
+        self.spec_name = spec.name
+        self.done = threading.Event()
+        self._lock = threading.Lock()
+        self._status = QUEUED
+        self._source: Optional[str] = None
+        self._error: Optional[str] = None
+        self._stages: List[Dict[str, Any]] = []
+        self._payload_text: Optional[str] = None
+
+    # -- session-side: the ProgressCallback of this job's session ------
+    def record_progress(
+        self, event: str, stage: str, record: Optional[StageRecord]
+    ) -> None:
+        with self._lock:
+            if event == "start":
+                self._stages.append(
+                    {"stage": stage, "status": RUNNING, "seconds": None}
+                )
+            elif event == "finish" and record is not None:
+                for entry in reversed(self._stages):
+                    if entry["stage"] == stage:
+                        entry["status"] = record.status
+                        entry["seconds"] = record.seconds
+                        break
+
+    # -- scheduler-side transitions ------------------------------------
+    def mark_running(self) -> None:
+        with self._lock:
+            self._status = RUNNING
+
+    def mark_done(self, source: str, payload_text: str) -> None:
+        with self._lock:
+            self._status = DONE
+            self._source = source
+            self._payload_text = payload_text
+        self.done.set()
+
+    def mark_failed(self, error: str) -> None:
+        with self._lock:
+            self._status = FAILED
+            self._error = error
+            # the stage whose compute raised got a "start" event but no
+            # "finish"; a failed job must not report a running stage
+            for entry in self._stages:
+                if entry["status"] == RUNNING:
+                    entry["status"] = FAILED
+        self.done.set()
+
+    # -- reads ---------------------------------------------------------
+    @property
+    def status(self) -> str:
+        with self._lock:
+            return self._status
+
+    def result_text(self) -> Optional[str]:
+        """The exact canonical response document (``None`` until done)."""
+        with self._lock:
+            return self._payload_text
+
+    def view(self, coalesced: bool = False) -> Dict[str, Any]:
+        """JSON-able snapshot of the job, as the API serves it."""
+        with self._lock:
+            return {
+                "id": self.id,
+                "request_key": self.request_key,
+                "spec_name": self.spec_name,
+                "status": self._status,
+                "source": self._source,
+                "error": self._error,
+                "coalesced": coalesced,
+                "stages": [dict(entry) for entry in self._stages],
+            }
+
+
+@dataclass
+class ServiceCounters:
+    """Monotonic service counters, surfaced by ``GET /v1/healthz``."""
+
+    submitted: int = 0
+    coalesced: int = 0
+    artifact_hits: int = 0
+    computed: int = 0
+    failed: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "coalesced": self.coalesced,
+            "artifact_hits": self.artifact_hits,
+            "computed": self.computed,
+            "failed": self.failed,
+        }
+
+
+# ----------------------------------------------------------------------
+# the scheduler
+# ----------------------------------------------------------------------
+class FlowScheduler:
+    """Accepts FlowSpec submissions; dedups, coalesces, runs, serves.
+
+    Thread-safe facade over a private asyncio loop: every public method
+    may be called from any thread (the HTTP layer calls from its
+    per-connection handler threads).  See the module docstring for the
+    submission semantics; :meth:`close` drains in-flight jobs and shuts
+    the loop and worker pool down.
+    """
+
+    def __init__(
+        self,
+        workspace: Union[str, Path],
+        jobs: int = 2,
+        max_queue: int = 32,
+        store: Optional[ArtifactStore] = None,
+        history_limit: int = 1024,
+    ) -> None:
+        if jobs < 1:
+            raise FlowServiceError(f"jobs must be >= 1, got {jobs}")
+        if max_queue < 1:
+            raise FlowServiceError(
+                f"max_queue must be >= 1, got {max_queue}"
+            )
+        if history_limit < 1:
+            raise FlowServiceError(
+                f"history_limit must be >= 1, got {history_limit}"
+            )
+        self.workspace = Path(workspace)
+        self.store = (
+            store
+            if store is not None
+            else ArtifactStore(self.workspace / "artifacts")
+        )
+        self.max_queue = max_queue
+        self.history_limit = history_limit
+        self.pool = WorkerPool(jobs)
+        self.counters = ServiceCounters()
+        self._jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, Job] = {}
+        self._ids = itertools.count(1)
+        self._pending = 0  # queued + running; loop-thread only
+        self._closed = False
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="flow-scheduler",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # public API (any thread)
+    # ------------------------------------------------------------------
+    def submit(
+        self, request: Union[FlowSpec, Dict[str, Any], str, Path]
+    ) -> Dict[str, Any]:
+        """Submit one flow request; returns the job view.
+
+        ``request`` is a :class:`FlowSpec`, a parsed spec document
+        (what ``POST /v1/flows`` receives), or a path to a spec file.
+        Malformed documents raise
+        :class:`~repro.flow.spec.FlowSpecError` before anything is
+        enqueued; a full queue raises :class:`QueueFullError`.
+        """
+        spec = self._coerce(request)
+        return self._call(self._submit(spec))
+
+    def get(self, job_id: str) -> Dict[str, Any]:
+        """Current view of one job; raises :class:`UnknownJobError`."""
+        return self._job(job_id).view()
+
+    def wait(self, job_id: str, timeout: float = 300.0) -> Dict[str, Any]:
+        """Block until the job completes (or ``timeout`` seconds pass)."""
+        job = self._job(job_id)
+        if not job.done.wait(timeout):
+            raise FlowServiceError(
+                f"job {job_id} still {job.status!r} after {timeout:g}s"
+            )
+        return job.view()
+
+    def result_text(self, job_id: str) -> Optional[str]:
+        """Exact canonical response text of a done job, else ``None``."""
+        return self._job(job_id).result_text()
+
+    def health(self) -> Dict[str, Any]:
+        """Queue depth plus the monotonic counters (``/v1/healthz``)."""
+        return {
+            "status": "ok",
+            "workspace": str(self.workspace),
+            "worker_slots": self.pool.jobs,
+            "max_queue": self.max_queue,
+            "history_limit": self.history_limit,
+            "queue_depth": self._pending,
+            "jobs_tracked": len(self._jobs),
+            "counters": self.counters.snapshot(),
+        }
+
+    def close(self, timeout: float = 60.0) -> None:
+        """Drain in-flight jobs, stop the loop, shut the pool down.
+
+        Bounded by ``timeout``: if the drain times out (a wedged job),
+        the pool is released without joining its workers, so the caller
+        gets control back instead of blocking behind the hung session.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        drained = True
+        try:
+            asyncio.run_coroutine_threadsafe(
+                self._drain(), self._loop
+            ).result(timeout)
+        except Exception:  # noqa: BLE001 - best-effort drain; shutdown
+            drained = False  # proceed; don't wait on the hung job twice
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+        self._loop.close()
+        self.pool.close(wait=drained)
+
+    def __enter__(self) -> "FlowScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # loop-side internals
+    # ------------------------------------------------------------------
+    async def _submit(self, spec: FlowSpec) -> Dict[str, Any]:
+        self.counters.submitted += 1
+        key = flow_request_key(spec)
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            # coalesce: one computation fans out to every waiter
+            self.counters.coalesced += 1
+            return inflight.view(coalesced=True)
+        text = self.store.get_text(RESPONSE_KIND, key)
+        if text is not None:
+            # the run-time fast path: served straight from artifacts.
+            # The document rides along in the submit response -- it is
+            # already in hand, and making the client fetch it by id
+            # would race bounded-history eviction under load.
+            self.counters.artifact_hits += 1
+            job = self._new_job(key, spec)
+            job.mark_done(SOURCE_ARTIFACTS, text)
+            view = job.view()
+            view["result"] = json.loads(text)
+            return view
+        if self._pending >= self.max_queue:
+            raise QueueFullError(
+                f"queue full: {self._pending} job(s) pending "
+                f"(max {self.max_queue}); retry later"
+            )
+        job = self._new_job(key, spec)
+        self._inflight[key] = job
+        self._pending += 1
+        asyncio.ensure_future(self._run(job), loop=self._loop)
+        return job.view()
+
+    async def _run(self, job: Job) -> None:
+        try:
+            text = await asyncio.wrap_future(
+                self.pool.submit(self._compute, job)
+            )
+        except Exception as error:  # noqa: BLE001 - job outcomes are
+            # reported through the job, never crash the scheduler loop
+            detail = (
+                str(error)
+                if isinstance(error, ReproError)
+                else f"{type(error).__name__}: {error}"
+            )
+            job.mark_failed(detail)
+            self.counters.failed += 1
+        else:
+            job.mark_done(SOURCE_COMPUTED, text)
+            self.counters.computed += 1
+        finally:
+            self._pending -= 1
+            self._inflight.pop(job.request_key, None)
+
+    async def _drain(self) -> None:
+        tasks = [
+            task
+            for task in asyncio.all_tasks(self._loop)
+            if task is not asyncio.current_task()
+        ]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    # worker-side
+    # ------------------------------------------------------------------
+    def _compute(self, job: Job) -> str:
+        """Run the session and persist the response (worker thread).
+
+        The running transition happens here, not at enqueue time, so a
+        status poll distinguishes a job waiting for a worker slot
+        (``queued``) from one actually executing (``running``).
+        """
+        job.mark_running()
+        result = execute_spec(
+            job.spec,
+            self.workspace,
+            store=self.store,
+            progress=job.record_progress,
+        )
+        response = FlowResponse.from_session(job.request_key, result)
+        payload = to_payload(response)
+        self.store.put(RESPONSE_KIND, job.request_key, payload)
+        # exactly the stored document: canonical text + trailing newline
+        return canonical_json(payload) + "\n"
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _coerce(
+        self, request: Union[FlowSpec, Dict[str, Any], str, Path]
+    ) -> FlowSpec:
+        if isinstance(request, FlowSpec):
+            return request
+        if isinstance(request, dict):
+            return FlowSpec.from_dict(request)
+        return load_flow_spec(request)
+
+    def _call(self, coro, timeout: float = 30.0) -> Any:
+        """Run one coroutine on the loop from any thread, bounded.
+
+        The scheduler coroutines only do bookkeeping (never a session),
+        so a healthy loop answers in microseconds; the timeout exists
+        for the shutdown race, where a submission lands after
+        :meth:`close` stopped the loop and its callback would otherwise
+        never run -- the caller gets an error instead of a hung thread.
+        """
+        if self._closed:
+            coro.close()
+            raise FlowServiceError("scheduler is closed")
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        try:
+            return future.result(timeout)
+        except FutureTimeout:
+            future.cancel()
+            raise FlowServiceError(
+                f"scheduler did not respond within {timeout:g}s "
+                "(shutting down?)"
+            ) from None
+
+    def _job(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(f"unknown job {job_id!r}")
+        return job
+
+    def _new_job(self, key: str, spec: FlowSpec) -> Job:
+        """Track a new job, evicting the oldest *finished* ones.
+
+        Job views (and their response texts) are transient serving
+        state -- the durable record is the workspace artifact -- so the
+        tracked-job map is bounded at ``history_limit``: a long-running
+        server's memory stays flat under sustained traffic.  Queued and
+        running jobs are never evicted; a status poll for an evicted id
+        gets 404, and resubmitting the request is an artifact hit.
+        Loop-thread only, like all ``_jobs`` mutations.
+        """
+        job = Job(f"job-{next(self._ids):06d}", key, spec)
+        self._jobs[job.id] = job
+        if len(self._jobs) > self.history_limit:
+            for old in list(self._jobs.values()):
+                if len(self._jobs) <= self.history_limit:
+                    break
+                if old.done.is_set():
+                    del self._jobs[old.id]
+        return job

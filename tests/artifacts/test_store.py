@@ -50,12 +50,68 @@ class TestArtifactStore:
             with pytest.raises(ArtifactError, match="unsafe"):
                 store.put("application", bad, payload)
 
-    def test_corrupt_artifact_reported(self, store):
+    def test_corrupt_artifact_reads_as_miss(self, store):
+        """Truncated/unparseable documents are cache misses, not errors:
+        the caller recomputes and atomically rewrites the entry."""
         payload = to_payload(make_app())
         path = store.put("application", "k1", payload)
-        path.write_text("{not json", encoding="utf-8")
-        with pytest.raises(ArtifactError, match="corrupt"):
+        full_text = path.read_text(encoding="utf-8")
+        for corrupt in (
+            "{not json",
+            full_text[: len(full_text) // 2],  # torn write
+            "",
+            "[1, 2, 3]",                       # no envelope
+            '{"kind": "application"}',         # no schema_version
+        ):
+            path.write_text(corrupt, encoding="utf-8")
+            assert store.get("application", "k1") is None
+            assert store.get_text("application", "k1") is None
+        # a rewrite heals the entry in place
+        assert store.put("application", "k1", payload) == path
+        assert store.get("application", "k1") == payload
+
+    def test_newer_schema_and_kind_mismatch_still_raise(self, store):
+        """Only *corruption* downgrades to a miss: a healthy document
+        this build is too old for, or one filed under the wrong kind,
+        is a real error."""
+        payload = to_payload(make_app())
+        path = store.put("application", "k1", payload)
+        import json as json_module
+
+        newer = dict(payload, schema_version=99)
+        path.write_text(json_module.dumps(newer), encoding="utf-8")
+        with pytest.raises(ArtifactError, match="schema_version 99"):
             store.get("application", "k1")
+        path.write_text(
+            json_module.dumps(dict(payload, kind="architecture")),
+            encoding="utf-8",
+        )
+        with pytest.raises(ArtifactError, match="expected artifact kind"):
+            store.get("application", "k1")
+
+    def test_session_recomputes_over_corrupt_artifact(self, tmp_path):
+        """End to end: a FlowSession whose workspace holds a truncated
+        stage artifact recomputes that stage and rewrites the file."""
+        from repro.flow import FlowSession
+        from repro.flow.spec import FlowSpec
+
+        spec = FlowSpec.from_dict({
+            "name": "heal",
+            "app": {"sequence": "gradient", "frames": 1},
+            "architecture": {"tiles": 2},
+            "mapping": {"fixed": {"VLD": "tile0"}},
+        })
+        first = FlowSession(tmp_path, spec).run()
+        mapping_stage = next(
+            s for s in first.stages if s.stage == "mapping:gradient"
+        )
+        target = tmp_path / mapping_stage.path
+        text = target.read_text(encoding="utf-8")
+        target.write_text(text[: len(text) // 3], encoding="utf-8")
+        second = FlowSession(tmp_path, spec).run()
+        assert second.computed_stages == ("mapping:gradient",)
+        assert target.read_text(encoding="utf-8") == text
+        assert second.guarantees() == first.guarantees()
 
     def test_enumeration(self, store):
         assert store.kinds() == ()

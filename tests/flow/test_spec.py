@@ -273,3 +273,46 @@ class TestMultiApp:
         flow = DesignFlow.from_spec(spec)
         assert flow.constraint == Fraction(1, 9000)
         assert flow.fixed == {"VLD": "tile0"}
+
+
+class TestDocumentRoundTrip:
+    CASES = (
+        {"name": "bare"},
+        {
+            "name": "rich",
+            "app": {"sequence": "gradient", "frames": 1, "quality": 80,
+                    "constraint": "1/9000", "fixed": {"VLD": "tile0"}},
+            "architecture": {"tiles": 3, "interconnect": "noc",
+                             "with_ca": True, "slave_data_kb": 64},
+            "mapping": {"binding": "spiral", "effort": "high",
+                        "constraint": "1/8000", "seed": 7,
+                        "fixed": {"IDCT": "tile1"}},
+        },
+        {
+            "name": "multi",
+            "apps": [
+                {"name": "decoder", "sequence": "gradient", "frames": 1,
+                 "fixed": {"VLD": "tile0"}},
+                {"name": "osd", "sequence": "checkerboard", "frames": 1},
+            ],
+            "architecture": {"tiles": 4},
+        },
+    )
+
+    def test_to_document_is_the_inverse_of_from_dict(self):
+        """The service client ships specs as documents; nothing may be
+        lost or invented on the way through."""
+        for case in self.CASES:
+            spec = FlowSpec.from_dict(dict(case))
+            document = spec.to_document()
+            assert FlowSpec.from_dict(document) == spec
+            # the document survives a JSON round trip untouched
+            assert json.loads(json.dumps(document)) == document
+
+    def test_document_keeps_the_request_key(self):
+        from repro.flow import flow_request_key
+
+        for case in self.CASES:
+            spec = FlowSpec.from_dict(dict(case))
+            again = FlowSpec.from_dict(spec.to_document())
+            assert flow_request_key(again) == flow_request_key(spec)

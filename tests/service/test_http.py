@@ -1,0 +1,208 @@
+"""Tests for the HTTP JSON API and the typed client."""
+
+import json
+import threading
+
+import pytest
+
+from repro.service import FlowServiceClient, ServiceClientError, serve
+
+SOLO = {
+    "name": "solo",
+    "app": {"sequence": "gradient", "frames": 1},
+    "architecture": {"tiles": 2},
+    "mapping": {"fixed": {"VLD": "tile0"}},
+}
+
+
+@pytest.fixture
+def service(tmp_path):
+    server = serve(tmp_path / "ws", port=0, jobs=2, max_queue=8)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    server.scheduler.close()
+    thread.join(timeout=10)
+
+
+@pytest.fixture
+def client(service):
+    return FlowServiceClient(service.url, timeout=30.0)
+
+
+class TestFlowEndpoints:
+    def test_submit_poll_fetch(self, client):
+        view = client.submit(SOLO)
+        assert view["status"] in ("queued", "running")
+        assert view["id"].startswith("job-")
+        done = client.wait(view["id"], timeout=120)
+        assert done["status"] == "done"
+        assert done["source"] == "computed"
+        assert [s["status"] for s in done["stages"]] == ["computed"] * 3
+        payload = client.result(done["id"])
+        assert payload["kind"] == "flow-response"
+        assert payload["guarantees"]["gradient"]
+        # the status view stays slim; /result delivers the document
+        assert "result" not in client.job(view["id"])
+
+    def test_second_post_served_from_artifacts(self, client):
+        first = client.submit_and_wait(SOLO, timeout=120)
+        second = client.submit(SOLO)
+        assert second["status"] == "done"
+        assert second["source"] == "artifacts"
+        # an artifact hit carries the document in the submit response
+        # (no follow-up round trip, no eviction race)
+        assert second["result"] == client.result(first["id"])
+        assert client.result_text(first["id"]) == \
+            client.result_text(second["id"])
+        counters = client.health()["counters"]
+        assert counters["computed"] == 1
+        assert counters["artifact_hits"] == 1
+
+    def test_pending_result_answers_202(self, client, service,
+                                        monkeypatch):
+        from repro.service.scheduler import FlowScheduler
+
+        release = threading.Event()
+        original = FlowScheduler._compute
+
+        def blocked(self, job):
+            assert release.wait(timeout=60)
+            return original(self, job)
+
+        monkeypatch.setattr(FlowScheduler, "_compute", blocked)
+        view = client.submit(SOLO)
+        with pytest.raises(ServiceClientError) as outcome:
+            client.result_text(view["id"])
+        assert outcome.value.status == 202
+        release.set()
+        assert client.wait(view["id"], timeout=120)["status"] == "done"
+
+    def test_failed_flow_surfaces_the_error(self, client):
+        bad = dict(SOLO, name="bad", mapping={"fixed": {"VLD": "tile7"}})
+        with pytest.raises(ServiceClientError, match="failed"):
+            client.submit_and_wait(bad, timeout=120)
+
+    def test_malformed_spec_answers_400(self, client):
+        with pytest.raises(ServiceClientError) as outcome:
+            client.submit({"nonsense": True})
+        assert outcome.value.status == 400
+
+    def test_unknown_job_answers_404(self, client):
+        with pytest.raises(ServiceClientError) as outcome:
+            client.job("job-999999")
+        assert outcome.value.status == 404
+
+    def test_eviction_between_lookup_and_result_answers_404(
+        self, client, service, monkeypatch
+    ):
+        """Regression: a done job evicted from the bounded history
+        between the handler's status lookup and its result fetch must
+        answer 404, not abort the connection."""
+        from repro.service.scheduler import FlowScheduler, UnknownJobError
+
+        view = client.submit_and_wait(SOLO, timeout=120)
+
+        def evicted(self, job_id):
+            raise UnknownJobError(f"unknown job {job_id!r}")
+
+        monkeypatch.setattr(FlowScheduler, "result_text", evicted)
+        with pytest.raises(ServiceClientError) as outcome:
+            client.result_text(view["id"])
+        assert outcome.value.status == 404
+
+
+class TestArtifactEndpoint:
+    def test_serves_exact_workspace_bytes(self, client, service):
+        done = client.submit_and_wait(SOLO, timeout=120)
+        store = service.scheduler.store
+        for kind in store.kinds():
+            for key in store.keys(kind):
+                text = client.artifact_text(kind, key)
+                assert text == store.path_for(kind, key).read_text(
+                    encoding="utf-8"
+                )
+        # the response document itself is addressable as an artifact
+        assert client.artifact_text(
+            "flow-response", done["request_key"]
+        ) == client.result_text(done["id"])
+
+    def test_missing_artifact_answers_404(self, client):
+        with pytest.raises(ServiceClientError) as outcome:
+            client.artifact("mapping-result", "0" * 64)
+        assert outcome.value.status == 404
+
+    def test_unsafe_component_answers_400(self, client):
+        with pytest.raises(ServiceClientError) as outcome:
+            client.artifact("mapping-result", "..")
+        assert outcome.value.status == 400
+
+
+class TestServiceMeta:
+    def test_healthz_reports_shape(self, client, service):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["worker_slots"] == 2
+        assert health["max_queue"] == 8
+        assert health["queue_depth"] == 0
+        assert set(health["counters"]) == {
+            "submitted", "coalesced", "artifact_hits", "computed",
+            "failed",
+        }
+
+    def test_unknown_routes_answer_404(self, client):
+        for method, path in (
+            ("GET", "/v2/flows/x"),
+            ("GET", "/v1/nothing"),
+            ("POST", "/v1/artifacts/a/b"),
+        ):
+            with pytest.raises(ServiceClientError) as outcome:
+                client._json(method, path, body={} if method == "POST"
+                             else None)
+            assert outcome.value.status == 404
+
+    def test_unreachable_service_fails_cleanly(self):
+        client = FlowServiceClient("http://127.0.0.1:9", timeout=2.0)
+        with pytest.raises(ServiceClientError, match="cannot reach"):
+            client.health()
+
+    def test_rejected_post_does_not_poison_keepalive(self, service):
+        """A POST whose body the server never reads must not leave the
+        body bytes on a reused connection to be parsed as the next
+        request (regression: unknown-route POSTs poisoned HTTP/1.1
+        keep-alive)."""
+        import http.client
+
+        host, port = service.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            connection.request(
+                "POST", "/v1/nothing", body=b'{"x": 1}',
+                headers={"Content-Type": "application/json"},
+            )
+            first = connection.getresponse()
+            assert first.status == 404
+            first.read()
+            # the same connection object: reconnects if the server
+            # closed it, reuses it otherwise -- either way the next
+            # request must parse cleanly
+            connection.request("GET", "/v1/healthz")
+            second = connection.getresponse()
+            assert second.status == 200
+            assert json.loads(second.read())["status"] == "ok"
+        finally:
+            connection.close()
+
+    def test_bind_failure_reports_a_clean_cli_error(self, service,
+                                                    tmp_path, capsys):
+        from repro.cli import main
+
+        host, port = service.server_address[:2]
+        code = main([
+            "serve", "--workspace", str(tmp_path / "ws2"),
+            "--host", host, "--port", str(port),
+        ])
+        assert code == 1
+        assert "cannot bind" in capsys.readouterr().err

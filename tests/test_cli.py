@@ -47,6 +47,8 @@ class TestAnalyze:
             main(["analyze", str(tmp_path / "nope.xml")])
 
     def test_json_output_includes_mapping_result(self, graph_file, capsys):
+        from fractions import Fraction
+
         assert main(
             ["analyze", graph_file, "--json", "--tiles", "2"]
         ) == 0
@@ -55,10 +57,10 @@ class TestAnalyze:
         assert payload["repetition_vector"] == {"A": 1, "B": 1}
         assert payload["throughput"]["period_cycles"] > 0
         mapping = payload["mapping"]
-        assert set(mapping["binding"]) == {"A", "B"}
-        assert mapping["guaranteed_per_mega_cycle"] > 0
-        assert mapping["constraint_met"] is True
-        for channel in mapping["channels"].values():
+        assert mapping["kind"] == "mapping-result"
+        assert set(mapping["mapping"]["actor_binding"]) == {"A", "B"}
+        assert Fraction(mapping["throughput"]["throughput"]) > 0
+        for channel in mapping["mapping"]["channels"].values():
             total = (
                 channel["capacity"]
                 + channel["alpha_src"] + channel["alpha_dst"]
@@ -85,8 +87,8 @@ class TestAnalyze:
         payload = json.loads(capsys.readouterr().out)
         mapping = payload["mapping"]
         assert "error" not in mapping
-        assert set(mapping["binding"]) == {"A", "B", "C"}
-        assert set(mapping["channels"]) == {"ab", "bc"}
+        assert set(mapping["mapping"]["actor_binding"]) == {"A", "B", "C"}
+        assert set(mapping["mapping"]["channels"]) == {"ab", "bc"}
 
     def test_json_output_for_deadlocked_graph(self, tmp_path, capsys):
         g = SDFGraph("dead")
@@ -273,11 +275,14 @@ class TestCanonicalPayloads:
         result = from_payload(mapping)
         assert isinstance(result, MappingResult)
         assert set(result.mapping.actor_binding) == {"A", "B"}
-        # ...and the deprecated flat aliases are still present
-        assert set(mapping["binding"]) == {"A", "B"}
-        assert mapping["guaranteed_throughput"] == str(
-            result.guaranteed_throughput
-        )
+        # ...and the pre-schema flat aliases (deprecated in the release
+        # that introduced the envelope) are gone for good
+        for alias in (
+            "architecture", "binding", "static_orders", "channels",
+            "guaranteed_throughput", "guaranteed_per_mega_cycle",
+            "constraint_met",
+        ):
+            assert alias not in mapping
 
     def test_explore_json_emits_exploration_artifact(self, capsys):
         code = main(
@@ -450,6 +455,17 @@ class TestBatch:
         assert report["ok"] is False
         failed = [e for e in report["entries"] if not e["ok"]]
         assert failed and "quantum" in failed[0]["error"]
+
+
+class TestServe:
+    def test_rejects_bad_bounds(self, tmp_path, capsys):
+        ws = str(tmp_path / "ws")
+        assert main(["serve", "--workspace", ws, "--jobs", "0"]) == 1
+        assert "--jobs" in capsys.readouterr().err
+        assert main(["serve", "--workspace", ws, "--max-queue", "0"]) == 1
+        assert "--max-queue" in capsys.readouterr().err
+        # nothing was bound or created before validation failed
+        assert not (tmp_path / "ws").exists()
 
 
 class TestRunFlagCompatibility:
