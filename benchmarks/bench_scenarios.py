@@ -1,0 +1,103 @@
+"""Benchmark: scenario generation + full-flow mapping throughput.
+
+Times the synthetic-workload pipeline (:mod:`repro.scenarios`) per
+family: spec -> SDF graph -> application -> template platform -> mapped
+result.  Generation must be negligible next to mapping -- the generator
+exists to *feed* sweeps, so its own cost has to disappear into the
+noise -- and every generated scenario must map feasibly (the corpus
+guarantee the fuzz suite enforces test-by-test, asserted here over the
+benchmark batch too).
+
+Emits ``benchmarks/results/BENCH_scenarios.json`` (wired into CI's
+bench-smoke job) and a human-readable table next to it.
+"""
+
+import json
+import time
+
+from benchmarks.conftest import RESULTS_DIR, write_results
+from repro.scenarios import (
+    FAMILIES,
+    generate_scenarios,
+    scenario_flow_spec,
+)
+from repro.mapping import map_application
+
+#: scenarios per family; small enough for CI smoke, large enough for a
+#: stable per-scenario average
+PER_FAMILY = 8
+
+
+def test_scenario_pipeline_throughput(benchmark):
+    records = {}
+
+    def run_all():
+        for family in FAMILIES:
+            specs = generate_scenarios(family, PER_FAMILY, seed=13)
+
+            start = time.perf_counter()
+            flow_specs = [scenario_flow_spec(s) for s in specs]
+            apps = [fs.build_application() for fs in flow_specs]
+            generate_s = time.perf_counter() - start
+
+            start = time.perf_counter()
+            feasible = 0
+            for fs, app in zip(flow_specs, apps):
+                result = map_application(
+                    app,
+                    fs.build_architecture(),
+                    pipeline=fs.strategies.build_pipeline(),
+                )
+                if result.guaranteed_throughput is not None:
+                    feasible += 1
+            map_s = time.perf_counter() - start
+
+            records[family] = {
+                "scenarios": len(specs),
+                "feasible": feasible,
+                "actors_total": sum(len(a.graph) for a in apps),
+                "generate_s": generate_s,
+                "map_s": map_s,
+            }
+        return records
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    header = (
+        f"{'family':<10} {'n':>3} {'feasible':>8} {'actors':>6} "
+        f"{'gen [ms]':>9} {'map [ms]':>9} {'gen share':>9}"
+    )
+    rows = [header, "-" * len(header)]
+    for family, rec in records.items():
+        total = rec["generate_s"] + rec["map_s"]
+        rows.append(
+            f"{family:<10} {rec['scenarios']:>3} {rec['feasible']:>8} "
+            f"{rec['actors_total']:>6} {rec['generate_s'] * 1e3:>9.1f} "
+            f"{rec['map_s'] * 1e3:>9.1f} "
+            f"{rec['generate_s'] / total:>8.0%}"
+        )
+    table = "\n".join(rows)
+    path = write_results("scenarios.txt", table)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    json_path = RESULTS_DIR / "BENCH_scenarios.json"
+    json_path.write_text(
+        json.dumps(
+            {
+                "bench": "synthetic-scenario pipeline (generate + map), "
+                         f"{PER_FAMILY} scenarios per family",
+                "unit": "seconds per family batch",
+                "families": records,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"\n{table}\n-> {path}\n-> {json_path}")
+
+    for family, rec in records.items():
+        assert rec["feasible"] == rec["scenarios"], (
+            f"{family}: {rec['scenarios'] - rec['feasible']} generated "
+            "scenario(s) failed to map feasibly"
+        )

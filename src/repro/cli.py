@@ -29,7 +29,13 @@ Commands mirror the tool invocations of the original flow:
   [--max-queue N]`` -- run the flow service (:mod:`repro.service`): an
   HTTP JSON API that accepts FlowSpec submissions, coalesces identical
   in-flight requests, and serves repeated requests straight from the
-  workspace artifacts with zero re-analysis (see docs/service.md).
+  workspace artifacts with zero re-analysis (see docs/service.md);
+* ``scenarios generate --seed N [--family F] [--count N] --out DIR`` --
+  write a deterministic corpus of synthetic-workload FlowSpec TOML
+  files (:mod:`repro.scenarios`); the same seed always produces
+  byte-identical files, and the output runs through ``run``/``batch``/
+  ``serve`` unchanged (``scenarios families`` lists the graph
+  families; see docs/scenarios.md).
 """
 
 from __future__ import annotations
@@ -320,6 +326,42 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.scenarios import (
+        FAMILIES,
+        generate_scenarios,
+        render_flow_spec_toml,
+        scenario_flow_spec,
+    )
+
+    if args.action == "families":
+        for family in FAMILIES:
+            print(family)
+        return 0
+
+    specs = generate_scenarios(
+        args.family,
+        args.count,
+        args.seed,
+        actors=args.actors,
+        max_rate=args.max_rate,
+        wcet_profile=args.wcet_profile,
+        token_bytes=args.token_bytes,
+    )
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    for spec in specs:
+        flow_spec = scenario_flow_spec(spec)
+        target = out / f"{spec.name}.toml"
+        target.write_text(
+            render_flow_spec_toml(flow_spec), encoding="utf-8"
+        )
+        print(target)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import FlowServiceServer, FlowScheduler
 
@@ -461,6 +503,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="human-readable table instead of the canonical JSON report",
     )
     batch.set_defaults(handler=_cmd_batch)
+
+    scenarios = commands.add_parser(
+        "scenarios",
+        help="generate seeded synthetic FlowSpec scenarios "
+             "(see docs/scenarios.md)",
+    )
+    scenario_actions = scenarios.add_subparsers(
+        dest="action", required=True
+    )
+    families = scenario_actions.add_parser(
+        "families", help="list the known graph families"
+    )
+    families.set_defaults(handler=_cmd_scenarios)
+    generate = scenario_actions.add_parser(
+        "generate",
+        help="write a deterministic corpus of scenario TOML files "
+             "(same seed => byte-identical files)",
+    )
+    generate.add_argument(
+        "--seed", type=int, required=True,
+        help="master seed; fully determines the corpus",
+    )
+    generate.add_argument(
+        "--family",
+        choices=("chain", "splitjoin", "diamond", "cyclic", "mixed",
+                 "all"),
+        default="all",
+        help="graph family ('all' cycles through every family)",
+    )
+    generate.add_argument(
+        "--count", type=int, default=5,
+        help="number of scenarios to generate (default 5)",
+    )
+    generate.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="directory the scenario TOML files are written into",
+    )
+    generate.add_argument(
+        "--actors", type=int, default=None,
+        help="target actor count (default: varied per scenario)",
+    )
+    generate.add_argument(
+        "--max-rate", type=int, default=3,
+        help="upper bound on rate skew (default 3)",
+    )
+    generate.add_argument(
+        "--wcet-profile", choices=("uniform", "mixed", "wide"),
+        default="mixed",
+        help="execution-time draw range (default 'mixed')",
+    )
+    generate.add_argument(
+        "--token-bytes", type=int, default=16,
+        help="upper bound on per-edge token sizes in bytes (default 16)",
+    )
+    generate.set_defaults(handler=_cmd_scenarios)
 
     serve = commands.add_parser(
         "serve",

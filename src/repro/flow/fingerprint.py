@@ -156,6 +156,14 @@ def flow_request_key(spec: "FlowSpec") -> str:
                     if spec.fixed_for(app) is None
                     else dict(sorted(spec.fixed_for(app).items()))
                 ),
+                # a generated workload's identity is its scenario
+                # table; the key is omitted (not null) for case-study
+                # apps so their request keys are unchanged
+                **(
+                    {}
+                    if app.scenario is None
+                    else {"scenario": app.scenario.to_table()}
+                ),
             }
             for app in spec.apps
         ],

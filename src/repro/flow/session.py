@@ -338,16 +338,20 @@ class FlowSession:
 
     def _app_key(self, app_spec: AppSpec) -> str:
         """Content key of the application-build stage: the app spec."""
-        return artifact_digest(
-            {
-                "kind": "app-stage-key",
-                "sequence": app_spec.sequence,
-                "quality": app_spec.quality,
-                "frames": app_spec.frames,
-                "name": app_spec.effective_name if self.spec.multi
-                or app_spec.name else "",
-            }
-        )
+        key = {
+            "kind": "app-stage-key",
+            "sequence": app_spec.sequence,
+            "quality": app_spec.quality,
+            "frames": app_spec.frames,
+            "name": app_spec.effective_name if self.spec.multi
+            or app_spec.name else "",
+        }
+        if app_spec.scenario is not None:
+            # a generated workload's build identity is its scenario
+            # table; omitted for case-study apps so their stage keys
+            # (and resumable workspaces) are unchanged
+            key["scenario"] = app_spec.scenario.to_table()
+        return artifact_digest(key)
 
     def _arch_key(self) -> str:
         # asdict covers every ArchSpec field (canonical encoding sorts

@@ -70,11 +70,14 @@ import json
 from dataclasses import dataclass, field
 from fractions import Fraction
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
 
 from repro.arch.template import architecture_from_template
 from repro.exceptions import ReproError
 from repro.mapping.pipeline import MappingEffort, StrategyTuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from repro.scenarios.spec import ScenarioSpec
 
 
 class FlowSpecError(ReproError):
@@ -85,9 +88,14 @@ class FlowSpecError(ReproError):
 class AppSpec:
     """One application of the scenario (``[app]`` or one ``[[apps]]``).
 
-    ``name`` identifies the use-case (defaults to the sequence name);
-    ``constraint`` and ``fixed`` override the spec-level throughput
-    constraint and actor pins for this application only.
+    The workload is either an MJPEG case-study input (``sequence`` /
+    ``quality`` / ``frames``) or a generated synthetic one (an
+    ``[app.scenario]`` table parsed into a
+    :class:`repro.scenarios.spec.ScenarioSpec`); the two forms are
+    mutually exclusive.  ``name`` identifies the use-case (defaults to
+    the sequence or scenario name); ``constraint`` and ``fixed``
+    override the spec-level throughput constraint and actor pins for
+    this application only.
     """
 
     sequence: str = "gradient"
@@ -96,15 +104,26 @@ class AppSpec:
     name: str = ""
     constraint: Optional[Fraction] = None
     fixed: Optional[Dict[str, str]] = None
+    scenario: Optional["ScenarioSpec"] = None
 
     @property
     def effective_name(self) -> str:
-        return self.name or self.sequence
+        if self.name:
+            return self.name
+        if self.scenario is not None:
+            return self.scenario.effective_name
+        return self.sequence
 
 
 @dataclass(frozen=True)
 class ArchSpec:
-    """Template parameters of the platform (``[architecture]``)."""
+    """Template parameters of the platform (``[architecture]``).
+
+    The structural interconnect knobs (FSL FIFO depth, NoC mesh wiring)
+    default to the template defaults, so existing documents keep their
+    meaning; they participate in every content key automatically via
+    ``dataclasses.asdict``.
+    """
 
     tiles: int = 2
     interconnect: str = "fsl"
@@ -113,6 +132,9 @@ class ArchSpec:
     data_kb: int = 128
     slave_instruction_kb: Optional[int] = None
     slave_data_kb: Optional[int] = None
+    fsl_fifo_depth: int = 16
+    noc_wires_per_link: int = 32
+    noc_connection_wires: int = 8
 
 
 @dataclass(frozen=True)
@@ -251,11 +273,19 @@ class FlowSpec:
 
     def build_app(self, app_spec: AppSpec):
         """Instantiate one application, renamed to its use-case name."""
-        model = build_case_study_app(
-            app_spec.sequence,
-            quality=app_spec.quality,
-            frames=app_spec.frames,
-        )
+        if app_spec.scenario is not None:
+            # deferred import: repro.scenarios imports this module
+            from repro.scenarios.generator import (
+                build_scenario_application,
+            )
+
+            model = build_scenario_application(app_spec.scenario)
+        else:
+            model = build_case_study_app(
+                app_spec.sequence,
+                quality=app_spec.quality,
+                frames=app_spec.frames,
+            )
         if app_spec.name or self.multi:
             model.name = app_spec.effective_name
         return model
@@ -286,6 +316,9 @@ class FlowSpec:
             data_kb=a.data_kb,
             slave_instruction_kb=a.slave_instruction_kb,
             slave_data_kb=a.slave_data_kb,
+            fsl_fifo_depth=a.fsl_fifo_depth,
+            noc_wires_per_link=a.noc_wires_per_link,
+            noc_connection_wires=a.noc_connection_wires,
         )
 
     def to_document(self) -> Dict[str, Any]:
@@ -327,11 +360,18 @@ class FlowSpec:
         for app_spec in self.apps:
             label = "app" if not self.multi else \
                 f"use-case {app_spec.effective_name!r}"
-            bits.append(
-                f"  {label}: {app_spec.sequence} "
-                f"(quality {app_spec.quality or 'default'}, "
-                f"{app_spec.frames} frame(s))"
-            )
+            if app_spec.scenario is not None:
+                s = app_spec.scenario
+                bits.append(
+                    f"  {label}: generated {s.family} scenario "
+                    f"(seed {s.seed}, ~{s.actors} actor(s))"
+                )
+            else:
+                bits.append(
+                    f"  {label}: {app_spec.sequence} "
+                    f"(quality {app_spec.quality or 'default'}, "
+                    f"{app_spec.frames} frame(s))"
+                )
         bits += [
             f"  architecture: {self.architecture.tiles} tile(s), "
             f"{self.architecture.interconnect}"
@@ -351,12 +391,14 @@ class FlowSpec:
 
 def _app_document(app: AppSpec) -> Dict[str, Any]:
     """JSON-able form of one AppSpec (omits unset optionals)."""
-    document: Dict[str, Any] = {
-        "sequence": app.sequence,
-        "frames": app.frames,
-    }
-    if app.quality is not None:
-        document["quality"] = app.quality
+    document: Dict[str, Any] = {}
+    if app.scenario is not None:
+        document["scenario"] = app.scenario.to_table()
+    else:
+        document["sequence"] = app.sequence
+        document["frames"] = app.frames
+        if app.quality is not None:
+            document["quality"] = app.quality
     if app.name:
         document["name"] = app.name
     if app.constraint is not None:
@@ -409,6 +451,28 @@ def _parse_app(section: Dict[str, Any]) -> AppSpec:
                 raise FlowSpecError(
                     "[apps.fixed] must map actor names to tile names"
                 )
+    scenario = None
+    if "scenario" in section:
+        clashes = [
+            key for key in ("sequence", "quality", "frames")
+            if key in section
+        ]
+        if clashes:
+            raise FlowSpecError(
+                "an app declares both [app.scenario] and case-study "
+                f"key(s) {clashes}; a workload is either generated or "
+                "an MJPEG sequence, not both"
+            )
+        table = _take(section, "scenario", dict)
+        # deferred import: repro.scenarios imports this module
+        from repro.scenarios.spec import ScenarioError, ScenarioSpec
+
+        try:
+            scenario = ScenarioSpec.from_table(dict(table))
+        except ScenarioError as error:
+            raise FlowSpecError(
+                f"invalid [app.scenario] table: {error}"
+            ) from error
     return AppSpec(
         sequence=_take(section, "sequence", str, default="gradient"),
         quality=_take(section, "quality", int, default=None),
@@ -418,6 +482,7 @@ def _parse_app(section: Dict[str, Any]) -> AppSpec:
             _take(section, "constraint", (str, int), default=None)
         ),
         fixed=fixed,
+        scenario=scenario,
     )
 
 
@@ -432,6 +497,13 @@ def _parse_arch(section: Dict[str, Any]) -> ArchSpec:
             section, "slave_instruction_kb", int, default=None
         ),
         slave_data_kb=_take(section, "slave_data_kb", int, default=None),
+        fsl_fifo_depth=_take(section, "fsl_fifo_depth", int, default=16),
+        noc_wires_per_link=_take(
+            section, "noc_wires_per_link", int, default=32
+        ),
+        noc_connection_wires=_take(
+            section, "noc_connection_wires", int, default=8
+        ),
     )
 
 

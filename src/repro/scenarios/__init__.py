@@ -1,0 +1,41 @@
+"""repro.scenarios: seeded synthetic workloads for the automated flow.
+
+A :class:`ScenarioSpec` (family + seed + shape knobs) deterministically
+generates an SDF application, a matching template architecture and a
+bridged :class:`~repro.flow.spec.FlowSpec`, so generated workloads run
+through ``repro run/batch/serve`` -- and persist, resume and dedup --
+exactly like the hand-written case study.  See ``docs/scenarios.md``.
+"""
+
+from repro.scenarios.emit import render_flow_spec_toml
+from repro.scenarios.generator import (
+    build_scenario_application,
+    build_scenario_graph,
+    generate_scenarios,
+    scenario_architecture,
+    scenario_flow_spec,
+    scenario_strategies,
+)
+from repro.scenarios.spec import (
+    FAMILIES,
+    WCET_PROFILES,
+    ScenarioError,
+    ScenarioSpec,
+)
+from repro.scenarios.templates import TEMPLATES, SubgraphTemplate
+
+__all__ = [
+    "FAMILIES",
+    "ScenarioError",
+    "ScenarioSpec",
+    "SubgraphTemplate",
+    "TEMPLATES",
+    "WCET_PROFILES",
+    "build_scenario_application",
+    "build_scenario_graph",
+    "generate_scenarios",
+    "render_flow_spec_toml",
+    "scenario_architecture",
+    "scenario_flow_spec",
+    "scenario_strategies",
+]

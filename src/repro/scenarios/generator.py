@@ -1,0 +1,413 @@
+"""The seeded synthetic-workload generator.
+
+Everything here is a pure function of a :class:`ScenarioSpec`: the SDF
+graph, the timing-only application model, the matching architecture
+template parameters and the bridged :class:`~repro.flow.spec.FlowSpec`.
+Determinism is the load-bearing property -- the scenario *is* its spec,
+so fingerprints, artifact keys and served responses behave exactly as
+they do for the hand-written case study:
+
+* all random draws come from ``random.Random`` streams seeded with
+  strings derived from the spec seed (string seeding hashes via SHA-512,
+  so it is stable across processes and machines, unlike ``hash()``);
+* consistency is guaranteed *by construction*: a repetition vector is
+  drawn first and edge rates are derived from it (the technique of the
+  PR 3 differential suite), so the balance equations always close --
+  including around the ``cyclic`` family's feedback edge;
+* liveness is guaranteed by placing the structural token bound (plus
+  seeded slack) on every cycle-closing edge;
+* every builder finishes with the validity post-conditions
+  (:func:`repro.sdf.builders.check_well_formed` plus
+  ``ApplicationModel.validate``); a violation raises the typed
+  :class:`~repro.scenarios.spec.ScenarioError` rather than surfacing
+  later inside the simulator.
+
+Fan-out is capped so generated workloads stay routable on the FSL
+template (8 master/slave ports per tile) and footprints stay well under
+the smallest heterogeneous tile memories.
+"""
+
+from __future__ import annotations
+
+import random
+from math import gcd
+from typing import Callable, List, Optional
+
+from repro.appmodel.implementation import ActorImplementation
+from repro.appmodel.metrics import ImplementationMetrics, MemoryRequirements
+from repro.appmodel.model import ApplicationModel
+from repro.exceptions import ReproError
+from repro.flow.spec import AppSpec, ArchSpec, FlowSpec
+from repro.mapping.pipeline import StrategyTuple
+from repro.scenarios.spec import (
+    FAMILIES,
+    WCET_PROFILES,
+    ScenarioError,
+    ScenarioSpec,
+)
+from repro.scenarios.templates import TEMPLATES
+from repro.sdf.builders import check_well_formed
+from repro.sdf.graph import SDFGraph
+
+#: PE type of the MAMPS template tiles; generated implementations
+#: target it so any template platform can host any scenario.
+PE_TYPE = "microblaze"
+
+#: Fan-out cap: the FSL template offers 8 master ports per tile.
+MAX_FAN = 6
+
+
+def _wcet_drawer(
+    rng: random.Random, profile: str
+) -> Callable[[], int]:
+    low, high = WCET_PROFILES[profile]
+
+    def draw() -> int:
+        return rng.randint(low, high)
+
+    return draw
+
+
+def _token_size_drawer(
+    rng: random.Random, token_bytes: int
+) -> Callable[[], int]:
+    words = max(1, token_bytes // 4)
+
+    def draw() -> int:
+        return 4 * rng.randint(1, words)
+
+    return draw
+
+
+def _derived_rates(
+    rng: random.Random, q_src: int, q_dst: int
+) -> tuple:
+    """A consistent ``(production, consumption)`` pair for an edge
+    between actors with repetition counts ``q_src``/``q_dst``."""
+    m = rng.randint(1, 2)
+    g = gcd(q_src, q_dst)
+    return m * q_dst // g, m * q_src // g
+
+
+# ----------------------------------------------------------------------
+# family builders (graph structure only)
+# ----------------------------------------------------------------------
+def _chain(spec: ScenarioSpec, rng: random.Random) -> SDFGraph:
+    n = spec.actors
+    wcet_of = _wcet_drawer(rng, spec.wcet_profile)
+    token_of = _token_size_drawer(rng, spec.token_bytes)
+    q = [rng.randint(1, spec.max_rate) for _ in range(n)]
+    graph = SDFGraph(spec.effective_name)
+    for index in range(n):
+        graph.add_actor(f"a{index}", execution_time=wcet_of())
+    for index in range(n - 1):
+        production, consumption = _derived_rates(
+            rng, q[index], q[index + 1]
+        )
+        graph.add_edge(
+            f"e{index}", f"a{index}", f"a{index + 1}",
+            production=production, consumption=consumption,
+            initial_tokens=rng.choice((0, 0, 1)),
+            token_size=token_of(),
+        )
+    return graph
+
+
+def _splitjoin(spec: ScenarioSpec, rng: random.Random) -> SDFGraph:
+    branches = min(max(2, spec.actors - 2), MAX_FAN)
+    wcet_of = _wcet_drawer(rng, spec.wcet_profile)
+    token_of = _token_size_drawer(rng, spec.token_bytes)
+    graph = SDFGraph(spec.effective_name)
+    graph.add_actor("src", execution_time=wcet_of())
+    graph.add_actor("snk", execution_time=wcet_of())
+    for index in range(branches):
+        branch = f"b{index}"
+        graph.add_actor(branch, execution_time=wcet_of())
+        repeat = rng.randint(1, spec.max_rate)
+        graph.add_edge(
+            f"split{index}", "src", branch,
+            production=repeat, consumption=1, token_size=token_of(),
+        )
+        graph.add_edge(
+            f"join{index}", branch, "snk",
+            production=1, consumption=repeat, token_size=token_of(),
+        )
+    return graph
+
+
+def _diamonds(spec: ScenarioSpec, rng: random.Random) -> SDFGraph:
+    segments = max(1, round(spec.actors / 4))
+    wcet_of = _wcet_drawer(rng, spec.wcet_profile)
+    token_of = _token_size_drawer(rng, spec.token_bytes)
+    graph = SDFGraph(spec.effective_name)
+    previous_exit: Optional[str] = None
+    for segment in range(segments):
+        entry, exit_ = TEMPLATES["diamond"].instantiate(
+            graph, f"d{segment}_", rng, wcet_of, token_of
+        )
+        if previous_exit is not None:
+            graph.add_edge(
+                f"bridge{segment}", previous_exit, entry,
+                token_size=token_of(),
+            )
+        previous_exit = exit_
+    return graph
+
+
+def _cyclic(spec: ScenarioSpec, rng: random.Random) -> SDFGraph:
+    n = spec.actors
+    wcet_of = _wcet_drawer(rng, spec.wcet_profile)
+    token_of = _token_size_drawer(rng, spec.token_bytes)
+    q = [rng.randint(1, spec.max_rate) for _ in range(n)]
+    graph = SDFGraph(spec.effective_name)
+    for index in range(n):
+        graph.add_actor(f"a{index}", execution_time=wcet_of())
+    for index in range(n - 1):
+        production, consumption = _derived_rates(
+            rng, q[index], q[index + 1]
+        )
+        graph.add_edge(
+            f"e{index}", f"a{index}", f"a{index + 1}",
+            production=production, consumption=consumption,
+            token_size=token_of(),
+        )
+    # the controlled feedback edge: rates derived from q so the cycle's
+    # balance equation closes; tokens at the one-iteration structural
+    # bound (a0 fires q[0] times before any feedback returns) + slack
+    production, consumption = _derived_rates(rng, q[n - 1], q[0])
+    tokens = consumption * q[0] + rng.randint(0, spec.max_rate)
+    graph.add_edge(
+        "back", f"a{n - 1}", "a0",
+        production=production, consumption=consumption,
+        initial_tokens=tokens, token_size=token_of(),
+    )
+    return graph
+
+
+def _mixed(spec: ScenarioSpec, rng: random.Random) -> SDFGraph:
+    wcet_of = _wcet_drawer(rng, spec.wcet_profile)
+    token_of = _token_size_drawer(rng, spec.token_bytes)
+    graph = SDFGraph(spec.effective_name)
+    budget = spec.actors
+    previous_exit: Optional[str] = None
+    segment = 0
+    # alternate bridge-rate skew around 1 so the repetition vector stays
+    # small no matter how many segments compose
+    scale_up = True
+    while budget > 0:
+        candidates = [
+            t for t in TEMPLATES.values() if t.actors_min <= budget
+        ]
+        template = rng.choice(candidates) if candidates \
+            else TEMPLATES["stage"]
+        entry, exit_ = template.instantiate(
+            graph, f"t{segment}_", rng, wcet_of, token_of
+        )
+        if previous_exit is not None:
+            rate = rng.randint(1, spec.max_rate)
+            production, consumption = (
+                (rate, 1) if scale_up else (1, rate)
+            )
+            scale_up = not scale_up
+            graph.add_edge(
+                f"bridge{segment}", previous_exit, entry,
+                production=production, consumption=consumption,
+                token_size=token_of(),
+            )
+        previous_exit = exit_
+        budget -= template.actors_max
+        segment += 1
+    return graph
+
+
+_FAMILY_BUILDERS = {
+    "chain": _chain,
+    "splitjoin": _splitjoin,
+    "diamond": _diamonds,
+    "cyclic": _cyclic,
+    "mixed": _mixed,
+}
+assert tuple(sorted(_FAMILY_BUILDERS)) == tuple(sorted(FAMILIES))
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
+def build_scenario_graph(spec: ScenarioSpec) -> SDFGraph:
+    """The scenario's SDF graph; deterministic for equal specs.
+
+    Post-condition: non-empty, connected, consistent and deadlock-free
+    (:func:`~repro.sdf.builders.check_well_formed`); a violation is a
+    generator bug and raises :class:`ScenarioError`.
+    """
+    rng = random.Random(f"graph:{spec.seed}")
+    graph = _FAMILY_BUILDERS[spec.family](spec, rng)
+    try:
+        check_well_formed(graph)
+    except ReproError as error:
+        raise ScenarioError(
+            f"scenario {spec.effective_name!r} generated an invalid "
+            f"graph: {error}"
+        ) from error
+    return graph
+
+
+def build_scenario_application(spec: ScenarioSpec) -> ApplicationModel:
+    """The scenario's timing-only application model.
+
+    One implementation per actor (PE type :data:`PE_TYPE`, WCET equal to
+    the actor's drawn execution time, small seeded memory footprint), no
+    functional models -- exactly the analysis-side shape FlowSession
+    artifacts round-trip.
+    """
+    graph = build_scenario_graph(spec)
+    rng = random.Random(f"impl:{spec.seed}")
+    implementations = [
+        ActorImplementation(
+            actor=actor.name,
+            pe_type=PE_TYPE,
+            metrics=ImplementationMetrics(
+                wcet=max(1, actor.execution_time),
+                memory=MemoryRequirements(
+                    instruction_bytes=256 * rng.randint(4, 16),
+                    data_bytes=256 * rng.randint(2, 8),
+                ),
+            ),
+        )
+        for actor in graph
+    ]
+    app = ApplicationModel(
+        graph=graph,
+        implementations=implementations,
+        throughput_constraint=None,
+        name=spec.effective_name,
+    )
+    try:
+        app.validate()
+    except ReproError as error:
+        raise ScenarioError(
+            f"scenario {spec.effective_name!r} generated an invalid "
+            f"application: {error}"
+        ) from error
+    return app
+
+
+def scenario_architecture(spec: ScenarioSpec) -> ArchSpec:
+    """Matching template-architecture parameters for a scenario.
+
+    Deterministic for equal specs (its own seeded stream): tile count
+    scaled to the actor count, FSL or NoC fabric with varied structural
+    knobs (FIFO depth, mesh wiring), and an occasional heterogeneous
+    memory mix when the workload is small enough to fit it.
+    """
+    rng = random.Random(f"arch:{spec.seed}")
+    tiles = min(4, max(2, 2 + spec.actors // 6))
+    interconnect = rng.choice(("fsl", "noc"))
+    heterogeneous = spec.actors <= 24 and rng.random() < 0.5
+    kwargs = {}
+    if interconnect == "fsl":
+        kwargs["fsl_fifo_depth"] = rng.choice((8, 16, 32))
+    else:
+        # roomy meshes: >= 8 connections per link, so any conservative
+        # scenario routes (tight-wire platforms are a DSE concern, not
+        # a corpus one)
+        kwargs["noc_wires_per_link"] = rng.choice((64, 128))
+        kwargs["noc_connection_wires"] = rng.choice((4, 8))
+    return ArchSpec(
+        tiles=tiles,
+        interconnect=interconnect,
+        with_ca=False,
+        instruction_kb=128,
+        data_kb=128,
+        slave_instruction_kb=64 if heterogeneous else None,
+        slave_data_kb=64 if heterogeneous else None,
+        **kwargs,
+    )
+
+
+def scenario_strategies(spec: ScenarioSpec) -> StrategyTuple:
+    """A seeded strategy tuple so corpora exercise every binder."""
+    rng = random.Random(f"strategy:{spec.seed}")
+    binding = rng.choice(("greedy", "spiral", "ga"))
+    return StrategyTuple(
+        binding=binding,
+        buffer_policy=rng.choice(("linear", "exponential")),
+        seed=spec.seed if binding == "ga" else None,
+    )
+
+
+def scenario_flow_spec(
+    spec: ScenarioSpec,
+    architecture: Optional[ArchSpec] = None,
+    strategies: Optional[StrategyTuple] = None,
+    constraint=None,
+    name: Optional[str] = None,
+) -> FlowSpec:
+    """The ScenarioSpec -> FlowSpec bridge.
+
+    The returned spec is a first-class scenario document: runnable by
+    ``repro run/batch/serve`` unchanged, serializable with
+    :func:`render_flow_spec_toml`, and parseable back through
+    ``FlowSpec.from_dict`` (the ``[app.scenario]`` table).
+    """
+    return FlowSpec(
+        name=name or spec.effective_name,
+        apps=(AppSpec(scenario=spec, name=spec.effective_name),),
+        architecture=(
+            architecture if architecture is not None
+            else scenario_architecture(spec)
+        ),
+        constraint=constraint,
+        strategies=(
+            strategies if strategies is not None
+            else scenario_strategies(spec)
+        ),
+    )
+
+
+def generate_scenarios(
+    family: str,
+    count: int,
+    seed: int,
+    actors: Optional[int] = None,
+    max_rate: int = 3,
+    wcet_profile: str = "mixed",
+    token_bytes: int = 16,
+    name_prefix: Optional[str] = None,
+) -> List[ScenarioSpec]:
+    """A deterministic batch of scenario specs.
+
+    Per-scenario seeds and shape variation derive from one master
+    ``Random(seed)`` stream, so ``(family, count, seed, ...)`` fully
+    determines the batch -- running the generator twice produces
+    byte-identical corpora.  ``family`` may be a member of
+    :data:`FAMILIES` or ``"all"`` to cycle through every family.
+    """
+    if count < 1:
+        raise ScenarioError(f"count must be >= 1, got {count}")
+    if family != "all" and family not in FAMILIES:
+        raise ScenarioError(
+            f"unknown scenario family {family!r}; pick from "
+            f"{', '.join(FAMILIES + ('all',))}"
+        )
+    rng = random.Random(f"batch:{seed}")
+    specs: List[ScenarioSpec] = []
+    for index in range(count):
+        chosen = (
+            FAMILIES[index % len(FAMILIES)] if family == "all" else family
+        )
+        prefix = name_prefix or chosen
+        specs.append(
+            ScenarioSpec(
+                family=chosen,
+                seed=rng.randrange(1 << 30),
+                actors=(
+                    actors if actors is not None else rng.randint(4, 10)
+                ),
+                max_rate=max_rate,
+                wcet_profile=wcet_profile,
+                token_bytes=token_bytes,
+                name=f"{prefix}-s{seed}-{index:02d}",
+            )
+        )
+    return specs

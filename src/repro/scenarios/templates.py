@@ -1,0 +1,136 @@
+"""Reusable actor-subgraph templates.
+
+The ``mixed`` family (and the structured families' bodies) are composed
+from small reusable subgraphs -- the "litex-style" composition of the
+roadmap: each template appends a few actors and internal edges to a
+growing graph and reports its *entry* and *exit* ports, and the composer
+chains templates by connecting ``exit -> entry`` bridges.  Bridges are
+tree edges (they never close a cycle), so the composer may pick
+arbitrary rates for them without breaking consistency; cycles only occur
+*inside* the ``loop`` template, which carries its own initial tokens and
+is live by construction.
+
+Every template draws its sizes from the caller's ``random.Random``, so a
+scenario seed fully determines the composed graph.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.sdf.graph import SDFGraph
+
+#: instantiate(graph, prefix, rng, wcet_of, token_size_of) -> (entry, exit)
+Instantiator = Callable[
+    [SDFGraph, str, random.Random, Callable[[], int], Callable[[], int]],
+    Tuple[str, str],
+]
+
+
+@dataclass(frozen=True)
+class SubgraphTemplate:
+    """One reusable subgraph shape.
+
+    ``actors_min``/``actors_max`` bound how many actors an instance
+    adds; the composer uses them to respect the scenario's actor budget.
+    """
+
+    name: str
+    actors_min: int
+    actors_max: int
+    instantiate: Instantiator
+
+
+def _stage(graph, prefix, rng, wcet_of, token_size_of):
+    name = f"{prefix}s0"
+    graph.add_actor(name, execution_time=wcet_of())
+    return name, name
+
+
+def _pipeline(graph, prefix, rng, wcet_of, token_size_of):
+    length = rng.randint(2, 3)
+    names = [f"{prefix}p{i}" for i in range(length)]
+    for name in names:
+        graph.add_actor(name, execution_time=wcet_of())
+    for i in range(length - 1):
+        graph.add_edge(
+            f"{prefix}pe{i}", names[i], names[i + 1],
+            token_size=token_size_of(),
+        )
+    return names[0], names[-1]
+
+
+def _splitjoin(graph, prefix, rng, wcet_of, token_size_of):
+    branches = rng.randint(2, 3)
+    src, snk = f"{prefix}src", f"{prefix}snk"
+    graph.add_actor(src, execution_time=wcet_of())
+    graph.add_actor(snk, execution_time=wcet_of())
+    for b in range(branches):
+        branch = f"{prefix}b{b}"
+        graph.add_actor(branch, execution_time=wcet_of())
+        repeat = rng.randint(1, 3)
+        graph.add_edge(
+            f"{prefix}sp{b}", src, branch,
+            production=repeat, consumption=1,
+            token_size=token_size_of(),
+        )
+        graph.add_edge(
+            f"{prefix}jn{b}", branch, snk,
+            production=1, consumption=repeat,
+            token_size=token_size_of(),
+        )
+    return src, snk
+
+
+def _diamond(graph, prefix, rng, wcet_of, token_size_of):
+    top, bottom = f"{prefix}top", f"{prefix}bot"
+    graph.add_actor(top, execution_time=wcet_of())
+    graph.add_actor(bottom, execution_time=wcet_of())
+    for arm in ("l", "r"):
+        actor = f"{prefix}{arm}"
+        graph.add_actor(actor, execution_time=wcet_of())
+        repeat = rng.randint(1, 3)
+        graph.add_edge(
+            f"{prefix}f{arm}", top, actor,
+            production=repeat, consumption=1,
+            token_size=token_size_of(),
+        )
+        graph.add_edge(
+            f"{prefix}j{arm}", actor, bottom,
+            production=1, consumption=repeat,
+            token_size=token_size_of(),
+        )
+    return top, bottom
+
+
+def _loop(graph, prefix, rng, wcet_of, token_size_of):
+    """A 2-3 actor cycle carrying its own tokens (locally live)."""
+    length = rng.randint(2, 3)
+    names = [f"{prefix}l{i}" for i in range(length)]
+    for name in names:
+        graph.add_actor(name, execution_time=wcet_of())
+    for i in range(length - 1):
+        graph.add_edge(
+            f"{prefix}le{i}", names[i], names[i + 1],
+            token_size=token_size_of(),
+        )
+    graph.add_edge(
+        f"{prefix}lback", names[-1], names[0],
+        initial_tokens=rng.randint(1, 2),
+        token_size=token_size_of(),
+    )
+    return names[0], names[-1]
+
+
+TEMPLATES: Dict[str, SubgraphTemplate] = {
+    template.name: template
+    for template in (
+        SubgraphTemplate("stage", 1, 1, _stage),
+        SubgraphTemplate("pipeline", 2, 3, _pipeline),
+        SubgraphTemplate("splitjoin", 4, 5, _splitjoin),
+        SubgraphTemplate("diamond", 4, 4, _diamond),
+        SubgraphTemplate("loop", 2, 3, _loop),
+    )
+}

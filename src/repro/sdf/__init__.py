@@ -42,6 +42,13 @@ from repro.sdf.latency import (
     first_iteration_latency,
     source_to_sink_latency,
 )
+from repro.sdf.builders import (
+    chain_graph,
+    check_well_formed,
+    diamond_graph,
+    ring_graph,
+    split_join_graph,
+)
 
 __all__ = [
     "Actor",
@@ -63,4 +70,9 @@ __all__ = [
     "retune_buffer_capacity",
     "first_iteration_latency",
     "source_to_sink_latency",
+    "chain_graph",
+    "check_well_formed",
+    "diamond_graph",
+    "ring_graph",
+    "split_join_graph",
 ]

@@ -1,0 +1,212 @@
+"""Validated constructors for common SDF graph families.
+
+Every benchmark in the repo used to funnel through the MJPEG decoder and
+the two Fig. 6 graphs; these helpers are the structural vocabulary the
+synthetic scenario generator (:mod:`repro.scenarios`) composes into
+arbitrary workloads: linear chains, split/join fans, fork-join diamonds
+and token-carrying rings.
+
+All constructors share two guarantees:
+
+* **consistency by construction** -- rates are parameterized so the
+  balance equations always have a solution (branch multipliers rather
+  than free production/consumption pairs where a cycle would otherwise
+  over-constrain the graph);
+* **validity post-conditions** -- each builder finishes with
+  :func:`check_well_formed`, which asserts the graph is non-empty,
+  weakly connected, consistent and deadlock-free and raises
+  :class:`~repro.exceptions.GraphError` otherwise.  A builder can
+  therefore never hand an analysis a graph that fails late inside the
+  simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.sdf.deadlock import deadlock_report
+from repro.sdf.graph import SDFGraph, validate_graph
+from repro.sdf.repetition import repetition_vector
+
+
+def check_well_formed(graph: SDFGraph) -> None:
+    """Post-condition shared by the builders (and usable standalone).
+
+    Raises :class:`GraphError` unless ``graph`` is non-empty, weakly
+    connected, consistent (a repetition vector exists) and deadlock-free.
+    ``InconsistentGraphError`` is a :class:`GraphError`, so one except
+    clause catches every rejection.
+    """
+    validate_graph(graph)
+    repetition_vector(graph)
+    report = deadlock_report(graph)
+    if report is not None:
+        raise GraphError(
+            f"graph {graph.name!r} is not live: {report}"
+        )
+
+
+def _wcets(count: int, wcets: Sequence[int], what: str) -> Sequence[int]:
+    if len(wcets) != count:
+        raise GraphError(
+            f"{what}: expected {count} execution time(s), got {len(wcets)}"
+        )
+    return wcets
+
+
+def chain_graph(
+    name: str,
+    wcets: Sequence[int],
+    rates: Optional[Sequence[Tuple[int, int]]] = None,
+    initial_tokens: Optional[Sequence[int]] = None,
+    token_size: int = 4,
+) -> SDFGraph:
+    """A linear pipeline ``a0 -> a1 -> ... -> a(n-1)``.
+
+    ``rates[i]`` is the ``(production, consumption)`` pair of edge ``i``
+    (default ``(1, 1)``); any pair is consistent on a chain.
+    ``initial_tokens[i]`` pre-loads edge ``i`` (default 0).
+    """
+    n = len(wcets)
+    if n < 2:
+        raise GraphError(f"chain {name!r} needs at least 2 actors")
+    if rates is None:
+        rates = [(1, 1)] * (n - 1)
+    if initial_tokens is None:
+        initial_tokens = [0] * (n - 1)
+    if len(rates) != n - 1 or len(initial_tokens) != n - 1:
+        raise GraphError(
+            f"chain {name!r}: need {n - 1} rate pairs and token counts"
+        )
+    graph = SDFGraph(name)
+    for index, wcet in enumerate(wcets):
+        graph.add_actor(f"a{index}", execution_time=wcet)
+    for index, (production, consumption) in enumerate(rates):
+        graph.add_edge(
+            f"e{index}",
+            f"a{index}",
+            f"a{index + 1}",
+            production=production,
+            consumption=consumption,
+            initial_tokens=initial_tokens[index],
+            token_size=token_size,
+        )
+    check_well_formed(graph)
+    return graph
+
+
+def split_join_graph(
+    name: str,
+    source_wcet: int,
+    branch_wcets: Sequence[int],
+    sink_wcet: int,
+    branch_repeats: Optional[Sequence[int]] = None,
+    token_size: int = 4,
+) -> SDFGraph:
+    """A one-level fan: ``src`` -> N parallel branches -> ``snk``.
+
+    ``branch_repeats[i]`` makes branch ``i`` fire that many times per
+    source firing (split edge produces ``r`` tokens consumed one at a
+    time; the join edge collects ``r`` back).  This parameterization is
+    consistent for *any* repeat vector -- the join cycle closes exactly.
+    """
+    branches = len(branch_wcets)
+    if branches < 2:
+        raise GraphError(f"split/join {name!r} needs at least 2 branches")
+    if branch_repeats is None:
+        branch_repeats = [1] * branches
+    if len(branch_repeats) != branches:
+        raise GraphError(
+            f"split/join {name!r}: need {branches} branch repeat(s)"
+        )
+    if any(r < 1 for r in branch_repeats):
+        raise GraphError(
+            f"split/join {name!r}: branch repeats must be >= 1"
+        )
+    graph = SDFGraph(name)
+    graph.add_actor("src", execution_time=source_wcet)
+    graph.add_actor("snk", execution_time=sink_wcet)
+    for index, wcet in enumerate(branch_wcets):
+        branch = f"b{index}"
+        graph.add_actor(branch, execution_time=wcet)
+        repeat = branch_repeats[index]
+        graph.add_edge(
+            f"split{index}", "src", branch,
+            production=repeat, consumption=1, token_size=token_size,
+        )
+        graph.add_edge(
+            f"join{index}", branch, "snk",
+            production=1, consumption=repeat, token_size=token_size,
+        )
+    check_well_formed(graph)
+    return graph
+
+
+def diamond_graph(
+    name: str,
+    wcets: Sequence[int],
+    branch_repeats: Tuple[int, int] = (1, 1),
+    token_size: int = 4,
+) -> SDFGraph:
+    """A fork-join diamond: ``top -> {left, right} -> bottom``.
+
+    ``wcets`` is ``(top, left, right, bottom)``; ``branch_repeats``
+    scales how often each arm fires per top firing (same consistent
+    multiplier scheme as :func:`split_join_graph`).
+    """
+    top, left, right, bottom = _wcets(4, wcets, f"diamond {name!r}")
+    if any(r < 1 for r in branch_repeats):
+        raise GraphError(f"diamond {name!r}: repeats must be >= 1")
+    graph = SDFGraph(name)
+    graph.add_actor("top", execution_time=top)
+    graph.add_actor("left", execution_time=left)
+    graph.add_actor("right", execution_time=right)
+    graph.add_actor("bottom", execution_time=bottom)
+    for arm, repeat in zip(("left", "right"), branch_repeats):
+        graph.add_edge(
+            f"fork_{arm}", "top", arm,
+            production=repeat, consumption=1, token_size=token_size,
+        )
+        graph.add_edge(
+            f"join_{arm}", arm, "bottom",
+            production=1, consumption=repeat, token_size=token_size,
+        )
+    check_well_formed(graph)
+    return graph
+
+
+def ring_graph(
+    name: str,
+    wcets: Sequence[int],
+    initial_tokens: int = 1,
+    token_size: int = 4,
+) -> SDFGraph:
+    """A directed cycle ``a0 -> a1 -> ... -> a(n-1) -> a0``.
+
+    All rates are 1 (arbitrary rates around a cycle over-constrain the
+    balance equations); ``initial_tokens`` tokens sit on the closing
+    back-edge and bound the pipeline parallelism of the ring.  At least
+    one token is required or the ring could never start.
+    """
+    n = len(wcets)
+    if n < 2:
+        raise GraphError(f"ring {name!r} needs at least 2 actors")
+    if initial_tokens < 1:
+        raise GraphError(
+            f"ring {name!r} needs at least one initial token to be live"
+        )
+    graph = SDFGraph(name)
+    for index, wcet in enumerate(wcets):
+        graph.add_actor(f"a{index}", execution_time=wcet)
+    for index in range(n - 1):
+        graph.add_edge(
+            f"e{index}", f"a{index}", f"a{index + 1}",
+            token_size=token_size,
+        )
+    graph.add_edge(
+        "back", f"a{n - 1}", "a0",
+        initial_tokens=initial_tokens, token_size=token_size,
+    )
+    check_well_formed(graph)
+    return graph

@@ -24,6 +24,17 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 from repro.exceptions import GraphError
 
 
+def _require_int(owner: str, field_name: str, value: object) -> None:
+    """Counts and cycle budgets are exact integers; a float (or bool)
+    sneaking in would only surface much later as a confusing simulator or
+    repetition-vector failure, so reject it where it is written."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise GraphError(
+            f"{owner}: {field_name} must be an integer, "
+            f"got {value!r} ({type(value).__name__})"
+        )
+
+
 @dataclass
 class Actor:
     """A vertex of an SDF graph.
@@ -56,6 +67,9 @@ class Actor:
     def __post_init__(self) -> None:
         if not self.name:
             raise GraphError("actor name must be non-empty")
+        _require_int(
+            f"actor {self.name!r}", "execution time", self.execution_time
+        )
         if self.execution_time < 0:
             raise GraphError(
                 f"actor {self.name!r}: execution time must be >= 0, "
@@ -112,6 +126,11 @@ class Edge:
     def __post_init__(self) -> None:
         if not self.name:
             raise GraphError("edge name must be non-empty")
+        owner = f"edge {self.name!r}"
+        _require_int(owner, "production rate", self.production)
+        _require_int(owner, "consumption rate", self.consumption)
+        _require_int(owner, "initial tokens", self.initial_tokens)
+        _require_int(owner, "token size", self.token_size)
         if self.production <= 0 or self.consumption <= 0:
             raise GraphError(
                 f"edge {self.name!r}: rates must be positive, got "
@@ -123,6 +142,16 @@ class Edge:
             )
         if self.token_size < 0:
             raise GraphError(f"edge {self.name!r}: token size must be >= 0")
+        if self.src == self.dst and self.initial_tokens < self.consumption:
+            # A self-edge is replenished only by its own actor's firings:
+            # with fewer than `consumption` initial tokens the actor can
+            # never fire at all.  That used to surface much later as a
+            # simulator/deadlock failure; reject it at construction.
+            raise GraphError(
+                f"edge {self.name!r}: self-loop on {self.src!r} needs at "
+                f"least {self.consumption} initial token(s) to ever fire, "
+                f"got {self.initial_tokens}"
+            )
 
     @property
     def is_self_edge(self) -> bool:

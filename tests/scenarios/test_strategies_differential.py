@@ -1,0 +1,120 @@
+"""Differential strategy tests over generated heterogeneous scenarios.
+
+Every binding strategy must produce a *feasible* mapping for every
+conservative generated workload -- spiral and GA are alternative
+heuristics, not partial ones -- and no two distinct evaluations may
+ever share a cache key (a collision would silently serve one strategy's
+result as another's from the DSE cache or the flow service).
+"""
+
+import pytest
+
+from repro.flow.fingerprint import (
+    application_fingerprint,
+    architecture_fingerprint,
+    evaluation_key,
+    flow_request_key,
+)
+from repro.flow.spec import ArchSpec
+from repro.mapping import map_application
+from repro.mapping.pipeline import StrategyTuple
+from repro.scenarios import (
+    generate_scenarios,
+    scenario_flow_spec,
+)
+
+BINDINGS = ("greedy", "spiral", "ga")
+
+SCENARIOS = generate_scenarios("all", 10, seed=99)
+IDS = [spec.name for spec in SCENARIOS]
+
+#: heterogeneous platform: full-size master, half-size slave memories
+HETEROGENEOUS = ArchSpec(
+    tiles=4,
+    interconnect="fsl",
+    instruction_kb=128,
+    data_kb=128,
+    slave_instruction_kb=64,
+    slave_data_kb=64,
+)
+
+
+def _strategies(binding: str) -> StrategyTuple:
+    return StrategyTuple(
+        binding=binding, seed=7 if binding == "ga" else None
+    )
+
+
+@pytest.mark.parametrize("spec", SCENARIOS, ids=IDS)
+def test_every_binding_strategy_is_feasible(spec):
+    flow_spec = scenario_flow_spec(spec, architecture=HETEROGENEOUS)
+    app = flow_spec.build_application()
+    arch = flow_spec.build_architecture()
+    guarantees = {}
+    for binding in BINDINGS:
+        result = map_application(
+            app, arch,
+            pipeline=_strategies(binding).build_pipeline(),
+        )
+        assert result.guaranteed_throughput is not None, (
+            f"{binding} produced no throughput guarantee on {spec.name}"
+        )
+        assert result.guaranteed_throughput > 0
+        guarantees[binding] = result.guaranteed_throughput
+    # heuristics may differ in quality, never in feasibility
+    assert len(guarantees) == len(BINDINGS)
+
+
+def test_evaluation_keys_never_collide_across_strategies():
+    keys = {}
+    for spec in SCENARIOS:
+        flow_spec = scenario_flow_spec(spec, architecture=HETEROGENEOUS)
+        app_fp = application_fingerprint(flow_spec.build_application())
+        arch_fp = architecture_fingerprint(flow_spec.build_architecture())
+        for binding in BINDINGS:
+            key = evaluation_key(
+                app_fp, arch_fp, None, None, "normal",
+                _strategies(binding).cache_token(),
+            )
+            assert key not in keys, (
+                f"evaluation key collision: ({spec.name}, {binding}) vs "
+                f"{keys[key]}"
+            )
+            keys[key] = (spec.name, binding)
+    assert len(keys) == len(SCENARIOS) * len(BINDINGS)
+
+
+def test_flow_request_keys_never_collide():
+    keys = {}
+    for spec in SCENARIOS:
+        for binding in BINDINGS:
+            flow_spec = scenario_flow_spec(
+                spec,
+                architecture=HETEROGENEOUS,
+                strategies=_strategies(binding),
+            )
+            key = flow_request_key(flow_spec)
+            assert key not in keys, (
+                f"request key collision: ({spec.name}, {binding}) vs "
+                f"{keys[key]}"
+            )
+            keys[key] = (spec.name, binding)
+    assert len(keys) == len(SCENARIOS) * len(BINDINGS)
+
+
+def test_scenario_and_case_study_requests_never_collide():
+    """A generated app and an MJPEG app must have distinct identities
+    even when every other knob matches."""
+    from repro.flow.spec import AppSpec, FlowSpec
+
+    spec = SCENARIOS[0]
+    generated = scenario_flow_spec(
+        spec, architecture=HETEROGENEOUS, name="same-name"
+    )
+    case_study = FlowSpec(
+        name="same-name",
+        apps=(AppSpec(name=spec.effective_name),),
+        architecture=HETEROGENEOUS,
+        strategies=generated.strategies,
+    )
+    assert flow_request_key(generated) != flow_request_key(case_study)

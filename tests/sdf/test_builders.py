@@ -1,0 +1,99 @@
+"""Tests for the validated graph family constructors (repro.sdf.builders)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.sdf import (
+    chain_graph,
+    check_well_formed,
+    diamond_graph,
+    is_deadlock_free,
+    repetition_vector,
+    ring_graph,
+    split_join_graph,
+    SDFGraph,
+)
+
+
+class TestChain:
+    def test_default_rates(self):
+        g = chain_graph("c", [10, 20, 30])
+        assert len(g) == 3
+        assert repetition_vector(g) == {"a0": 1, "a1": 1, "a2": 1}
+        assert is_deadlock_free(g)
+
+    def test_skewed_rates_are_consistent(self):
+        g = chain_graph("c", [1, 1, 1], rates=[(3, 2), (1, 4)])
+        q = repetition_vector(g)
+        assert q["a0"] * 3 == q["a1"] * 2
+        assert q["a1"] * 1 == q["a2"] * 4
+
+    def test_too_short_rejected(self):
+        with pytest.raises(GraphError, match="at least 2"):
+            chain_graph("c", [5])
+
+    def test_mismatched_rates_rejected(self):
+        with pytest.raises(GraphError, match="rate pairs"):
+            chain_graph("c", [1, 2, 3], rates=[(1, 1)])
+
+
+class TestSplitJoin:
+    def test_branches_and_repeats(self):
+        g = split_join_graph("sj", 5, [7, 11, 13], 3,
+                             branch_repeats=[1, 2, 4])
+        q = repetition_vector(g)
+        assert q["src"] == q["snk"]
+        assert q["b1"] == 2 * q["src"]
+        assert q["b2"] == 4 * q["src"]
+        assert is_deadlock_free(g)
+
+    def test_single_branch_rejected(self):
+        with pytest.raises(GraphError, match="at least 2 branches"):
+            split_join_graph("sj", 1, [2], 3)
+
+    def test_zero_repeat_rejected(self):
+        with pytest.raises(GraphError, match=">= 1"):
+            split_join_graph("sj", 1, [2, 3], 4, branch_repeats=[1, 0])
+
+
+class TestDiamond:
+    def test_shape(self):
+        g = diamond_graph("d", [1, 2, 3, 4], branch_repeats=(2, 3))
+        q = repetition_vector(g)
+        assert q["top"] == q["bottom"]
+        assert q["left"] == 2 * q["top"]
+        assert q["right"] == 3 * q["top"]
+        assert is_deadlock_free(g)
+
+    def test_wrong_wcet_count_rejected(self):
+        with pytest.raises(GraphError, match="expected 4"):
+            diamond_graph("d", [1, 2, 3])
+
+
+class TestRing:
+    def test_live_with_one_token(self):
+        g = ring_graph("r", [10, 20, 30], initial_tokens=1)
+        assert is_deadlock_free(g)
+        assert g.edge("back").initial_tokens == 1
+
+    def test_tokenless_ring_rejected(self):
+        with pytest.raises(GraphError, match="initial token"):
+            ring_graph("r", [1, 2], initial_tokens=0)
+
+
+class TestPostCondition:
+    def test_check_well_formed_flags_disconnected(self):
+        g = SDFGraph("d")
+        g.add_actor("A")
+        g.add_actor("B")
+        with pytest.raises(GraphError, match="not connected"):
+            check_well_formed(g)
+
+    def test_check_well_formed_flags_deadlock(self):
+        g = SDFGraph("cycle")
+        g.add_actor("A")
+        g.add_actor("B")
+        g.add_edge("ab", "A", "B")
+        g.add_edge("ba", "B", "A")
+        with pytest.raises(GraphError, match="not live"):
+            check_well_formed(g)

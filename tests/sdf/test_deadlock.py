@@ -1,5 +1,8 @@
 """Tests for deadlock detection."""
 
+import pytest
+
+from repro.exceptions import GraphError
 from repro.sdf import SDFGraph, is_deadlock_free
 from repro.sdf.deadlock import deadlock_report
 
@@ -50,13 +53,22 @@ def test_multirate_cycle_needs_enough_tokens():
     assert is_deadlock_free(g2)
 
 
-def test_self_edge_without_token_deadlocks():
+def test_self_edge_without_token_rejected_at_build_time():
+    # A token-less self-loop can never fire; since the build-time
+    # validation upgrade this is rejected at add_edge instead of
+    # surfacing later as a deadlock/simulator failure.
     g = SDFGraph("stuck")
     g.add_actor("A")
-    g.add_edge("selfA", "A", "A")
+    with pytest.raises(GraphError, match="self-loop"):
+        g.add_edge("selfA", "A", "A")
+    # A starved *cycle* (not a self-loop) still deadlocks at analysis
+    # time: liveness of a cycle is a whole-graph property.
+    g.add_actor("B")
+    g.add_edge("ab", "A", "B")
+    g.add_edge("ba", "B", "A")
     assert not is_deadlock_free(g)
     report = deadlock_report(g)
-    assert "selfA" in report
+    assert "ab" in report or "ba" in report
 
 
 def test_report_names_starving_actor():

@@ -179,3 +179,67 @@ def test_figure2_semantics(figure2_graph):
         for e in figure2_graph.out_edges("B"):
             tokens[e.name] += e.production
     assert ready("C")
+
+
+class TestBuildTimeValidation:
+    """Regression tests: malformed fields are rejected at construction,
+    not later inside the simulator (ISSUE 6 satellite)."""
+
+    def make(self):
+        g = SDFGraph("v")
+        g.add_actor("A")
+        g.add_actor("B")
+        return g
+
+    @pytest.mark.parametrize("production", (0, -1, -7))
+    def test_zero_or_negative_production_rejected(self, production):
+        g = self.make()
+        with pytest.raises(GraphError, match="rates must be positive"):
+            g.add_edge("e", "A", "B", production=production)
+
+    @pytest.mark.parametrize("consumption", (0, -3))
+    def test_zero_or_negative_consumption_rejected(self, consumption):
+        g = self.make()
+        with pytest.raises(GraphError, match="rates must be positive"):
+            g.add_edge("e", "A", "B", consumption=consumption)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("production", 1.5),
+            ("consumption", 2.0),
+            ("initial_tokens", 0.5),
+            ("token_size", 4.0),
+            ("production", True),
+            ("initial_tokens", False),
+        ],
+    )
+    def test_non_integer_fields_rejected(self, field, value):
+        g = self.make()
+        with pytest.raises(GraphError, match="must be an integer"):
+            g.add_edge("e", "A", "B", **{field: value})
+
+    def test_non_integer_execution_time_rejected(self):
+        g = SDFGraph("v")
+        with pytest.raises(GraphError, match="must be an integer"):
+            g.add_actor("A", execution_time=1.5)
+
+    def test_negative_initial_tokens_rejected(self):
+        g = self.make()
+        with pytest.raises(GraphError, match="initial tokens"):
+            g.add_edge("e", "A", "B", initial_tokens=-1)
+
+    def test_self_loop_without_tokens_rejected(self):
+        g = self.make()
+        with pytest.raises(GraphError, match="self-loop"):
+            g.add_edge("s", "A", "A")
+
+    def test_self_loop_with_insufficient_tokens_rejected(self):
+        g = self.make()
+        with pytest.raises(GraphError, match="self-loop"):
+            g.add_edge("s", "A", "A", consumption=3, initial_tokens=2)
+
+    def test_self_loop_with_enough_tokens_accepted(self):
+        g = self.make()
+        edge = g.add_edge("s", "A", "A", consumption=2, initial_tokens=2)
+        assert edge.is_self_edge

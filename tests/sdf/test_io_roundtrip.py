@@ -36,13 +36,19 @@ def random_graph(seed: int) -> SDFGraph:
     n_edges = rng.randint(0, 12)
     for index in range(n_edges):
         src, dst = rng.choice(names), rng.choice(names)
+        consumption = rng.randint(1, 6)
+        initial_tokens = rng.randint(0, 4)
+        if src == dst and initial_tokens < consumption:
+            # build-time validation rejects a self-loop that could never
+            # fire; keep the generated graph constructible
+            initial_tokens = consumption + rng.randint(0, 2)
         graph.add_edge(
             f"e{index}",
             src,
             dst,
             production=rng.randint(1, 6),
-            consumption=rng.randint(1, 6),
-            initial_tokens=rng.randint(0, 4),
+            consumption=consumption,
+            initial_tokens=initial_tokens,
             token_size=rng.choice((0, 1, 4, 12, 64)),
             implicit=rng.random() < 0.3,
         )
