@@ -35,7 +35,15 @@ Commands mirror the tool invocations of the original flow:
   files (:mod:`repro.scenarios`); the same seed always produces
   byte-identical files, and the output runs through ``run``/``batch``/
   ``serve`` unchanged (``scenarios families`` lists the graph
-  families; see docs/scenarios.md).
+  families; see docs/scenarios.md);
+* ``platform build-library --spec S --workspace DIR`` /
+  ``platform admit --spec S --url URL`` /
+  ``platform depart APP_ID --url URL [--migrate]`` /
+  ``platform status --url URL`` -- the run-time side
+  (:mod:`repro.runtime`): precompute per-application operating-point
+  libraries at design time, then admit/depart applications against a
+  live ``repro serve`` platform with zero re-analysis (see
+  docs/runtime.md).
 """
 
 from __future__ import annotations
@@ -362,6 +370,92 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_platform(args: argparse.Namespace) -> int:
+    if args.action == "build-library":
+        from pathlib import Path
+
+        from repro.artifacts.store import ArtifactStore
+        from repro.flow.spec import load_flow_spec
+        from repro.runtime import build_library
+
+        spec = load_flow_spec(args.spec)
+        # same layout FlowSession/serve use, so 'repro serve' on this
+        # workspace admits straight from the libraries built here
+        store = ArtifactStore(Path(args.workspace) / "artifacts")
+        summaries = []
+        for app_spec in spec.apps:
+            build = build_library(
+                spec,
+                store=store,
+                app_spec=app_spec,
+                max_tiles=args.max_tiles,
+            )
+            summaries.append(build.summary())
+        if args.json:
+            print(json.dumps(summaries, indent=2, sort_keys=True))
+            return 0
+        for summary in summaries:
+            points = ", ".join(summary["points"]) or "none"
+            print(f"{summary['app']}: {len(summary['points'])} "
+                  f"operating point(s) [{points}]")
+            print(f"  key       {summary['key']}")
+            print(f"  analyses  {summary['analyses']} "
+                  f"(resumed {summary['resumed']})")
+            if summary["infeasible"]:
+                sizes = ", ".join(str(n) for n in summary["infeasible"])
+                print(f"  infeasible platform sizes: {sizes}")
+        return 0
+
+    from repro.service import FlowServiceClient
+
+    client = FlowServiceClient(args.url)
+    if args.action == "admit":
+        decision = client.platform_admit(args.spec)
+        if args.json:
+            print(json.dumps(decision, indent=2, sort_keys=True))
+        else:
+            tiles = ", ".join(decision["tiles"])
+            print(f"admitted {decision['app_id']} "
+                  f"({decision['app']!r}) on [{tiles}]")
+            print(f"  point      {decision['point']} "
+                  f"(source {decision['source']}, "
+                  f"{decision['analyses']} analyses)")
+            print(f"  guarantee  {decision['guarantee']} "
+                  f"iterations/cycle")
+        return 0
+    if args.action == "depart":
+        outcome = client.platform_depart(args.app_id, migrate=args.migrate)
+        if args.json:
+            print(json.dumps(outcome, indent=2, sort_keys=True))
+        else:
+            freed = ", ".join(outcome["freed_tiles"]) or "none"
+            print(f"departed {outcome['app_id']} "
+                  f"({outcome['app']!r}); freed tiles: {freed}")
+            for migration in outcome["migrations"]:
+                print(f"  migrated {migration['app_id']} to point "
+                      f"{migration['point']} (guarantee "
+                      f"{migration['from_guarantee']} -> "
+                      f"{migration['to_guarantee']}, downtime "
+                      f"{migration['downtime_cycles']} cycles)")
+        return 0
+    status = client.platform_status()
+    if args.json or not status.get("configured"):
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    residual = status["residual"]
+    print(f"platform: {len(status['apps'])} app(s) admitted, "
+          f"free tiles: {', '.join(residual['free_tiles']) or 'none'}")
+    for app in status["apps"]:
+        tiles = ", ".join(app["tiles"])
+        print(f"  {app['id']}  {app['app']!r}  point {app['point']} "
+              f"on [{tiles}]  guarantee {app['guarantee']}")
+    counters = status["counters"]
+    print("counters: " + ", ".join(
+        f"{name}={counters[name]}" for name in sorted(counters)
+    ))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import FlowServiceServer, FlowScheduler
 
@@ -591,6 +685,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress per-request access logging on stderr",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    platform = commands.add_parser(
+        "platform",
+        help="run-time platform management: operating-point libraries "
+             "plus admission/departure against a live service "
+             "(see docs/runtime.md)",
+    )
+    platform_actions = platform.add_subparsers(
+        dest="action", required=True
+    )
+    build_lib = platform_actions.add_parser(
+        "build-library",
+        help="precompute the operating-point library for every "
+             "application of a FlowSpec (warm workspaces resume with "
+             "zero re-analysis)",
+    )
+    build_lib.add_argument(
+        "--spec", required=True,
+        help="path to the scenario document (TOML or JSON)",
+    )
+    build_lib.add_argument(
+        "--workspace", required=True, metavar="DIR",
+        help="artifact workspace the libraries (and per-size mapping "
+             "results) are persisted into; point 'repro serve' at the "
+             "same workspace to admit from them",
+    )
+    build_lib.add_argument(
+        "--max-tiles", type=int, default=None, metavar="N",
+        help="cap the swept platform sizes (default: the spec's "
+             "architecture tile count)",
+    )
+    build_lib.add_argument(
+        "--json", action="store_true",
+        help="emit the per-app build summaries as JSON",
+    )
+    build_lib.set_defaults(handler=_cmd_platform)
+    admit = platform_actions.add_parser(
+        "admit",
+        help="admit a FlowSpec's application onto the platform of a "
+             "running service",
+    )
+    admit.add_argument(
+        "--spec", required=True,
+        help="path to the scenario document (TOML or JSON)",
+    )
+    admit.add_argument(
+        "--url", default="http://127.0.0.1:8787",
+        help="base URL of the running service "
+             "(default http://127.0.0.1:8787)",
+    )
+    admit.add_argument(
+        "--json", action="store_true",
+        help="emit the raw admission decision as JSON",
+    )
+    admit.set_defaults(handler=_cmd_platform)
+    depart = platform_actions.add_parser(
+        "depart", help="depart one admitted application by id"
+    )
+    depart.add_argument(
+        "app_id", help="application id reported at admission"
+    )
+    depart.add_argument(
+        "--url", default="http://127.0.0.1:8787",
+        help="base URL of the running service "
+             "(default http://127.0.0.1:8787)",
+    )
+    depart.add_argument(
+        "--migrate", action="store_true",
+        help="rebalance survivors onto the freed capacity when the "
+             "migration cost model says the downtime pays off",
+    )
+    depart.add_argument(
+        "--json", action="store_true",
+        help="emit the raw departure outcome as JSON",
+    )
+    depart.set_defaults(handler=_cmd_platform)
+    pstatus = platform_actions.add_parser(
+        "status",
+        help="show admitted apps, placements and residual capacity",
+    )
+    pstatus.add_argument(
+        "--url", default="http://127.0.0.1:8787",
+        help="base URL of the running service "
+             "(default http://127.0.0.1:8787)",
+    )
+    pstatus.add_argument(
+        "--json", action="store_true",
+        help="emit the raw platform state as JSON",
+    )
+    pstatus.set_defaults(handler=_cmd_platform)
 
     for alias in ("explore", "dse"):
         explore = commands.add_parser(

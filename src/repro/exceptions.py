@@ -52,3 +52,20 @@ class SimulationError(ReproError):
 
 class BitstreamError(ReproError):
     """Raised by the MJPEG codec for malformed bitstreams."""
+
+
+class PlatformError(ReproError):
+    """Raised by the run-time platform manager (:mod:`repro.runtime`)."""
+
+
+class AdmissionError(PlatformError):
+    """Raised when an application cannot be admitted onto the residual
+    platform (no stored operating point fits and the incremental
+    fallback fails, or the request targets a different architecture).
+    Admission is all-or-nothing: a rejected application never degrades
+    the ones already running."""
+
+
+class UnknownAppError(PlatformError):
+    """Raised for operations naming an application id the platform is
+    not running."""

@@ -1,0 +1,68 @@
+"""repro.runtime -- the run-time platform management layer.
+
+Design time builds per-application *operating-point libraries* (Pareto
+fronts of precomputed mappings, :mod:`repro.runtime.library`); run time
+*selects* from them: :class:`PlatformManager` admits, departs, and
+migrates applications against one long-lived architecture, tracking
+residual tile/memory/link capacity (:mod:`repro.runtime.residual`) and
+journaling every transition for byte-identical restart replay
+(:mod:`repro.runtime.journal`).  Served over HTTP as the ``/v1/platform``
+endpoints (:mod:`repro.service`).
+"""
+
+from repro.exceptions import (
+    AdmissionError,
+    PlatformError,
+    UnknownAppError,
+)
+from repro.runtime.journal import EVENT_KIND, PlatformJournal
+from repro.runtime.library import (
+    LibraryBuild,
+    build_library,
+    library_key,
+    library_key_for,
+)
+from repro.runtime.manager import (
+    MigrationPolicy,
+    PlacedApp,
+    PlatformManager,
+)
+from repro.runtime.points import (
+    LIBRARY_KIND,
+    POINT_KIND,
+    ChannelFootprint,
+    OperatingPoint,
+    OperatingPointLibrary,
+    operating_point_from_result,
+    transfer_cycles,
+)
+from repro.runtime.residual import (
+    ResidualPlatform,
+    ResourceClaim,
+    find_placement,
+)
+
+__all__ = [
+    "AdmissionError",
+    "ChannelFootprint",
+    "EVENT_KIND",
+    "LIBRARY_KIND",
+    "LibraryBuild",
+    "MigrationPolicy",
+    "OperatingPoint",
+    "OperatingPointLibrary",
+    "POINT_KIND",
+    "PlacedApp",
+    "PlatformError",
+    "PlatformJournal",
+    "PlatformManager",
+    "ResidualPlatform",
+    "ResourceClaim",
+    "UnknownAppError",
+    "build_library",
+    "find_placement",
+    "library_key",
+    "library_key_for",
+    "operating_point_from_result",
+    "transfer_cycles",
+]

@@ -1,0 +1,101 @@
+"""The platform transition journal: every state change, as artifacts.
+
+A :class:`~repro.runtime.manager.PlatformManager` is long-lived state;
+the journal makes that state *durable* the same way flow results are --
+each transition (configure, admit, depart, migrate) is one enveloped
+``platform-event`` artifact in the workspace store, keyed by a
+monotonically increasing sequence number.  A restarted manager replays
+the events in order and reaches byte-identical state: events record
+*decisions* (the chosen point and placement), never inputs to re-decide,
+so replay performs zero throughput analyses and cannot diverge from the
+original run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.artifacts.schema import check_envelope, envelope
+from repro.artifacts.store import ArtifactStore
+from repro.exceptions import ReproError
+
+#: Artifact kind of one journaled platform transition.
+EVENT_KIND = "platform-event"
+#: One platform per workspace (ROADMAP: "a long-lived stateful platform
+#: per workspace"); the scope prefixes every event key.
+DEFAULT_SCOPE = "platform"
+
+
+class PlatformJournal:
+    """Append-only event log over an :class:`ArtifactStore`.
+
+    Events are plain enveloped documents (``store.put`` validates the
+    envelope; no codec registration is needed because nothing decodes
+    them through ``from_payload``).  Sequence numbers resume from
+    whatever the store already holds, so several manager generations
+    append to one history.
+    """
+
+    def __init__(
+        self, store: ArtifactStore, scope: str = DEFAULT_SCOPE
+    ) -> None:
+        self.store = store
+        self.scope = scope
+        self._next_seq = 0
+        for key in self.store.keys(EVENT_KIND):
+            seq = self._seq_of(key)
+            if seq is not None and seq >= self._next_seq:
+                self._next_seq = seq + 1
+
+    def _key(self, seq: int) -> str:
+        return f"{self.scope}-{seq:08d}"
+
+    def _seq_of(self, key: str) -> int | None:
+        prefix = f"{self.scope}-"
+        if not key.startswith(prefix):
+            return None
+        suffix = key[len(prefix):]
+        return int(suffix) if suffix.isdigit() else None
+
+    def __len__(self) -> int:
+        return self._next_seq
+
+    def append(self, event: str, data: Dict[str, Any]) -> str:
+        """Persist one transition; returns the artifact key.
+
+        ``data`` must be JSON-able (fractions already encoded as
+        strings, payloads already enveloped); ``event`` names the
+        transition kind (``configure``/``admit``/``depart``/``migrate``).
+        """
+        seq = self._next_seq
+        body = {"seq": seq, "event": event, "data": data}
+        key = self._key(seq)
+        self.store.put(EVENT_KIND, key, envelope(EVENT_KIND, body))
+        self._next_seq = seq + 1
+        return key
+
+    def events(self) -> List[Dict[str, Any]]:
+        """All events of this scope, in sequence order.
+
+        Raises :class:`ReproError` on a gap -- replaying across a hole
+        would silently reconstruct a different platform.
+        """
+        out: List[Dict[str, Any]] = []
+        for key in self.store.keys(EVENT_KIND):
+            if self._seq_of(key) is None:
+                continue
+            payload = self.store.get(EVENT_KIND, key)
+            if payload is None:
+                raise ReproError(
+                    f"platform journal entry {key!r} is unreadable"
+                )
+            check_envelope(payload, EVENT_KIND)
+            out.append(payload)
+        out.sort(key=lambda p: p["seq"])
+        for position, payload in enumerate(out):
+            if payload["seq"] != position:
+                raise ReproError(
+                    f"platform journal has a gap at sequence {position} "
+                    f"(found {payload['seq']}); refusing to replay"
+                )
+        return out

@@ -1,0 +1,401 @@
+"""The residual platform: what is left of an architecture at run time.
+
+A :class:`ResidualPlatform` tracks, for one managed
+:class:`~repro.arch.platform.ArchitectureModel`, which tiles are free
+and how much interconnect capacity remains -- per-directed-link SDM
+wires on the NoC, per-tile master/slave port counts on FSL.  Admitted
+applications own their tiles exclusively (the paper's predictability
+argument: no sharing, no interference), so the platform never has to
+reason about co-scheduled actors of different applications.
+
+Two services sit on top of the bookkeeping:
+
+* :func:`find_placement` relocates a library operating point (computed
+  on canonical prefix tiles) onto the free tiles.  A placement is valid
+  only when every channel keeps its recorded hop count -- equal hops
+  reproduce the exact :class:`~repro.comm.params.ChannelParameters` the
+  stored throughput guarantee was computed with, so the guarantee
+  transfers without re-analysis (FSL parameters are distance-free, so
+  any injective placement preserves them).
+* :meth:`ResidualPlatform.residual_architecture` materializes the free
+  portion as a real :class:`ArchitectureModel` for the spiral fallback
+  mapper.  Its fabric is a wrapper whose ``release_all`` restores the
+  *residual* baseline instead of an empty one, because
+  :func:`repro.mapping.routing.route_channels` resets the interconnect
+  before routing -- without the wrapper, a fallback mapping could claim
+  wires that running applications already own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.arch.interconnect import Connection, FSLInterconnect
+from repro.arch.noc import SDMNoC, xy_route
+from repro.arch.platform import ArchitectureModel
+from repro.runtime.points import OperatingPoint
+
+Coordinate = Tuple[int, int]
+Link = Tuple[Coordinate, Coordinate]
+
+
+def mesh_links(columns: int, rows: int) -> List[Link]:
+    """All directed links of a ``columns x rows`` mesh."""
+    links: List[Link] = []
+    for x in range(columns):
+        for y in range(rows):
+            for nx, ny in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+                if 0 <= nx < columns and 0 <= ny < rows:
+                    links.append(((x, y), (nx, ny)))
+    return links
+
+
+def link_label(link: Link) -> str:
+    """Canonical string form of a directed link (for snapshots)."""
+    (x1, y1), (x2, y2) = link
+    return f"{x1},{y1}->{x2},{y2}"
+
+
+@dataclass
+class ResourceClaim:
+    """Everything one placed operating point occupies.
+
+    Computed once at admission (:meth:`ResidualPlatform.claim_for`) and
+    kept with the running application so departure releases exactly what
+    admission claimed.
+    """
+
+    #: Real tiles, in the operating point's canonical tile order.
+    tiles: Tuple[str, ...]
+    #: Real tile -> (instruction bytes, data bytes) required.
+    tile_memory: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: NoC: directed link -> wires claimed (summed over channels).
+    link_wires: Dict[Link, int] = field(default_factory=dict)
+    #: FSL: real tile -> master (out) ports claimed.
+    out_ports: Dict[str, int] = field(default_factory=dict)
+    #: FSL: real tile -> slave (in) ports claimed.
+    in_ports: Dict[str, int] = field(default_factory=dict)
+
+
+class ResidualNoC(SDMNoC):
+    """An SDM NoC whose 'empty' state is the managed platform's residual.
+
+    Keeps the *full* managed placement (so hop distances and XY routes
+    are those of the real mesh; ``ArchitectureModel.validate`` only
+    requires that the sub-architecture's tiles are placed, extra
+    placements are fine) but starts every link at the wires still free
+    after the running applications' claims.  ``release_all`` -- which
+    the routing stage calls before every attempt -- restores that
+    baseline, never the pristine mesh.
+    """
+
+    def __init__(self, base: SDMNoC, baseline: Dict[Link, int]) -> None:
+        self._baseline: Dict[Link, int] = {}
+        super().__init__(
+            list(base.tile_names),
+            wires_per_link=base.wires_per_link,
+            default_connection_wires=base.default_connection_wires,
+            router_latency=base.router_latency,
+            buffer_words_per_hop=base.buffer_words_per_hop,
+            flow_control=base.flow_control,
+        )
+        self._baseline = dict(baseline)
+        self.release_all()
+
+    def release_all(self) -> None:
+        if self._baseline:
+            self._free_wires = dict(self._baseline)
+            self._allocations = []
+        else:
+            super().release_all()
+
+
+class ResidualFSL(FSLInterconnect):
+    """An FSL fabric pre-loaded with the running applications' ports.
+
+    FSL capacity is per-tile port counts; occupancy is modelled as
+    synthetic baseline connections against a reserved pseudo-tile
+    (allocation only counts matching endpoints, it never resolves tile
+    names), so the per-tile limits bind exactly as on the managed
+    platform.  ``release_all`` restores the baseline.
+    """
+
+    def __init__(
+        self,
+        base: FSLInterconnect,
+        out_used: Dict[str, int],
+        in_used: Dict[str, int],
+    ) -> None:
+        self._baseline: List[Connection] = []
+        super().__init__(
+            fifo_depth_words=base.fifo_depth_words,
+            latency_cycles=base.latency_cycles,
+            max_links_per_tile=base.max_links_per_tile,
+        )
+        baseline: List[Connection] = []
+        for tile, count in sorted(out_used.items()):
+            for i in range(count):
+                baseline.append(
+                    Connection(f"occupied-out-{tile}-{i}", tile, "@occupied")
+                )
+        for tile, count in sorted(in_used.items()):
+            for i in range(count):
+                baseline.append(
+                    Connection(f"occupied-in-{tile}-{i}", "@occupied", tile)
+                )
+        self._baseline = baseline
+        self.release_all()
+
+    def release_all(self) -> None:
+        self._connections = list(self._baseline)
+
+
+class ResidualPlatform:
+    """Residual-capacity bookkeeping for one managed architecture."""
+
+    def __init__(self, arch: ArchitectureModel) -> None:
+        arch.validate()
+        self.arch = arch
+        self._free: List[str] = list(arch.tile_names())
+        fabric = arch.interconnect
+        if isinstance(fabric, SDMNoC):
+            self.kind = "noc"
+            self._noc = fabric
+            self._free_wires: Dict[Link, int] = {
+                link: fabric.wires_per_link
+                for link in mesh_links(fabric.columns, fabric.rows)
+            }
+        elif isinstance(fabric, FSLInterconnect):
+            self.kind = "fsl"
+            self._fsl = fabric
+            self._out_used: Dict[str, int] = {}
+            self._in_used: Dict[str, int] = {}
+        else:
+            self.kind = "none"
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def free_tiles(self) -> Tuple[str, ...]:
+        """Unoccupied tiles, in managed platform order."""
+        return tuple(self._free)
+
+    def total_tiles(self) -> int:
+        return len(self.arch.tiles)
+
+    def memory_fits(self, tile_name: str, need: Tuple[int, int]) -> bool:
+        tile = self.arch.tile(tile_name)
+        return (
+            need[0] <= tile.instruction_memory.capacity_bytes
+            and need[1] <= tile.data_memory.capacity_bytes
+        )
+
+    # ------------------------------------------------------------------
+    # claims
+    # ------------------------------------------------------------------
+    def claim_for(
+        self, point: OperatingPoint, placement: Dict[str, str]
+    ) -> ResourceClaim:
+        """The resources ``point`` occupies under ``placement``
+        (canonical tile -> real tile)."""
+        claim = ResourceClaim(
+            tiles=tuple(placement[t] for t in point.tiles),
+            tile_memory={
+                placement[t]: need for t, need in point.tile_memory.items()
+            },
+        )
+        for channel in point.channels:
+            src, dst = placement[channel.src], placement[channel.dst]
+            if self.kind == "noc" and channel.wires:
+                path = xy_route(
+                    self._noc.position_of(src), self._noc.position_of(dst)
+                )
+                for link in zip(path, path[1:]):
+                    claim.link_wires[link] = (
+                        claim.link_wires.get(link, 0) + channel.wires
+                    )
+            elif self.kind == "fsl":
+                claim.out_ports[src] = claim.out_ports.get(src, 0) + 1
+                claim.in_ports[dst] = claim.in_ports.get(dst, 0) + 1
+        return claim
+
+    def admissible(self, claim: ResourceClaim) -> Optional[str]:
+        """``None`` when the claim fits; otherwise the first reason."""
+        for tile in claim.tiles:
+            if tile not in self._free:
+                return f"tile {tile!r} is occupied"
+        if len(set(claim.tiles)) != len(claim.tiles):
+            return "placement maps two canonical tiles onto one tile"
+        for tile, need in claim.tile_memory.items():
+            if not self.memory_fits(tile, need):
+                return (
+                    f"tile {tile!r} lacks memory for "
+                    f"{need[0]}B instruction + {need[1]}B data"
+                )
+        if self.kind == "noc":
+            for link, wires in claim.link_wires.items():
+                if self._free_wires[link] < wires:
+                    return (
+                        f"link {link_label(link)} has "
+                        f"{self._free_wires[link]} free wires, needs {wires}"
+                    )
+        elif self.kind == "fsl":
+            limit = self._fsl.max_links_per_tile
+            for tile, n in claim.out_ports.items():
+                if self._out_used.get(tile, 0) + n > limit:
+                    return f"tile {tile!r} has no free master FSL port"
+            for tile, n in claim.in_ports.items():
+                if self._in_used.get(tile, 0) + n > limit:
+                    return f"tile {tile!r} has no free slave FSL port"
+        return None
+
+    def claim(self, claim: ResourceClaim) -> None:
+        reason = self.admissible(claim)
+        if reason is not None:
+            raise ValueError(f"inadmissible claim: {reason}")
+        for tile in claim.tiles:
+            self._free.remove(tile)
+        if self.kind == "noc":
+            for link, wires in claim.link_wires.items():
+                self._free_wires[link] -= wires
+        elif self.kind == "fsl":
+            for tile, n in claim.out_ports.items():
+                self._out_used[tile] = self._out_used.get(tile, 0) + n
+            for tile, n in claim.in_ports.items():
+                self._in_used[tile] = self._in_used.get(tile, 0) + n
+
+    def release(self, claim: ResourceClaim) -> None:
+        order = {name: i for i, name in enumerate(self.arch.tile_names())}
+        for tile in claim.tiles:
+            if tile in self._free:
+                raise ValueError(f"tile {tile!r} was not claimed")
+            self._free.append(tile)
+        self._free.sort(key=order.__getitem__)
+        if self.kind == "noc":
+            for link, wires in claim.link_wires.items():
+                self._free_wires[link] += wires
+        elif self.kind == "fsl":
+            for tile, n in claim.out_ports.items():
+                self._out_used[tile] -= n
+            for tile, n in claim.in_ports.items():
+                self._in_used[tile] -= n
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Canonical JSON-able view of the residual state."""
+        out: Dict[str, object] = {
+            "free_tiles": list(self._free),
+            "interconnect": self.kind,
+        }
+        if self.kind == "noc":
+            out["free_wires"] = {
+                link_label(link): wires
+                for link, wires in sorted(self._free_wires.items())
+            }
+        elif self.kind == "fsl":
+            out["out_ports_used"] = {
+                t: n for t, n in sorted(self._out_used.items()) if n
+            }
+            out["in_ports_used"] = {
+                t: n for t, n in sorted(self._in_used.items()) if n
+            }
+        return out
+
+    def residual_architecture(self) -> Optional[ArchitectureModel]:
+        """The free portion as a mappable :class:`ArchitectureModel`.
+
+        ``None`` when no tile is free.  The fabric is a residual wrapper
+        (see module docstring); the returned model shares no allocation
+        state with the managed platform, so fallback mapping attempts
+        never disturb running applications.
+        """
+        if not self._free:
+            return None
+        tiles = [self.arch.tile(name) for name in self._free]
+        fabric = None
+        if self.kind == "noc":
+            fabric = ResidualNoC(self._noc, self._free_wires)
+        elif self.kind == "fsl":
+            fabric = ResidualFSL(self._fsl, self._out_used, self._in_used)
+        model = ArchitectureModel(
+            name=f"{self.arch.name}-residual",
+            tiles=tiles,
+            interconnect=fabric,
+        )
+        model.validate()
+        return model
+
+
+# ----------------------------------------------------------------------
+# placing a canonical operating point onto the residual platform
+# ----------------------------------------------------------------------
+def find_placement(
+    point: OperatingPoint,
+    residual: ResidualPlatform,
+    pinned: Optional[Iterable[str]] = None,
+) -> Optional[Tuple[Dict[str, str], ResourceClaim]]:
+    """Deterministic search for a valid relocation of ``point``.
+
+    Tries injective assignments of the point's canonical tiles onto the
+    free tiles (both in platform order, so results are reproducible),
+    requiring per-tile memory fit, identity placement for ``pinned``
+    canonical tiles (actor pins name managed tiles directly), and -- on
+    the NoC -- *exact* hop equality per channel plus wire availability
+    along the real XY routes.  Returns ``(placement, claim)`` for the
+    first assignment whose claim is admissible, else ``None``.
+    """
+    canonical = list(point.tiles)
+    free = list(residual.free_tiles())
+    if len(canonical) > len(free):
+        return None
+    pinned_set: Set[str] = set(pinned or ())
+
+    def candidates(c_tile: str) -> List[str]:
+        if c_tile in pinned_set:
+            return [c_tile] if c_tile in free else []
+        need = point.tile_memory.get(c_tile, (0, 0))
+        return [
+            tile for tile in free if residual.memory_fits(tile, need)
+        ]
+
+    def hops_ok(placement: Dict[str, str]) -> bool:
+        if residual.kind != "noc":
+            return True
+        noc = residual._noc
+        for channel in point.channels:
+            if channel.src in placement and channel.dst in placement:
+                if (
+                    noc.hop_distance(
+                        placement[channel.src], placement[channel.dst]
+                    )
+                    != channel.hops
+                ):
+                    return False
+        return True
+
+    def search(
+        index: int, placement: Dict[str, str], used: Set[str]
+    ) -> Optional[Tuple[Dict[str, str], ResourceClaim]]:
+        if index == len(canonical):
+            claim = residual.claim_for(point, placement)
+            if residual.admissible(claim) is None:
+                return dict(placement), claim
+            return None
+        c_tile = canonical[index]
+        for real in candidates(c_tile):
+            if real in used:
+                continue
+            placement[c_tile] = real
+            used.add(real)
+            if hops_ok(placement):
+                found = search(index + 1, placement, used)
+                if found is not None:
+                    return found
+            del placement[c_tile]
+            used.discard(real)
+        return None
+
+    return search(0, {}, set())

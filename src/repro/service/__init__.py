@@ -17,8 +17,11 @@ Three layers, each usable on its own:
 * :class:`FlowServiceServer` / :func:`serve`
   (:mod:`repro.service.http`) -- the stdlib HTTP JSON API
   (``POST /v1/flows``, ``GET /v1/flows/{id}[/result]``,
-  ``GET /v1/artifacts/{kind}/{key}``, ``GET /v1/healthz``), started
-  from the CLI as ``python -m repro serve``.
+  ``GET /v1/artifacts/{kind}/{key}``, ``GET /v1/healthz``, plus the
+  run-time platform surface ``POST /v1/platform/apps``,
+  ``POST /v1/platform/apps/{id}/depart`` and ``GET /v1/platform``
+  backed by :class:`repro.runtime.PlatformManager`), started from the
+  CLI as ``python -m repro serve``.
 * :class:`FlowServiceClient` (:mod:`repro.service.client`) -- the typed
   client used by tests, examples and CI.
 

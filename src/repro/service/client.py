@@ -138,6 +138,36 @@ class FlowServiceClient:
         return self._json("GET", "/v1/healthz")
 
     # ------------------------------------------------------------------
+    # the run-time platform
+    # ------------------------------------------------------------------
+    def platform_status(self) -> Dict[str, Any]:
+        """``GET /v1/platform``: admitted apps + residual capacity."""
+        return self._json("GET", "/v1/platform")
+
+    def platform_admit(
+        self, spec: Union[FlowSpec, Dict[str, Any], str, Path]
+    ) -> Dict[str, Any]:
+        """Admit one application onto the run-time platform.
+
+        Returns the admission decision (app id, chosen operating point,
+        placement, guarantee).  A rejection surfaces as
+        :class:`ServiceClientError` with ``status == 409``.
+        """
+        return self._json(
+            "POST", "/v1/platform/apps", body=_document_of(spec)
+        )
+
+    def platform_depart(
+        self, app_id: str, migrate: bool = False
+    ) -> Dict[str, Any]:
+        """Depart ``app_id``; ``migrate=True`` rebalances survivors."""
+        return self._json(
+            "POST",
+            f"/v1/platform/apps/{app_id}/depart",
+            body={"migrate": migrate},
+        )
+
+    # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
     def _request(

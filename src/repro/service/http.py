@@ -23,8 +23,22 @@ scheduler and speaks the canonical artifact payloads of
                                           ``500`` when the job failed)
 ``GET /v1/artifacts/{kind}/{key}``        exact on-disk bytes of one
                                           workspace artifact
-``GET /v1/healthz``                       queue depth, worker slots and
-                                          the service counters
+``GET /v1/healthz``                       queue depth, worker slots,
+                                          service counters and platform
+                                          occupancy
+``POST /v1/platform/apps``                admit a FlowSpec's application
+                                          onto the run-time platform
+                                          (``201`` admitted, ``409``
+                                          rejected -- does not fit the
+                                          residual platform)
+``POST /v1/platform/apps/{id}/depart``    depart one application;
+                                          optional JSON body
+                                          ``{"migrate": true}``
+                                          rebalances the survivors
+                                          (``404`` unknown app)
+``GET /v1/platform``                      full platform state: admitted
+                                          apps, placements, residual
+                                          capacity, transition counters
 ========================================  ==============================
 
 Result and artifact routes serve the stored document text verbatim
@@ -40,7 +54,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Union
 
 from repro.artifacts.schema import ArtifactError
-from repro.exceptions import ReproError
+from repro.exceptions import AdmissionError, ReproError, UnknownAppError
 from repro.flow.spec import FlowSpecError
 from repro.service.scheduler import (
     DONE,
@@ -121,6 +135,14 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
         parts = self._route()
         if parts == ["v1", "flows"]:
             return self._submit()
+        if parts == ["v1", "platform", "apps"]:
+            return self._platform_admit()
+        if (
+            len(parts) == 5
+            and parts[:3] == ["v1", "platform", "apps"]
+            and parts[4] == "depart"
+        ):
+            return self._platform_depart(parts[3])
         # the body was never read; keeping the connection alive would
         # let its bytes be parsed as the next request
         self.close_connection = True
@@ -130,6 +152,8 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
         parts = self._route()
         if parts == ["v1", "healthz"]:
             return self._send_json(200, self.server.scheduler.health())
+        if parts == ["v1", "platform"]:
+            return self._platform_status()
         if len(parts) == 3 and parts[:2] == ["v1", "flows"]:
             return self._job_status(parts[2])
         if (
@@ -191,6 +215,54 @@ class FlowRequestHandler(BaseHTTPRequestHandler):
             return self._send_json(202, view)
         assert text is not None  # done implies a stored response
         self._send_document(200, text)
+
+    def _platform_admit(self) -> None:
+        try:
+            document = self._read_json()
+        except ValueError as error:
+            self.close_connection = True
+            return self._send_error(400, str(error))
+        try:
+            decision = self.server.scheduler.platform_admit(document)
+        except QueueFullError as error:
+            return self._send_error(429, str(error))
+        except AdmissionError as error:
+            # typed rejection: the residual platform cannot host the
+            # app; nothing already running was touched
+            return self._send_error(409, str(error))
+        except FlowSpecError as error:
+            return self._send_error(400, str(error))
+        except ReproError as error:
+            return self._send_error(500, str(error))
+        self._send_json(201, decision)
+
+    def _platform_depart(self, app_id: str) -> None:
+        # the body is optional ({"migrate": true}); only read when sent
+        length = int(self.headers.get("Content-Length") or 0)
+        document: Dict[str, Any] = {}
+        if length > 0:
+            try:
+                document = self._read_json()
+            except ValueError as error:
+                self.close_connection = True
+                return self._send_error(400, str(error))
+        migrate = bool(document.get("migrate", False))
+        try:
+            outcome = self.server.scheduler.platform_depart(
+                app_id, migrate=migrate
+            )
+        except UnknownAppError as error:
+            return self._send_error(404, str(error))
+        except ReproError as error:
+            return self._send_error(500, str(error))
+        self._send_json(200, outcome)
+
+    def _platform_status(self) -> None:
+        try:
+            status = self.server.scheduler.platform_status()
+        except ReproError as error:
+            return self._send_error(500, str(error))
+        self._send_json(200, status)
 
     def _artifact(self, kind: str, key: str) -> None:
         key = key[:-5] if key.endswith(".json") else key

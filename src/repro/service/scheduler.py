@@ -56,13 +56,14 @@ from repro.artifacts.schema import (
     to_payload,
 )
 from repro.artifacts.store import ArtifactStore
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, UnknownAppError
 from repro.flow.dse import WorkerPool
 from repro.flow.fingerprint import flow_request_key
 from repro.flow.session import SessionResult, StageRecord, execute_spec
 from repro.flow.spec import FlowSpec, load_flow_spec
 from repro.flow.usecases import UseCaseMapping
 from repro.mapping.spec import MappingResult
+from repro.runtime.manager import PlatformManager
 
 #: Artifact kind of the served response documents.
 RESPONSE_KIND = "flow-response"
@@ -321,6 +322,7 @@ class FlowScheduler:
         self.counters = ServiceCounters()
         self._jobs: Dict[str, Job] = {}
         self._inflight: Dict[str, Job] = {}
+        self._platform: Optional[PlatformManager] = None
         self._ids = itertools.count(1)
         self._pending = 0  # queued + running; loop-thread only
         self._closed = False
@@ -368,6 +370,7 @@ class FlowScheduler:
 
     def health(self) -> Dict[str, Any]:
         """Queue depth plus the monotonic counters (``/v1/healthz``)."""
+        platform = self._platform
         return {
             "status": "ok",
             "workspace": str(self.workspace),
@@ -377,7 +380,40 @@ class FlowScheduler:
             "queue_depth": self._pending,
             "jobs_tracked": len(self._jobs),
             "counters": self.counters.snapshot(),
+            "platform": (
+                platform.occupancy()
+                if platform is not None
+                else {"configured": False}
+            ),
         }
+
+    # -- the run-time platform (``/v1/platform``) ----------------------
+    def platform_admit(
+        self, request: Union[FlowSpec, Dict[str, Any], str, Path]
+    ) -> Dict[str, Any]:
+        """Admit one application onto the workspace's platform.
+
+        The first admission configures the platform to the spec's
+        architecture (or resumes the journaled one); later admissions
+        must target the same architecture.  Raises
+        :class:`~repro.exceptions.AdmissionError` (HTTP 409) when the
+        application does not fit the residual platform.  Admission
+        flows through the same bounded queue as flow computations.
+        """
+        spec = self._coerce(request)
+        return self._call(self._platform_admit(spec), timeout=600.0)
+
+    def platform_depart(
+        self, app_id: str, migrate: bool = False
+    ) -> Dict[str, Any]:
+        """Depart ``app_id``; optionally migrate the survivors."""
+        return self._call(
+            self._platform_depart(app_id, migrate), timeout=600.0
+        )
+
+    def platform_status(self) -> Dict[str, Any]:
+        """Full platform state (``GET /v1/platform``)."""
+        return self._call(self._platform_status())
 
     def close(self, timeout: float = 60.0) -> None:
         """Drain in-flight jobs, stop the loop, shut the pool down.
@@ -461,6 +497,58 @@ class FlowScheduler:
         finally:
             self._pending -= 1
             self._inflight.pop(job.request_key, None)
+
+    def _ensure_platform(self, arch_spec=None) -> Optional[PlatformManager]:
+        """Loop-thread only: resume or configure the platform manager.
+
+        With a journaled platform in the workspace, the manager replays
+        it (zero analyses); otherwise ``arch_spec`` (when given)
+        configures a fresh one.
+        """
+        if self._platform is None:
+            self._platform = PlatformManager.open(
+                store=self.store, arch_spec=arch_spec
+            )
+        return self._platform
+
+    async def _platform_admit(self, spec: FlowSpec) -> Dict[str, Any]:
+        manager = self._ensure_platform(spec.architecture)
+        if self._pending >= self.max_queue:
+            raise QueueFullError(
+                f"queue full: {self._pending} job(s) pending "
+                f"(max {self.max_queue}); retry later"
+            )
+        self._pending += 1
+        try:
+            # admission may run a spiral fallback analysis: worker pool,
+            # like any other heavy job (library hits return in ~ms)
+            return await asyncio.wrap_future(
+                self.pool.submit(manager.admit, spec)
+            )
+        finally:
+            self._pending -= 1
+
+    async def _platform_depart(
+        self, app_id: str, migrate: bool
+    ) -> Dict[str, Any]:
+        manager = self._ensure_platform()
+        if manager is None:
+            raise UnknownAppError(
+                f"no platform configured; cannot depart {app_id!r}"
+            )
+        self._pending += 1
+        try:
+            return await asyncio.wrap_future(
+                self.pool.submit(manager.depart, app_id, migrate)
+            )
+        finally:
+            self._pending -= 1
+
+    async def _platform_status(self) -> Dict[str, Any]:
+        manager = self._ensure_platform()
+        if manager is None:
+            return {"configured": False}
+        return manager.status()
 
     async def _drain(self) -> None:
         tasks = [

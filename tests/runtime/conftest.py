@@ -1,0 +1,35 @@
+"""Shared fixtures for the run-time platform layer tests."""
+
+import pytest
+
+from repro.flow.spec import ArchSpec
+from repro.runtime import build_library
+from repro.scenarios import generate_scenarios, scenario_flow_spec
+
+#: Small managed platforms the runtime tests admit against.
+ARCH_FSL = ArchSpec(tiles=4, interconnect="fsl")
+ARCH_NOC = ArchSpec(tiles=4, interconnect="noc")
+
+
+def flow_specs(family, count, seed, architecture, constraint=None):
+    """Scenario FlowSpecs retargeted onto one managed architecture."""
+    return [
+        scenario_flow_spec(
+            s, architecture=architecture, constraint=constraint
+        )
+        for s in generate_scenarios(family, count, seed)
+    ]
+
+
+@pytest.fixture(scope="session")
+def fsl_builds():
+    """Libraries for two FSL scenario apps (built once per session)."""
+    specs = flow_specs("splitjoin", 2, 3, ARCH_FSL)
+    return [(spec, build_library(spec)) for spec in specs]
+
+
+@pytest.fixture(scope="session")
+def noc_builds():
+    """Libraries for two NoC scenario apps (built once per session)."""
+    specs = flow_specs("splitjoin", 2, 3, ARCH_NOC)
+    return [(spec, build_library(spec)) for spec in specs]

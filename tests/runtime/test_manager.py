@@ -1,0 +1,176 @@
+"""PlatformManager: admission, departure, migration, replay."""
+
+import dataclasses
+
+import pytest
+
+import repro.runtime.manager as manager_module
+from repro.artifacts import ArtifactStore
+from repro.artifacts.schema import decode_fraction
+from repro.exceptions import AdmissionError, UnknownAppError
+from repro.flow.spec import ArchSpec
+from repro.runtime import MigrationPolicy, PlatformManager
+
+from tests.runtime.conftest import ARCH_FSL, flow_specs
+
+
+def managed(builds, store=None, policy=None):
+    manager = PlatformManager(ARCH_FSL, store=store, policy=policy)
+    for _, build in builds:
+        manager.register_library(build.key, build.library)
+    return manager
+
+
+class TestAdmission:
+    def test_library_admission_runs_zero_analyses(
+        self, fsl_builds, monkeypatch
+    ):
+        # the acceptance criterion: admitting a library-covered app
+        # must never re-analyze -- make any analysis attempt fatal
+        def forbidden(*args, **kwargs):
+            raise AssertionError(
+                "admission of a library-covered app ran an analysis"
+            )
+
+        monkeypatch.setattr(
+            manager_module, "map_application", forbidden
+        )
+        manager = managed(fsl_builds)
+        for spec, _ in fsl_builds:
+            decision = manager.admit(spec)
+            assert decision["source"] == "library"
+            assert decision["analyses"] == 0
+        assert manager.counters["analyses"] == 0
+        assert manager.counters["admissions"] == len(fsl_builds)
+
+    def test_admissions_occupy_disjoint_tiles(self, fsl_builds):
+        manager = managed(fsl_builds)
+        seen = set()
+        for spec, _ in fsl_builds:
+            tiles = set(manager.admit(spec)["tiles"])
+            assert not tiles & seen
+            seen |= tiles
+
+    def test_spiral_fallback_covers_unknown_apps(self, fsl_builds):
+        manager = PlatformManager(ARCH_FSL)  # no libraries at all
+        spec, _ = fsl_builds[0]
+        decision = manager.admit(spec)
+        assert decision["source"] == "spiral"
+        assert decision["analyses"] == 1
+        assert manager.counters["analyses"] == 1
+
+    def test_full_platform_rejects_without_degrading_survivors(
+        self, fsl_builds
+    ):
+        tiny = ArchSpec(tiles=1, interconnect="fsl")
+        specs = flow_specs("splitjoin", 2, 3, tiny)
+        manager = PlatformManager(tiny)
+        first = manager.admit(specs[0])
+        digest = manager.state_digest()
+        with pytest.raises(AdmissionError):
+            manager.admit(specs[1])
+        # the rejection left the platform byte-identical
+        assert manager.state_digest() == digest
+        assert manager.counters["rejections"] == 1
+        assert manager._apps[first["app_id"]].guarantee is not None
+
+    def test_architecture_mismatch_is_rejected(self, fsl_builds):
+        spec, _ = fsl_builds[0]
+        other = PlatformManager(
+            dataclasses.replace(ARCH_FSL, tiles=2)
+        )
+        with pytest.raises(AdmissionError, match="targets"):
+            other.admit(spec)
+
+
+class TestDeparture:
+    def test_departure_releases_exactly_what_admission_claimed(
+        self, fsl_builds
+    ):
+        manager = managed(fsl_builds)
+        before = manager.residual.snapshot()
+        admitted = [manager.admit(spec) for spec, _ in fsl_builds]
+        for decision in admitted:
+            outcome = manager.depart(decision["app_id"])
+            assert outcome["freed_tiles"] == decision["tiles"]
+        assert manager.residual.snapshot() == before
+        assert manager.apps() == ()
+
+    def test_unknown_app_raises_typed_error(self, fsl_builds):
+        manager = managed(fsl_builds)
+        with pytest.raises(UnknownAppError):
+            manager.depart("app-999999")
+
+    def test_departure_migrates_survivor_to_a_better_point(
+        self, fsl_builds
+    ):
+        manager = managed(fsl_builds)
+        first = manager.admit(fsl_builds[0][0])
+        second = manager.admit(fsl_builds[1][0])
+        outcome = manager.depart(first["app_id"], migrate=True)
+        assert len(outcome["migrations"]) == 1
+        moved = outcome["migrations"][0]
+        assert moved["app_id"] == second["app_id"]
+        # strictly better throughput, with the downtime accounted
+        survivor = manager._apps[second["app_id"]]
+        assert survivor.guarantee > decode_fraction(second["guarantee"])
+        assert moved["downtime_cycles"] > 0
+        assert manager.counters["migrations"] == 1
+
+    def test_migration_policy_can_veto_every_move(self, fsl_builds):
+        manager = managed(
+            fsl_builds, policy=MigrationPolicy(enabled=False)
+        )
+        first = manager.admit(fsl_builds[0][0])
+        manager.admit(fsl_builds[1][0])
+        outcome = manager.depart(first["app_id"], migrate=True)
+        assert outcome["migrations"] == []
+        assert manager.counters["migrations"] == 0
+
+
+class TestReplay:
+    def test_journal_replays_to_byte_identical_state(
+        self, fsl_builds, tmp_path
+    ):
+        store = ArtifactStore(tmp_path / "artifacts")
+        manager = managed(fsl_builds, store=store)
+        first = manager.admit(fsl_builds[0][0])
+        manager.admit(fsl_builds[1][0])
+        manager.admit(fsl_builds[0][0])
+        manager.depart(first["app_id"], migrate=True)
+
+        replayed = PlatformManager.open(store=store)
+        assert replayed is not None
+        assert replayed.state_digest() == manager.state_digest()
+        # journaled transitions replay; rejections are not state
+        for counter in ("admissions", "departures", "migrations"):
+            assert replayed.counters[counter] == \
+                manager.counters[counter]
+
+    def test_open_without_configuration_returns_none(self, tmp_path):
+        assert PlatformManager.open(store=None) is None
+        store = ArtifactStore(tmp_path / "artifacts")
+        assert PlatformManager.open(store=store) is None
+
+    def test_open_rejects_a_conflicting_architecture(
+        self, fsl_builds, tmp_path
+    ):
+        store = ArtifactStore(tmp_path / "artifacts")
+        PlatformManager(ARCH_FSL, store=store)
+        with pytest.raises(AdmissionError, match="different"):
+            PlatformManager.open(
+                store=store,
+                arch_spec=dataclasses.replace(ARCH_FSL, tiles=2),
+            )
+
+    def test_open_resumes_app_id_allocation(
+        self, fsl_builds, tmp_path
+    ):
+        store = ArtifactStore(tmp_path / "artifacts")
+        manager = managed(fsl_builds, store=store)
+        first = manager.admit(fsl_builds[0][0])
+        replayed = PlatformManager.open(store=store)
+        for _, build in fsl_builds:
+            replayed.register_library(build.key, build.library)
+        second = replayed.admit(fsl_builds[1][0])
+        assert second["app_id"] != first["app_id"]

@@ -1,0 +1,87 @@
+"""Operating points: codecs, cost model, eligibility."""
+
+from fractions import Fraction
+
+from repro.artifacts import canonical_json, from_payload, to_payload
+from repro.comm.params import WORD_BITS
+from repro.runtime import (
+    OperatingPoint,
+    OperatingPointLibrary,
+    transfer_cycles,
+)
+
+
+class TestTransferCycles:
+    def test_fsl_moves_one_word_per_cycle(self):
+        # 100 bytes = 25 words of 32 bits
+        assert transfer_cycles(100) == 25
+
+    def test_word_granularity_rounds_up(self):
+        assert transfer_cycles(1) == 1
+        assert transfer_cycles(5) == 2
+
+    def test_sdm_connection_serializes_words_over_wires(self):
+        assert transfer_cycles(100, wires=4) == 25 * (WORD_BITS // 4)
+        # a full-width connection matches FSL speed
+        assert transfer_cycles(100, wires=WORD_BITS) == 25
+
+    def test_no_state_no_downtime(self):
+        assert transfer_cycles(0) == 0
+        assert transfer_cycles(0, wires=4) == 0
+
+
+class TestCodecs:
+    def test_library_payload_round_trips_byte_identically(
+        self, fsl_builds
+    ):
+        for _, build in fsl_builds:
+            payload = to_payload(build.library)
+            encoded = canonical_json(payload)
+            clone = from_payload(payload)
+            assert canonical_json(to_payload(clone)) == encoded
+
+    def test_points_keep_the_full_mapping_result(self, fsl_builds):
+        for _, build in fsl_builds:
+            for point in build.library.points:
+                assert point.result is not None
+                assert point.result.guaranteed_throughput == \
+                    point.throughput
+            clone = from_payload(to_payload(build.library))
+            for point in clone.points:
+                assert point.result is not None
+
+    def test_footprints_cover_every_used_tile(self, fsl_builds):
+        for _, build in fsl_builds:
+            for point in build.library.points:
+                assert set(point.tile_memory) == set(point.tiles)
+                for channel in point.channels:
+                    assert channel.src in point.tiles
+                    assert channel.dst in point.tiles
+
+
+class TestSelectionOrder:
+    def test_library_is_kept_cheapest_first(self, fsl_builds):
+        for _, build in fsl_builds:
+            keys = [p.cost_key() for p in build.library.points]
+            assert keys == sorted(keys)
+
+    def test_eligible_filters_on_the_constraint(self):
+        fast = OperatingPoint(
+            label="fast", tiles=("tile0",), interconnect="fsl",
+            throughput=Fraction(1, 10), constraint_met=True,
+            area_slices=100,
+        )
+        slow = OperatingPoint(
+            label="slow", tiles=("tile0",), interconnect="fsl",
+            throughput=Fraction(1, 100), constraint_met=False,
+            area_slices=50,
+        )
+        unconstrained = OperatingPointLibrary(
+            app_name="a", app_fingerprint="f", points=[slow, fast]
+        )
+        assert unconstrained.eligible() == [slow, fast]
+        constrained = OperatingPointLibrary(
+            app_name="a", app_fingerprint="f",
+            constraint=Fraction(1, 20), points=[slow, fast],
+        )
+        assert constrained.eligible() == [fast]
