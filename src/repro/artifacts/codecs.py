@@ -457,15 +457,21 @@ def _encode_throughput(result: ThroughputResult) -> Dict[str, Any]:
         "period": result.period,
         "iterations_per_period": result.iterations_per_period,
         "transient_iterations": result.transient_iterations,
+        "tier": result.tier,
+        "tier_reason": result.tier_reason,
     }
 
 
 def _decode_throughput(payload: Dict[str, Any]) -> ThroughputResult:
+    # tier/tier_reason default for payloads written before the tiered
+    # engine existed (every historic analysis ran the reference tier).
     return ThroughputResult(
         throughput=decode_fraction(payload["throughput"]),
         period=payload["period"],
         iterations_per_period=payload["iterations_per_period"],
         transient_iterations=payload["transient_iterations"],
+        tier=payload.get("tier", "reference"),
+        tier_reason=payload.get("tier_reason"),
     )
 
 
@@ -720,7 +726,8 @@ def _encode_effort(report: EffortReport) -> Dict[str, Any]:
     return {
         "timings": [
             {"name": t.name, "seconds": t.seconds} for t in report.timings
-        ]
+        ],
+        "engine_tiers": dict(report.engine_tiers),
     }
 
 
@@ -729,7 +736,8 @@ def _decode_effort(payload: Dict[str, Any]) -> EffortReport:
         timings=[
             StepTiming(name=t["name"], seconds=t["seconds"])
             for t in payload["timings"]
-        ]
+        ],
+        engine_tiers=dict(payload.get("engine_tiers", {})),
     )
 
 

@@ -57,6 +57,7 @@ from typing import List, Optional
 from repro.arch import architecture_from_template
 from repro.exceptions import ReproError
 from repro.sdf import (
+    ENGINE_MODES,
     analyze_throughput,
     is_deadlock_free,
     repetition_vector,
@@ -69,6 +70,7 @@ def _mapping_payload(
     tiles: int,
     interconnect: str,
     max_iterations: Optional[int] = None,
+    engine: str = "auto",
 ) -> dict:
     """Map a bare graph onto a template platform, as JSON-able data.
 
@@ -117,7 +119,10 @@ def _mapping_payload(
         ],
     )
     arch = architecture_from_template(tiles, interconnect)
-    result = map_application(app, arch, max_iterations=max_iterations)
+    effort = "normal" if engine == "auto" else f"normal+eng{engine}"
+    result = map_application(
+        app, arch, max_iterations=max_iterations, effort=effort
+    )
     return result.to_payload()
 
 
@@ -134,7 +139,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         else {"max_iterations": args.max_iterations}
     )
     result = (
-        analyze_throughput(graph, **throughput_kwargs) if live else None
+        analyze_throughput(graph, engine=args.engine, **throughput_kwargs)
+        if live else None
     )
 
     if args.json:
@@ -152,11 +158,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 "iterations_per_cycle": str(result.throughput),
                 "per_mega_cycle": result.per_mega_cycle(),
                 "period_cycles": result.period,
+                "engine_tier": result.tier,
             }
             try:
                 payload["mapping"] = _mapping_payload(
                     graph, args.tiles, args.interconnect,
                     max_iterations=args.max_iterations,
+                    engine=args.engine,
                 )
             except ReproError as error:
                 payload["mapping"] = {"error": str(error)}
@@ -303,7 +311,11 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             )
         # Derived effort preset: same retry budget, overridden state-space
         # iteration budget; survives the name-typed candidate plumbing.
-        effort = f"{args.effort}+it{args.max_iterations}"
+        effort = f"{effort}+it{args.max_iterations}"
+    if args.engine != "auto":
+        # Engine pin rides the effort name the same way (and therefore
+        # lands in evaluation/cache keys; 'auto' keeps keys unchanged).
+        effort = f"{effort}+eng{args.engine}"
     app = _load_case_study(args.sequence)
     mixes = (UNIFORM_MIX, COMPACT_MIX) if args.heterogeneous \
         else (UNIFORM_MIX,)
@@ -527,6 +539,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="state-space iteration budget of the throughput analysis "
              "(default 10000); raise it for large bounded graphs whose "
              "periodic phase needs more iterations to appear",
+    )
+    analyze.add_argument(
+        "--engine", choices=ENGINE_MODES, default="auto",
+        help="throughput engine tier: 'auto' picks the analytic "
+             "max-cycle-mean fast path when the graph allows it and "
+             "falls back to the vectorized simulation core; pin a tier "
+             "to force it (forcing 'analytic' fails on graphs it cannot "
+             "model)",
     )
     analyze.set_defaults(handler=_cmd_analyze)
 
@@ -801,6 +821,12 @@ def build_parser() -> argparse.ArgumentParser:
                  "budget for every design point (large bounded graphs "
                  "can need more than the preset to find their periodic "
                  "phase)",
+        )
+        explore.add_argument(
+            "--engine", choices=ENGINE_MODES, default="auto",
+            help="throughput engine tier for every design point "
+                 "(default auto: analytic fast path where the graph "
+                 "allows it, vectorized simulation otherwise)",
         )
         explore.add_argument(
             "--binding", choices=registered("binding"), default="greedy",

@@ -33,6 +33,7 @@ from repro.mamps.project import PlatformProject
 from repro.mapping.flow import MappingEffort, map_application
 from repro.mapping.pipeline import MappingPipeline
 from repro.mapping.spec import MappingResult
+from repro.sdf.engine import collect_engine_counters
 from repro.sim.platform_sim import MeasuredThroughput, PlatformSimulator
 
 
@@ -186,39 +187,49 @@ class DesignFlow:
         (e.g. for timing-only studies on non-functional models)."""
         effort = EffortReport()
 
-        with effort.step("Generating architecture model"):
-            self.arch.validate()
+        with collect_engine_counters() as tiers:
+            with effort.step("Generating architecture model"):
+                self.arch.validate()
 
-        with effort.step("Mapping the design (SDF3)"):
-            mapping_result = map_application(
-                self.app,
-                self.arch,
-                constraint=self.constraint,
-                fixed=self.fixed,
-                serialization_overrides=self.serialization_overrides,
-                effort=self.effort,
-                pipeline=self.pipeline,
-            )
-
-        with effort.step("Generating Xilinx project (MAMPS)"):
-            project = generate_platform(self.app, self.arch, mapping_result)
-
-        simulator = None
-        measured = None
-        can_run = self.app.is_functional()
-        with effort.step("Synthesis of the system"):
-            if can_run:
-                simulator = synthesize(
+            with effort.step("Mapping the design (SDF3)"):
+                mapping_result = map_application(
                     self.app,
                     self.arch,
-                    mapping_result,
+                    constraint=self.constraint,
+                    fixed=self.fixed,
                     serialization_overrides=self.serialization_overrides,
+                    effort=self.effort,
+                    pipeline=self.pipeline,
                 )
-        if measure and simulator is not None:
-            measured = simulator.measure_throughput(
-                iterations=iterations,
-                warmup_iterations=warmup_iterations,
-            )
+
+            with effort.step("Generating Xilinx project (MAMPS)"):
+                project = generate_platform(
+                    self.app, self.arch, mapping_result
+                )
+
+            simulator = None
+            measured = None
+            can_run = self.app.is_functional()
+            with effort.step("Synthesis of the system"):
+                if can_run:
+                    simulator = synthesize(
+                        self.app,
+                        self.arch,
+                        mapping_result,
+                        serialization_overrides=(
+                            self.serialization_overrides
+                        ),
+                    )
+            if measure and simulator is not None:
+                measured = simulator.measure_throughput(
+                    iterations=iterations,
+                    warmup_iterations=warmup_iterations,
+                )
+        effort.engine_tiers = {
+            tier: count
+            for tier, count in tiers.snapshot().items()
+            if count
+        }
         return FlowResult(
             mapping_result=mapping_result,
             project=project,

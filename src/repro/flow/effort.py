@@ -48,9 +48,16 @@ class StepTiming:
 
 @dataclass
 class EffortReport:
-    """Timings of the automated flow steps (Table 1, bottom half)."""
+    """Timings of the automated flow steps (Table 1, bottom half).
+
+    ``engine_tiers`` counts the throughput-engine tiers exercised while
+    the flow ran (``{"analytic": n, "vectorized": m, "reference": k}``,
+    zero entries elided) -- it shows how often the analytic fast path
+    actually engaged during mapping and buffer sizing.
+    """
 
     timings: List[StepTiming] = field(default_factory=list)
+    engine_tiers: Dict[str, int] = field(default_factory=dict)
 
     @contextmanager
     def step(self, name: str) -> Iterator[None]:
@@ -87,4 +94,11 @@ class EffortReport:
             lines.append(
                 f"{timing.name:<{width}}  {timing.human()} (automated)"
             )
+        if self.engine_tiers:
+            counts = ", ".join(
+                f"{tier}={count}"
+                for tier, count in sorted(self.engine_tiers.items())
+                if count
+            )
+            lines.append(f"throughput engine calls: {counts}")
         return "\n".join(lines)

@@ -16,6 +16,7 @@ from typing import Dict, List
 
 from repro.exceptions import DeadlockError, MappingError
 from repro.mapping.bound_graph import BoundGraph
+from repro.sdf.engine import build_simulator
 from repro.sdf.repetition import repetition_vector
 from repro.sdf.simulation import SelfTimedSimulator
 
@@ -30,7 +31,7 @@ def build_static_orders(bound: BoundGraph) -> Dict[str, List[str]]:
     and retry.
     """
     q = repetition_vector(bound.graph)
-    sim = SelfTimedSimulator(
+    sim = build_simulator(
         bound.graph,
         processor_of=bound.processor_of,
         record_trace=True,

@@ -24,6 +24,14 @@ The central type is :class:`~repro.sdf.graph.SDFGraph`.  A quick tour::
 from repro.sdf.graph import Actor, Edge, SDFGraph
 from repro.sdf.repetition import is_consistent, repetition_vector
 from repro.sdf.deadlock import is_deadlock_free
+from repro.sdf.engine import (
+    ENGINE_MODES,
+    EngineUnsupportedError,
+    ThroughputEngine,
+    build_simulator,
+    collect_engine_counters,
+    engine_counters,
+)
 from repro.sdf.throughput import (
     ThroughputAnalyzer,
     ThroughputResult,
@@ -58,6 +66,12 @@ __all__ = [
     "is_consistent",
     "is_deadlock_free",
     "analyze_throughput",
+    "ENGINE_MODES",
+    "EngineUnsupportedError",
+    "ThroughputEngine",
+    "build_simulator",
+    "collect_engine_counters",
+    "engine_counters",
     "ThroughputAnalyzer",
     "ThroughputResult",
     "SelfTimedSimulator",

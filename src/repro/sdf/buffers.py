@@ -24,12 +24,9 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from repro.exceptions import GraphError, ThroughputConstraintError
 from repro.sdf.deadlock import is_deadlock_free
+from repro.sdf.engine import ThroughputEngine
 from repro.sdf.graph import Edge, SDFGraph
-from repro.sdf.throughput import (
-    ThroughputAnalyzer,
-    ThroughputResult,
-    analyze_throughput,
-)
+from repro.sdf.throughput import ThroughputResult, analyze_throughput
 
 BUFFER_EDGE_PREFIX = "buf__"
 
@@ -166,13 +163,20 @@ def minimal_buffer_distribution(
 
     Phase 1 grows capacities from the structural lower bounds until the
     bounded graph is deadlock-free.  Phase 2 (when ``throughput_constraint``
-    is given) greedily grows the capacity whose increase yields the best
-    throughput until the constraint is met.
+    is given) is a monotone search over capacity: self-timed throughput
+    never decreases when a buffer grows, so the smallest sufficient
+    *uniform* growth is found by doubling probes plus binary search, and
+    each edge is then independently trimmed back (binary search again)
+    to the least capacity that still meets the constraint.  Every trial
+    is one :class:`~repro.sdf.engine.ThroughputEngine` analysis of the
+    in-place retuned bounded graph -- ``O(E * log(rounds))`` analyses
+    instead of the historic per-edge-per-round resimulation
+    (``O(E * rounds)``).
 
     Returns the distribution and the throughput analysis of the bounded
     graph.  Raises :class:`ThroughputConstraintError` when the constraint
-    cannot be met within ``max_rounds`` increases (e.g. it exceeds the
-    processing bound of the actors).
+    cannot be met within ``max_rounds`` uniform growth steps (e.g. it
+    exceeds the processing bound of the actors).
     """
     distribution = _initial_distribution(graph)
     if not distribution.capacities:
@@ -181,10 +185,9 @@ def minimal_buffer_distribution(
         return distribution, result
 
     # Warm path: build the bounded graph ONCE; every candidate after that
-    # only retunes credit-edge initial tokens in place.  The state-space
-    # analyzer below is likewise built once and reset per candidate --
-    # phase 2 runs one full analysis per edge per round, which made the
-    # copy-per-trial variant the hottest loop of the whole sizing flow.
+    # only retunes credit-edge initial tokens in place.  The engine below
+    # is likewise built once -- its tiers re-read the mutated tokens per
+    # analysis instead of rebuilding the analysis stack.
     bounded = add_buffer_edges(graph, distribution)
 
     def set_capacity(name: str, capacity: int) -> None:
@@ -204,51 +207,71 @@ def minimal_buffer_distribution(
             "deadlocks"
         )
 
-    analyzer = ThroughputAnalyzer(bounded)
-    result = analyzer.analyze()
+    engine = ThroughputEngine(bounded)
+    result = engine.analyze()
 
-    if throughput_constraint is None:
+    if (
+        throughput_constraint is None
+        or result.throughput >= throughput_constraint
+    ):
         return distribution, result
 
-    # Phase 2: greedy steepest-ascent growth toward the constraint.  Extra
-    # credit tokens can only enable more firings, so growth from the
-    # phase-1 deadlock-free point preserves liveness and the per-trial
-    # untimed liveness pre-check is skipped.
-    for _ in range(max_rounds):
-        if result.throughput >= throughput_constraint:
-            return distribution, result
-        best_name = None
-        best_result = result
-        for name in list(distribution.capacities):
-            current = distribution.capacities[name]
-            set_capacity(name, current + step)
-            trial_result = analyzer.analyze(check_deadlock=False)
-            set_capacity(name, current)
-            if trial_result.throughput > best_result.throughput:
-                best_result = trial_result
-                best_name = name
-        if best_name is None:
-            # No single increase helps; grow everything once (plateaus can
-            # need simultaneous increases), then re-check.
-            for name in distribution.capacities:
-                set_capacity(name, distribution.capacities[name] + step)
-            new_result = analyzer.analyze(check_deadlock=False)
-            if new_result.throughput <= result.throughput:
-                raise ThroughputConstraintError(
-                    f"throughput of {graph.name!r} saturates at "
-                    f"{result.throughput} < constraint "
-                    f"{throughput_constraint}; buffers are not the "
-                    "bottleneck (check actor workloads and the mapping)"
-                )
-            result = new_result
-        else:
-            set_capacity(best_name, distribution.capacities[best_name] + step)
-            result = best_result
+    # Phase 2: monotone capacity search.  Extra credit tokens can only
+    # enable more firings, so every trial point (>= the phase-1
+    # distribution everywhere) stays live and the untimed liveness
+    # pre-check is skipped; for the same reason throughput is monotone
+    # non-decreasing along the uniform-growth axis, which is what the
+    # doubling probe and both binary searches rely on.
+    base = dict(distribution.capacities)
 
-    raise ThroughputConstraintError(
-        f"constraint {throughput_constraint} not met within {max_rounds} "
-        f"rounds for {graph.name!r} (reached {result.throughput})"
-    )
+    def try_uniform(extra: int) -> Fraction:
+        for name, capacity in base.items():
+            set_capacity(name, capacity + extra * step)
+        return engine.analyze(check_deadlock=False).throughput
+
+    # 2a: doubling probe for a sufficient uniform growth k <= max_rounds.
+    k = 1
+    while True:
+        k = min(k, max_rounds)
+        reached = try_uniform(k)
+        if reached >= throughput_constraint:
+            break
+        if k >= max_rounds:
+            raise ThroughputConstraintError(
+                f"constraint {throughput_constraint} not met within "
+                f"{max_rounds} rounds for {graph.name!r} "
+                f"(reached {reached})"
+            )
+        k *= 2
+
+    # 2b: binary search the smallest sufficient uniform growth in
+    # (k/2, k] -- k/2 (and every smaller probe) is known insufficient.
+    low, high = k // 2 + 1, k
+    while low < high:
+        mid = (low + high) // 2
+        if try_uniform(mid) >= throughput_constraint:
+            high = mid
+        else:
+            low = mid + 1
+    for name, capacity in base.items():
+        set_capacity(name, capacity + low * step)
+
+    # 2c: trim each edge back independently (monotone in each edge's
+    # capacity with the others held fixed at their current values).
+    for name in base:
+        trim_low, trim_high = 0, low
+        while trim_low < trim_high:
+            mid = (trim_low + trim_high) // 2
+            set_capacity(name, base[name] + mid * step)
+            trial = engine.analyze(check_deadlock=False).throughput
+            if trial >= throughput_constraint:
+                trim_high = mid
+            else:
+                trim_low = mid + 1
+        set_capacity(name, base[name] + trim_low * step)
+
+    result = engine.analyze()
+    return distribution, result
 
 
 def occupancy_based_capacities(

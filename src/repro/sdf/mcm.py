@@ -29,6 +29,16 @@ from repro.sdf.graph import SDFGraph
 RatioEdge = Tuple[str, str, int, int]
 
 
+class CycleRatioBudgetError(Exception):
+    """The ratio iteration exceeded its relaxation budget.
+
+    Raised only when a ``max_relaxations`` budget was passed; the
+    throughput engine catches it to fall back to simulation on the rare
+    instances (dense multi-rate expansions with many distinct cycle
+    ratios) where the iteration grinds through disproportionate work.
+    """
+
+
 def _find_zero_token_cycle(
     nodes: Sequence[str], edges: Iterable[RatioEdge]
 ) -> Optional[List[str]]:
@@ -77,25 +87,38 @@ def _positive_cycle(
     nodes: Sequence[str],
     edges: Sequence[RatioEdge],
     ratio: Fraction,
+    budget: Optional[List[int]] = None,
 ) -> Optional[List[int]]:
     """Bellman-Ford test: find a cycle with ``sum(t) - ratio * sum(d) > 0``.
 
     Returns the edge indices of such a cycle, or None when every cycle has
     ratio <= ``ratio``.  Longest-path relaxation from a virtual source that
-    reaches every node.
+    reaches every node.  ``budget`` is a shared one-element relaxation
+    countdown; raises :class:`CycleRatioBudgetError` when it runs dry.
     """
     n = len(nodes)
     index_of = {name: i for i, name in enumerate(nodes)}
-    dist: List[Fraction] = [Fraction(0)] * n  # virtual source to all nodes
+    dist: List[int] = [0] * n  # virtual source to all nodes
     pred_edge: List[Optional[int]] = [None] * n
 
-    weights = [Fraction(t) - ratio * d for (_s, _d, t, d) in edges]
+    # Scale ``t - (p/q) * d`` by the (positive) denominator q: the
+    # integer weights ``q*t - p*d`` order every path sum identically, so
+    # the relaxation -- the hot loop of the whole MCM -- runs on plain
+    # ints instead of Fractions.
+    num, den = ratio.numerator, ratio.denominator
+    weights = [den * t - num * d for (_s, _d, t, d) in edges]
     edge_idx = [
         (index_of[src], index_of[dst]) for (src, dst, _t, _d) in edges
     ]
 
     changed_node: Optional[int] = None
     for _round in range(n):
+        if budget is not None:
+            budget[0] -= len(edge_idx)
+            if budget[0] < 0:
+                raise CycleRatioBudgetError(
+                    "cycle-ratio iteration exceeded its relaxation budget"
+                )
         changed_node = None
         for i, (u, v) in enumerate(edge_idx):
             candidate = dist[u] + weights[i]
@@ -137,13 +160,18 @@ def _cycle_ratio(edges: Sequence[RatioEdge], cycle: Sequence[int]) -> Fraction:
 
 
 def max_cycle_ratio(
-    nodes: Sequence[str], edges: Sequence[RatioEdge]
+    nodes: Sequence[str],
+    edges: Sequence[RatioEdge],
+    max_relaxations: Optional[int] = None,
 ) -> Optional[Fraction]:
     """Exact maximum of (time sum / token sum) over all cycles.
 
     Returns None when the graph has no cycle at all (throughput is then not
     cycle-limited).  Raises :class:`DeadlockError` when a zero-token cycle
-    exists.
+    exists.  ``max_relaxations`` bounds the total Bellman-Ford edge
+    relaxations across all rounds; exceeding it raises
+    :class:`CycleRatioBudgetError` (used by the throughput engine to bail
+    out of adversarial instances).
     """
     if not nodes:
         return None
@@ -154,15 +182,16 @@ def max_cycle_ratio(
             + " -> ".join(zero_cycle)
         )
 
+    budget = None if max_relaxations is None else [max_relaxations]
     # Seed with any cycle: run the positive-cycle test with a ratio lower
     # than every possible cycle ratio (-1 works: times are >= 0, so every
     # cycle has ratio >= 0 > -1 ... unless there is no cycle).
-    seed = _positive_cycle(nodes, edges, Fraction(-1))
+    seed = _positive_cycle(nodes, edges, Fraction(-1), budget)
     if seed is None:
         return None
     ratio = _cycle_ratio(edges, seed)
     while True:
-        better = _positive_cycle(nodes, edges, ratio)
+        better = _positive_cycle(nodes, edges, ratio, budget)
         if better is None:
             return ratio
         new_ratio = _cycle_ratio(edges, better)
@@ -170,11 +199,14 @@ def max_cycle_ratio(
         ratio = new_ratio
 
 
-def maximum_cycle_mean(hsdf: SDFGraph) -> Optional[Fraction]:
+def maximum_cycle_mean(
+    hsdf: SDFGraph, max_relaxations: Optional[int] = None
+) -> Optional[Fraction]:
     """MCM of an HSDF graph (cycles weighed by source-actor times).
 
     Every edge must have unit rates; raises :class:`GraphError` otherwise.
-    Returns None for an acyclic graph.
+    Returns None for an acyclic graph.  ``max_relaxations`` is passed
+    through to :func:`max_cycle_ratio`.
     """
     for edge in hsdf.edges:
         if edge.production != 1 or edge.consumption != 1:
@@ -192,7 +224,7 @@ def maximum_cycle_mean(hsdf: SDFGraph) -> Optional[Fraction]:
         )
         for e in hsdf.edges
     ]
-    return max_cycle_ratio(nodes, edges)
+    return max_cycle_ratio(nodes, edges, max_relaxations)
 
 
 def hsdf_throughput(hsdf: SDFGraph) -> Optional[Fraction]:

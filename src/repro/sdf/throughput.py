@@ -31,7 +31,7 @@ convenience wrapper over it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, Optional, Sequence
 
@@ -64,12 +64,23 @@ class ThroughputResult:
         Graph iterations completed in one period.
     transient_iterations:
         Iterations executed before the periodic phase was entered.
+    tier:
+        Which engine tier produced the result (``analytic`` /
+        ``vectorized`` / ``reference``; see :mod:`repro.sdf.engine`).
+        Metadata only -- excluded from equality, which compares the
+        analysis outcome.
+    tier_reason:
+        Why that tier was chosen when it was not the first choice (the
+        ``auto`` fallback reason, or a note that the mode was forced);
+        None when the preferred tier ran.  Metadata only.
     """
 
     throughput: Fraction
     period: int
     iterations_per_period: int
     transient_iterations: int
+    tier: str = field(default="reference", compare=False)
+    tier_reason: Optional[str] = field(default=None, compare=False)
 
     def iterations_in(self, cycles: int) -> Fraction:
         """Long-term average iterations completed in ``cycles`` cycles."""
@@ -231,6 +242,7 @@ def analyze_throughput(
     static_order: Optional[Dict[str, Sequence[str]]] = None,
     reference_actor: Optional[str] = None,
     max_iterations: int = 10_000,
+    engine: str = "auto",
 ) -> ThroughputResult:
     """Compute the self-timed throughput of ``graph``.
 
@@ -238,8 +250,12 @@ def analyze_throughput(
     selects the actor whose completed firings count iterations (any actor
     gives the same long-term result; default is the first actor).
 
-    One-shot convenience wrapper over :class:`ThroughputAnalyzer`; use the
-    class directly when analyzing the same graph structure repeatedly.
+    One-shot convenience wrapper over the tiered
+    :class:`~repro.sdf.engine.ThroughputEngine`; construct the engine
+    directly when analyzing the same graph structure repeatedly.
+    ``engine`` pins a tier (``auto``/``analytic``/``vectorized``/
+    ``reference``); every tier returns the same exact ``Fraction``
+    throughput.
 
     Raises
     ------
@@ -248,13 +264,16 @@ def analyze_throughput(
     UnboundedExecutionError
         If no periodic phase appears within ``max_iterations`` iterations.
     """
-    return ThroughputAnalyzer(
+    from repro.sdf.engine import ThroughputEngine
+
+    return ThroughputEngine(
         graph,
         auto_concurrency=auto_concurrency,
         processor_of=processor_of,
         static_order=static_order,
         reference_actor=reference_actor,
         max_iterations=max_iterations,
+        mode=engine,
     ).analyze()
 
 

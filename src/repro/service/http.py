@@ -24,8 +24,9 @@ scheduler and speaks the canonical artifact payloads of
 ``GET /v1/artifacts/{kind}/{key}``        exact on-disk bytes of one
                                           workspace artifact
 ``GET /v1/healthz``                       queue depth, worker slots,
-                                          service counters and platform
-                                          occupancy
+                                          service counters, throughput-
+                                          engine tier counters and
+                                          platform occupancy
 ``POST /v1/platform/apps``                admit a FlowSpec's application
                                           onto the run-time platform
                                           (``201`` admitted, ``409``

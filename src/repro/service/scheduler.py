@@ -64,6 +64,7 @@ from repro.flow.spec import FlowSpec, load_flow_spec
 from repro.flow.usecases import UseCaseMapping
 from repro.mapping.spec import MappingResult
 from repro.runtime.manager import PlatformManager
+from repro.sdf.engine import engine_counters
 
 #: Artifact kind of the served response documents.
 RESPONSE_KIND = "flow-response"
@@ -369,7 +370,13 @@ class FlowScheduler:
         return self._job(job_id).result_text()
 
     def health(self) -> Dict[str, Any]:
-        """Queue depth plus the monotonic counters (``/v1/healthz``)."""
+        """Queue depth plus the monotonic counters (``/v1/healthz``).
+
+        ``engine`` exposes the process-wide throughput-engine tier
+        counters (:func:`repro.sdf.engine.engine_counters`): how many
+        analyses the analytic / vectorized / reference tiers served
+        since the process started.
+        """
         platform = self._platform
         return {
             "status": "ok",
@@ -380,6 +387,7 @@ class FlowScheduler:
             "queue_depth": self._pending,
             "jobs_tracked": len(self._jobs),
             "counters": self.counters.snapshot(),
+            "engine": engine_counters().snapshot(),
             "platform": (
                 platform.occupancy()
                 if platform is not None

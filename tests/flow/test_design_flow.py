@@ -72,6 +72,17 @@ class TestDesignFlow:
         names = [t.name for t in result.effort.timings]
         assert names == list(TABLE1_AUTOMATED_STEPS)
 
+    def test_effort_counts_engine_tiers(self, functional_app):
+        arch = architecture_from_template(2)
+        result = DesignFlow(functional_app, arch).run(measure=False)
+        tiers = result.effort.engine_tiers
+        # mapping + buffer sizing ran through the tiered engine
+        assert sum(tiers.values()) > 0
+        assert set(tiers) <= {"analytic", "vectorized", "reference"}
+        assert all(count > 0 for count in tiers.values())
+        # the tier line renders in Table 1
+        assert "throughput engine calls:" in result.effort.as_table()
+
     def test_summary_contains_table1(self, functional_app):
         arch = architecture_from_template(2)
         result = DesignFlow(functional_app, arch).run(iterations=5)

@@ -81,10 +81,15 @@ class TestSweep:
 
     def test_incremental_matches_reference_exactly(self, spec):
         bounded = _bounded(build_scenario_graph(spec))
-        fast = analyze_throughput(bounded)
+        # The vectorized tier promises bit-identical state-space fields;
+        # the auto policy (possibly the analytic tier) promises the same
+        # exact throughput value.
+        fast = analyze_throughput(bounded, engine="vectorized")
         slow = reference_analyze_throughput(bounded)
         assert fast.throughput == slow.throughput
         assert fast.period == slow.period
+        auto = analyze_throughput(bounded)
+        assert auto.throughput == slow.throughput
 
     def test_mapping_result_round_trips_byte_identically(self, spec):
         flow_spec = scenario_flow_spec(spec)

@@ -6,7 +6,11 @@ import pytest
 
 from repro.exceptions import DeadlockError, GraphError
 from repro.sdf import SDFGraph, maximum_cycle_mean
-from repro.sdf.mcm import hsdf_throughput, max_cycle_ratio
+from repro.sdf.mcm import (
+    CycleRatioBudgetError,
+    hsdf_throughput,
+    max_cycle_ratio,
+)
 
 
 def ring(times, tokens_on_back=1):
@@ -112,3 +116,16 @@ def test_large_ring_exactness():
     times = [7, 11, 13, 17, 19, 23]
     g = ring(times, tokens_on_back=5)
     assert maximum_cycle_mean(g) == Fraction(sum(times), 5)
+
+
+def test_relaxation_budget_enforced():
+    edges = [
+        ("a", "b", 5, 0),
+        ("b", "a", 2, 3),
+    ]
+    with pytest.raises(CycleRatioBudgetError):
+        max_cycle_ratio(["a", "b"], edges, max_relaxations=1)
+    # A generous budget changes nothing about the answer.
+    assert max_cycle_ratio(
+        ["a", "b"], edges, max_relaxations=10_000
+    ) == Fraction(7, 3)

@@ -206,7 +206,13 @@ class TestThroughputAnalyzer:
 
         g = bounded(figure2_graph, {"a2b": 4, "a2c": 2, "b2c": 3})
         analyzer = ThroughputAnalyzer(g)
-        assert analyzer.analyze() == analyze_throughput(g)
+        # Field-exact against the same (reference) tier; value-exact
+        # against whatever tier the auto policy picks.
+        assert analyzer.analyze() == analyze_throughput(
+            g, engine="reference"
+        )
+        assert analyzer.analyze().throughput == \
+            analyze_throughput(g).throughput
 
     def test_reanalyze_after_in_place_token_mutation(self):
         """Warm path: mutate credit tokens in place, re-analyze, and get
@@ -224,8 +230,13 @@ class TestThroughputAnalyzer:
         for capacity in (2, 3, 2, 1):
             retune_buffer_capacity(bounded_graph, "ab", capacity)
             warm = analyzer.analyze()
-            cold = analyze_throughput(bounded(g, {"ab": capacity}))
+            cold = analyze_throughput(
+                bounded(g, {"ab": capacity}), engine="reference"
+            )
             assert warm == cold
+            assert warm.throughput == analyze_throughput(
+                bounded(g, {"ab": capacity})
+            ).throughput
 
     def test_skip_deadlock_precheck_still_detects_blockage(self):
         from repro.sdf.throughput import ThroughputAnalyzer

@@ -151,6 +151,9 @@ class TestServiceMeta:
             "submitted", "coalesced", "artifact_hits", "computed",
             "failed",
         }
+        assert set(health["engine"]) == {
+            "analytic", "vectorized", "reference",
+        }
 
     def test_unknown_routes_answer_404(self, client):
         for method, path in (

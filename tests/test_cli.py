@@ -209,6 +209,31 @@ class TestMaxIterationsPlumbing:
         payload = json.loads(capsys.readouterr().out)
         assert "error" not in payload["mapping"]
 
+    def test_analyze_json_reports_engine_tier(self, graph_file, capsys):
+        assert main(["analyze", graph_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["throughput"]["engine_tier"] in (
+            "analytic", "vectorized"
+        )
+
+    def test_analyze_engine_pin(self, graph_file, capsys):
+        assert main(
+            ["analyze", graph_file, "--json", "--engine", "reference"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["throughput"]["engine_tier"] == "reference"
+
+    def test_analyze_rejects_unknown_engine(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", graph_file, "--engine", "turbo"])
+
+    def test_explore_engine_pin(self, capsys):
+        code = main(
+            ["explore", "gradient", "--max-tiles", "1",
+             "--effort", "low", "--engine", "vectorized"]
+        )
+        assert code == 0
+
     def test_explore_budget_override(self, capsys):
         code = main(
             ["explore", "gradient", "--max-tiles", "1",
@@ -254,6 +279,60 @@ class TestEffortIterationSuffix:
             MappingEffort.of("turbo+it5")
         with pytest.raises(ValueError, match=">= 1"):
             MappingEffort.of("low").with_iterations(0)
+
+
+class TestEffortEngineSuffix:
+    def test_of_parses_engine_pin(self):
+        from repro.mapping.flow import MappingEffort
+
+        effort = MappingEffort.of("normal+engreference")
+        assert effort.engine == "reference"
+        assert effort.max_iterations == (
+            MappingEffort.of("normal").max_iterations
+        )
+        assert MappingEffort.of(effort.name) == effort
+
+    def test_suffixes_combine_in_either_order(self):
+        from repro.mapping.flow import MappingEffort
+
+        a = MappingEffort.of("low+it5000+engvectorized")
+        b = MappingEffort.of("low+engvectorized+it5000")
+        assert a == b
+        assert a.max_iterations == 5000
+        assert a.engine == "vectorized"
+        # canonical derived name: iterations before engine
+        assert a.name == "low+it5000+engvectorized"
+
+    def test_with_engine_round_trips(self):
+        from repro.mapping.flow import MappingEffort
+
+        base = MappingEffort.of("high")
+        pinned = base.with_engine("analytic")
+        assert pinned.name == "high+enganalytic"
+        assert MappingEffort.of(pinned.name) == pinned
+        # auto is the default: pinning it back erases the suffix, so
+        # cache keys derived from the name stay byte-identical
+        assert pinned.with_engine("auto").name == "high"
+        assert base.with_engine("auto") is base
+
+    def test_with_iterations_preserves_engine_pin(self):
+        from repro.mapping.flow import MappingEffort
+
+        pinned = MappingEffort.of("normal+engreference")
+        derived = pinned.with_iterations(77)
+        assert derived.engine == "reference"
+        assert derived.name == "normal+it77+engreference"
+        assert MappingEffort.of(derived.name) == derived
+
+    def test_bad_engine_suffix_rejected(self):
+        from repro.mapping.flow import MappingEffort
+
+        with pytest.raises(ValueError, match="invalid engine override"):
+            MappingEffort.of("low+engturbo")
+        with pytest.raises(ValueError, match="unknown suffix"):
+            MappingEffort.of("low+zz5")
+        with pytest.raises(ValueError, match="unknown throughput engine"):
+            MappingEffort.of("low").with_engine("turbo")
 
 
 class TestCanonicalPayloads:
