@@ -1,0 +1,161 @@
+"""Benchmark: the power/energy model as a third exploration objective.
+
+Two claims of the power subsystem (see docs/power.md), quantified on the
+MJPEG case study:
+
+* **Three objectives keep more of the design space.**  Adding energy to
+  the Pareto dominance relation can only weaken it, so the
+  (throughput, slices, energy) frontier is always a superset of the
+  (throughput, slices) one -- the sweep measures by how much on the
+  Fig. 6a/6b template space (tiles 1..5, FSL and NoC).
+* **The energy-biased binder cuts communication energy.**  Placing
+  chatty neighbours together (Marcon-style) must never spend more
+  interconnect energy than the throughput-greedy binder on the same
+  5-tile platforms.
+
+Emits ``benchmarks/results/BENCH_power.json`` (wired into CI's
+bench-smoke job) and a human-readable table next to it.
+"""
+
+import json
+import time
+
+from benchmarks.conftest import RESULTS_DIR, write_results
+from repro.arch import architecture_from_template
+from repro.flow.dse import explore_design_space
+from repro.mapping import map_application
+from repro.mjpeg import build_mjpeg_application
+from repro.power import PowerModel, application_energy
+from repro.sdf.repetition import repetition_vector
+
+#: The Fig. 6a/6b platforms the binder comparison runs on.
+BINDER_TILES = 5
+#: Template sweep of the frontier comparison.
+TILE_COUNTS = (1, 2, 3, 4, 5)
+
+
+def _binder_energy(app, interconnect, binding, model):
+    """Total and communication energy of one binder on one platform."""
+    arch = architecture_from_template(BINDER_TILES, interconnect)
+    result = map_application(
+        app, arch, fixed={"VLD": "tile0"}, binding=binding
+    )
+    energy = application_energy(app, result, arch, model)
+    return energy
+
+
+def test_power_objective_and_energy_binder(benchmark, workloads):
+    app = build_mjpeg_application(workloads["gradient"])
+    # repetition_vector is cheap; calling it here keeps the fixture
+    # cost out of the timed region below
+    repetition_vector(app.graph)
+    model = PowerModel()
+    records = {}
+
+    def run_all():
+        # --- frontier growth: 2 vs 3 objectives -----------------------
+        start = time.perf_counter()
+        plain = explore_design_space(
+            app,
+            tile_counts=TILE_COUNTS,
+            interconnects=("fsl", "noc"),
+            fixed={"VLD": "tile0"},
+        )
+        plain_s = time.perf_counter() - start
+        start = time.perf_counter()
+        powered = explore_design_space(
+            app,
+            tile_counts=TILE_COUNTS,
+            interconnects=("fsl", "noc"),
+            fixed={"VLD": "tile0"},
+            power_model=model,
+        )
+        powered_s = time.perf_counter() - start
+        front_2obj = len(plain.pareto_frontier())
+        front_3obj = len(powered.pareto_frontier())
+        energies = [
+            float(p.energy.total_nj) for p in powered.points
+        ]
+
+        # --- binder comparison: energy-biased vs greedy ---------------
+        binder = {}
+        for interconnect in ("fsl", "noc"):
+            greedy = _binder_energy(app, interconnect, "greedy", model)
+            energy = _binder_energy(app, interconnect, "energy", model)
+            binder[interconnect] = {
+                "greedy_comm_pj": float(greedy.communication_pj),
+                "energy_comm_pj": float(energy.communication_pj),
+                "greedy_total_nj": float(greedy.total_nj),
+                "energy_total_nj": float(energy.total_nj),
+                "comm_saved_pj": float(
+                    greedy.communication_pj - energy.communication_pj
+                ),
+            }
+
+        records.update(
+            {
+                "tech_nm": model.tech_nm,
+                "points": len(powered.points),
+                "front_2obj": front_2obj,
+                "front_3obj": front_3obj,
+                "explore_2obj_s": plain_s,
+                "explore_3obj_s": powered_s,
+                "power_overhead": powered_s / plain_s,
+                "min_energy_nj": min(energies),
+                "max_energy_nj": max(energies),
+                "binder": binder,
+            }
+        )
+        return records
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    binder = records["binder"]
+    table = "\n".join(
+        [
+            f"{'metric':<34} {'value':>14}",
+            "-" * 49,
+            f"{'frontier (throughput, slices)':<34} "
+            f"{records['front_2obj']:>14}",
+            f"{'frontier (+ energy)':<34} "
+            f"{records['front_3obj']:>14}",
+            f"{'power-model sweep overhead':<34} "
+            f"{records['power_overhead']:>13.2f}x",
+            f"{'fsl comm energy saved [pJ]':<34} "
+            f"{binder['fsl']['comm_saved_pj']:>14.1f}",
+            f"{'noc comm energy saved [pJ]':<34} "
+            f"{binder['noc']['comm_saved_pj']:>14.1f}",
+        ]
+    )
+    path = write_results("power.txt", table)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    json_path = RESULTS_DIR / "BENCH_power.json"
+    json_path.write_text(
+        json.dumps(
+            {
+                "bench": "power/energy model: 3-objective frontier "
+                         "growth + energy-biased vs greedy binder "
+                         f"on {BINDER_TILES}-tile Fig. 6 platforms",
+                "unit": "seconds",
+                "results": records,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"\n{table}\n-> {path}\n-> {json_path}")
+
+    # Adding an objective weakens dominance: the 3-objective frontier
+    # contains every 2-objective frontier point.
+    assert records["front_3obj"] >= records["front_2obj"]
+    # Every evaluated point carries a positive, finite energy.
+    assert records["min_energy_nj"] > 0
+    # The energy binder exists to cut communication energy; it must
+    # never spend more on the interconnect than the greedy binder.
+    for interconnect in ("fsl", "noc"):
+        assert (
+            binder[interconnect]["energy_comm_pj"]
+            <= binder[interconnect]["greedy_comm_pj"]
+        )

@@ -62,6 +62,7 @@ from repro.flow.effort import EffortReport, StepTiming
 from repro.flow.usecases import UseCaseMapping
 from repro.mamps.project import PlatformProject
 from repro.mapping.pipeline import StrategyTuple
+from repro.power import EnergyEstimate, PowerEstimate
 from repro.mapping.spec import ChannelMapping, Mapping, MappingResult
 from repro.sdf.graph import SDFGraph
 from repro.sdf.throughput import ThroughputResult
@@ -591,8 +592,54 @@ def _decode_area(payload: Dict[str, Any]) -> AreaEstimate:
 register("area-estimate", AreaEstimate, _encode_area, _decode_area)
 
 
-def _encode_design_point(point: DesignPoint) -> Dict[str, Any]:
+def _encode_power_estimate(power: PowerEstimate) -> Dict[str, Any]:
     return {
+        "static_mw": encode_fraction(power.static_mw),
+        "dynamic_mw": encode_fraction(power.dynamic_mw),
+        "tech_nm": power.tech_nm,
+    }
+
+
+def _decode_power_estimate(payload: Dict[str, Any]) -> PowerEstimate:
+    return PowerEstimate(
+        static_mw=decode_fraction(payload["static_mw"]),
+        dynamic_mw=decode_fraction(payload["dynamic_mw"]),
+        tech_nm=payload["tech_nm"],
+    )
+
+
+register(
+    "power-estimate", PowerEstimate, _encode_power_estimate,
+    _decode_power_estimate,
+)
+
+
+def _encode_energy_estimate(energy: EnergyEstimate) -> Dict[str, Any]:
+    return {
+        "compute_pj": encode_fraction(energy.compute_pj),
+        "communication_pj": encode_fraction(energy.communication_pj),
+        "static_pj": encode_fraction(energy.static_pj),
+        "tech_nm": energy.tech_nm,
+    }
+
+
+def _decode_energy_estimate(payload: Dict[str, Any]) -> EnergyEstimate:
+    return EnergyEstimate(
+        compute_pj=decode_fraction(payload["compute_pj"]),
+        communication_pj=decode_fraction(payload["communication_pj"]),
+        static_pj=decode_fraction(payload["static_pj"]),
+        tech_nm=payload["tech_nm"],
+    )
+
+
+register(
+    "energy-estimate", EnergyEstimate, _encode_energy_estimate,
+    _decode_energy_estimate,
+)
+
+
+def _encode_design_point(point: DesignPoint) -> Dict[str, Any]:
+    payload = {
         "label": point.label,  # derived; kept for downstream tooling
         "tiles": point.tiles,
         "interconnect": point.interconnect,
@@ -609,6 +656,13 @@ def _encode_design_point(point: DesignPoint) -> Dict[str, Any]:
             else to_payload(point.candidate)
         ),
     }
+    # Power/energy keys are *omitted* (not null) when estimation was
+    # off, so budget-less runs stay byte-identical to historic payloads.
+    if point.power is not None:
+        payload["power"] = to_payload(point.power)
+    if point.energy is not None:
+        payload["energy"] = to_payload(point.energy)
+    return payload
 
 
 def _decode_design_point(payload: Dict[str, Any]) -> DesignPoint:
@@ -623,6 +677,8 @@ def _decode_design_point(payload: Dict[str, Any]) -> DesignPoint:
         effort=payload["effort"],
         strategy=from_payload(payload["strategy"]),
         candidate=_maybe(payload["candidate"]),
+        power=_maybe(payload.get("power")),
+        energy=_maybe(payload.get("energy")),
     )
 
 

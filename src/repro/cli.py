@@ -7,7 +7,9 @@ Commands mirror the tool invocations of the original flow:
   be bounded, e.g. carry buffer back-edges); ``--json`` additionally
   maps the graph onto a template platform and emits the mapping result
   (binding, per-channel capacities, guaranteed throughput) as JSON for
-  downstream tooling;
+  downstream tooling; ``--power-budget`` / ``--energy-budget`` /
+  ``--tech-node`` additionally report platform power and application
+  energy against the budgets (see docs/power.md);
 * ``demo [sequence] [--tiles N] [--interconnect fsl|noc]`` -- run the
   MJPEG case study end to end and print the Fig. 6-style numbers plus
   Table 1;
@@ -22,9 +24,12 @@ Commands mirror the tool invocations of the original flow:
   batch report;
 * ``explore [sequence] [--max-tiles N] [--jobs N] [--effort LEVEL]
   [--binding NAME] [--buffer-policy NAME] [--seed N] [--heterogeneous]
-  [--with-ca] [--early-exit] [--csv]`` -- explore the template design
-  space for the MJPEG decoder with the parallel, cached exploration
-  engine and print the Pareto report (``dse`` is the compatible alias);
+  [--with-ca] [--early-exit] [--csv] [--power-budget MW]
+  [--energy-budget NJ] [--tech-node NM]`` -- explore the template
+  design space for the MJPEG decoder with the parallel, cached
+  exploration engine and print the Pareto report; the power flags add
+  energy as a third Pareto objective and prune over-budget points
+  (``dse`` is the compatible alias);
 * ``serve --workspace DIR [--host H] [--port P] [--jobs N]
   [--max-queue N]`` -- run the flow service (:mod:`repro.service`): an
   HTTP JSON API that accepts FlowSpec submissions, coalesces identical
@@ -65,20 +70,19 @@ from repro.sdf import (
 from repro.sdf.io_sdf3 import load_graph
 
 
-def _mapping_payload(
+def _map_template(
     graph,
     tiles: int,
     interconnect: str,
     max_iterations: Optional[int] = None,
     engine: str = "auto",
-) -> dict:
-    """Map a bare graph onto a template platform, as JSON-able data.
+):
+    """Map a bare graph onto a template platform.
 
-    The payload is the canonical ``mapping-result`` artifact
-    (:mod:`repro.artifacts`) -- the same shape ``run --json`` embeds and
-    ``FlowSession`` persists.  (The pre-schema flat aliases the payload
-    once carried were deprecated for one release and are now gone; read
-    the enveloped document.)
+    Returns ``(app, arch, result)`` -- the synthesized application
+    model, the template architecture and the mapping result -- so
+    callers can both serialize the result and feed the triple to the
+    power/energy estimators.
 
     Graph files carry no implementation metrics, so each actor gets a
     synthesized single-PE implementation whose WCET is its execution
@@ -123,7 +127,41 @@ def _mapping_payload(
     result = map_application(
         app, arch, max_iterations=max_iterations, effort=effort
     )
-    return result.to_payload()
+    return app, arch, result
+
+
+def _parse_budget(value: Optional[str], flag: str) -> Optional[Fraction]:
+    """Parse a positive budget flag value as an exact fraction."""
+    if value is None:
+        return None
+    try:
+        budget = Fraction(value)
+    except (ValueError, ZeroDivisionError):
+        raise ReproError(
+            f"invalid {flag} {value!r}; expected a number like 250, "
+            "1.5 or 81/2"
+        ) from None
+    if budget <= 0:
+        raise ReproError(f"{flag} must be > 0, got {value}")
+    return budget
+
+
+def _power_model(args: argparse.Namespace):
+    """A :class:`~repro.power.PowerModel` when any power flag is set,
+    else ``None`` (estimation off; artifacts and cache keys unchanged).
+    """
+    from repro.power import BASE_TECH_NM, PowerModel
+
+    power_budget = _parse_budget(args.power_budget, "--power-budget")
+    energy_budget = _parse_budget(args.energy_budget, "--energy-budget")
+    if (
+        power_budget is None
+        and energy_budget is None
+        and args.tech_node is None
+    ):
+        return None, None, None
+    tech = args.tech_node if args.tech_node is not None else BASE_TECH_NM
+    return PowerModel(tech_nm=tech), power_budget, energy_budget
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -143,6 +181,27 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         if live else None
     )
 
+    model, power_budget, energy_budget = _power_model(args)
+    mapped = None
+    mapping_error: Optional[ReproError] = None
+    if result is not None and (args.json or model is not None):
+        try:
+            mapped = _map_template(
+                graph, args.tiles, args.interconnect,
+                max_iterations=args.max_iterations,
+                engine=args.engine,
+            )
+        except ReproError as error:
+            mapping_error = error
+
+    power = energy = None
+    if model is not None and mapped is not None:
+        from repro.power import application_energy, platform_power
+
+        app, arch, mapping_result = mapped
+        power = platform_power(arch, model)
+        energy = application_energy(app, mapping_result, arch, model)
+
     if args.json:
         payload = {
             "graph": {
@@ -160,14 +219,27 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 "period_cycles": result.period,
                 "engine_tier": result.tier,
             }
-            try:
-                payload["mapping"] = _mapping_payload(
-                    graph, args.tiles, args.interconnect,
-                    max_iterations=args.max_iterations,
-                    engine=args.engine,
+            payload["mapping"] = (
+                {"error": str(mapping_error)}
+                if mapped is None
+                else mapped[2].to_payload()
+            )
+        # power section only when power flags were given, so default
+        # invocations emit the exact document they always did
+        if power is not None and energy is not None:
+            section = {
+                "platform": power.to_payload(),
+                "application": energy.to_payload(),
+            }
+            if power_budget is not None:
+                section["within_power_budget"] = (
+                    power.within_budget(power_budget)
                 )
-            except ReproError as error:
-                payload["mapping"] = {"error": str(error)}
+            if energy_budget is not None:
+                section["within_energy_budget"] = (
+                    energy.within_budget(energy_budget)
+                )
+            payload["power"] = section
         print(json.dumps(payload, indent=2))
         return 0
 
@@ -183,6 +255,33 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             f"({result.per_mega_cycle():.4f} per Mcycle; period "
             f"{result.period} cycles)"
         )
+    if model is not None:
+        if mapped is None:
+            reason = (
+                str(mapping_error) if mapping_error is not None
+                else "graph is not analyzable"
+            )
+            print(f"power: unavailable ({reason})")
+        else:
+            print(f"power: {power.describe()}")
+            print(f"energy: {energy.describe()}")
+            if power_budget is not None:
+                verdict = (
+                    "yes" if power.within_budget(power_budget) else "NO"
+                )
+                print(
+                    f"within power budget "
+                    f"({float(power_budget):.1f} mW): {verdict}"
+                )
+            if energy_budget is not None:
+                verdict = (
+                    "yes" if energy.within_budget(energy_budget)
+                    else "NO"
+                )
+                print(
+                    f"within energy budget "
+                    f"({float(energy_budget):.2f} nJ/iter): {verdict}"
+                )
     return 0
 
 
@@ -316,6 +415,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         # Engine pin rides the effort name the same way (and therefore
         # lands in evaluation/cache keys; 'auto' keeps keys unchanged).
         effort = f"{effort}+eng{args.engine}"
+    power_model, power_budget, energy_budget = _power_model(args)
     app = _load_case_study(args.sequence)
     mixes = (UNIFORM_MIX, COMPACT_MIX) if args.heterogeneous \
         else (UNIFORM_MIX,)
@@ -334,6 +434,9 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         routing=args.routing,
         buffer_policy=args.buffer_policy,
         seed=args.seed,
+        power_budget=power_budget,
+        energy_budget=energy_budget,
+        power_model=power_model,
     )
     if args.csv:
         print(exploration_csv(result))
@@ -503,6 +606,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_power_arguments(
+    parser: argparse.ArgumentParser, verb: str
+) -> None:
+    """The shared power/energy flags of ``analyze`` and ``explore``.
+
+    Any of the three turns power estimation on; with all of them absent
+    the flow computes no estimates and cache keys, artifacts and output
+    stay byte-identical to a build without the power subsystem.
+    """
+    from repro.power import BASE_TECH_NM, TECH_NODES
+
+    parser.add_argument(
+        "--power-budget", metavar="MW", default=None,
+        help=f"{verb} peak platform power against this budget "
+             "in milliwatts (a number or fraction, e.g. 250 or 81/2); "
+             "turns power/energy estimation on",
+    )
+    parser.add_argument(
+        "--energy-budget", metavar="NJ", default=None,
+        help=f"{verb} application energy per graph iteration against "
+             "this budget in nanojoules; turns power/energy "
+             "estimation on",
+    )
+    parser.add_argument(
+        "--tech-node", type=int, choices=sorted(TECH_NODES),
+        default=None,
+        help="technology node of the power model in nm (default "
+             f"{BASE_TECH_NM}); turns power/energy estimation on",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     # deferred: the strategy registry pulls in the whole mapping stack,
     # which commands like `analyze` never need at startup
@@ -548,6 +682,7 @@ def build_parser() -> argparse.ArgumentParser:
              "to force it (forcing 'analytic' fails on graphs it cannot "
              "model)",
     )
+    _add_power_arguments(analyze, verb="report")
     analyze.set_defaults(handler=_cmd_analyze)
 
     demo = commands.add_parser(
@@ -871,6 +1006,7 @@ def build_parser() -> argparse.ArgumentParser:
             help="emit the canonical exploration-result artifact "
                  "payload (see docs/artifacts.md)",
         )
+        _add_power_arguments(explore, verb="prune design points by")
         explore.set_defaults(handler=_cmd_explore)
     return parser
 

@@ -41,6 +41,12 @@ class ThroughputConstraintError(MappingError):
     """Raised when no mapping meets the requested throughput constraint."""
 
 
+class PowerError(ReproError):
+    """Raised by the power/energy model (:mod:`repro.power`) for unknown
+    technology nodes, invalid calibration parameters, or estimates that
+    are undefined for the given result (e.g. zero-throughput mappings)."""
+
+
 class GenerationError(ReproError):
     """Raised when MAMPS platform generation fails."""
 

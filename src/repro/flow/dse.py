@@ -33,13 +33,22 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.appmodel.model import ApplicationModel
 from repro.arch.area import AreaEstimate, platform_area
 from repro.arch.platform import ArchitectureModel
 from repro.arch.template import architecture_from_template
-from repro.exceptions import MappingError, RoutingError
+from repro.exceptions import MappingError, PowerError, RoutingError
 from repro.flow.fingerprint import (
     application_fingerprint,
     architecture_fingerprint,
@@ -47,6 +56,13 @@ from repro.flow.fingerprint import (
 )
 from repro.mapping.flow import MappingEffort, map_application
 from repro.mapping.pipeline import DEFAULT_STRATEGIES, StrategyTuple
+from repro.power import (
+    EnergyEstimate,
+    PowerEstimate,
+    PowerModel,
+    application_energy,
+    platform_power,
+)
 
 
 # ----------------------------------------------------------------------
@@ -180,8 +196,67 @@ class DesignSpace:
 
 
 # ----------------------------------------------------------------------
-# evaluated points and the incremental Pareto front
+# evaluated points, objectives, and the incremental Pareto front
 # ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Objective:
+    """One axis of Pareto dominance.
+
+    ``extract`` pulls the objective's value from a
+    :class:`DesignPoint`; returning ``None`` marks the objective as
+    *inactive* for that point (e.g. energy on a sweep that never
+    enabled power estimation), and an objective inactive on either side
+    of a comparison is skipped rather than treated as zero.
+    """
+
+    name: str
+    maximize: bool
+    extract: Callable[["DesignPoint"], Optional[object]]
+
+
+def _throughput_of(point: "DesignPoint") -> Fraction:
+    return point.throughput
+
+
+def _slices_of(point: "DesignPoint") -> int:
+    return point.area.slices
+
+
+def _energy_of(point: "DesignPoint") -> Optional[Fraction]:
+    return None if point.energy is None else point.energy.total_pj
+
+
+#: The flow's objective set: the paper's (throughput, area) pair plus
+#: energy per iteration (active only when power estimation ran).
+OBJECTIVES: Tuple[Objective, ...] = (
+    Objective("throughput", True, _throughput_of),
+    Objective("slices", False, _slices_of),
+    Objective("energy", False, _energy_of),
+)
+
+
+def dominates(
+    point: "DesignPoint",
+    other: "DesignPoint",
+    objectives: Sequence[Objective] = OBJECTIVES,
+) -> bool:
+    """N-objective Pareto dominance: no worse on every active
+    objective, strictly better on at least one."""
+    better = False
+    for objective in objectives:
+        ours = objective.extract(point)
+        theirs = objective.extract(other)
+        if ours is None or theirs is None:
+            continue
+        if ours == theirs:
+            continue
+        if (ours > theirs) == objective.maximize:
+            better = True
+        else:
+            return False
+    return better
+
+
 @dataclass(frozen=True)
 class DesignPoint:
     """One evaluated configuration of the template."""
@@ -199,6 +274,12 @@ class DesignPoint:
     #: The candidate this point evaluated; lets a chosen point be promoted
     #: to the full flow (``DesignFlow.from_design_point``).
     candidate: Optional[CandidatePoint] = None
+    #: Peak platform power; ``None`` unless power estimation was enabled
+    #: (a budget or explicit model), keeping historic artifacts intact.
+    power: Optional[PowerEstimate] = None
+    #: Energy per graph iteration under this point's mapping; ``None``
+    #: unless power estimation was enabled.
+    energy: Optional[EnergyEstimate] = None
 
     @property
     def label(self) -> str:
@@ -222,17 +303,16 @@ class DesignPoint:
         return from_payload(payload)
 
     def dominates(self, other: "DesignPoint") -> bool:
-        """Pareto dominance: no worse in both objectives, better in one.
-        Throughput is maximized, slice count minimized."""
-        no_worse = (
-            self.throughput >= other.throughput
-            and self.area.slices <= other.area.slices
-        )
-        better = (
-            self.throughput > other.throughput
-            or self.area.slices < other.area.slices
-        )
-        return no_worse and better
+        """Pareto dominance over :data:`OBJECTIVES`: throughput is
+        maximized, slice count and energy (when present) minimized."""
+        return dominates(self, other)
+
+
+def _front_sort_key(point: DesignPoint) -> Tuple[int, int, Fraction]:
+    """Deterministic report ordering: cheapest first, ties broken on
+    BRAMs then descending throughput, so equal-area points never
+    shuffle between runs."""
+    return (point.area.slices, point.area.brams, -point.throughput)
 
 
 class ParetoFront:
@@ -241,26 +321,36 @@ class ParetoFront:
     Each :meth:`add` drops the newcomer if any member dominates it and
     evicts members the newcomer dominates -- O(front size) per insert
     instead of the O(n^2) post-hoc filter over every evaluated point.
+    Dominance runs over ``objectives`` (default :data:`OBJECTIVES`).
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self, objectives: Sequence[Objective] = OBJECTIVES
+    ) -> None:
         self._members: List[DesignPoint] = []
+        self._objectives = tuple(objectives)
 
     def add(self, point: DesignPoint) -> bool:
         """Insert ``point``; returns True when it (already) is a member."""
         if point in self._members:
             return True
-        if any(member.dominates(point) for member in self._members):
+        if any(
+            dominates(member, point, self._objectives)
+            for member in self._members
+        ):
             return False
         self._members = [
-            member for member in self._members if not point.dominates(member)
+            member
+            for member in self._members
+            if not dominates(point, member, self._objectives)
         ]
         self._members.append(point)
         return True
 
     def points(self) -> List[DesignPoint]:
-        """Front members sorted by area (cheapest first)."""
-        return sorted(self._members, key=lambda p: p.area.slices)
+        """Front members sorted by area (cheapest first; ties broken on
+        BRAMs, then descending throughput)."""
+        return sorted(self._members, key=_front_sort_key)
 
     def __len__(self) -> int:
         return len(self._members)
@@ -320,6 +410,8 @@ class EvaluationOutcome:
                 effort=candidate.effort,
                 strategy=candidate.strategy,
                 candidate=candidate,
+                power=self.point.power,
+                energy=self.point.energy,
             ),
         )
 
@@ -389,6 +481,9 @@ class Evaluator:
         constraint: Optional[Fraction] = None,
         fixed: Optional[Dict[str, str]] = None,
         cache: Optional[EvaluationCache] = None,
+        power_budget: Optional[Fraction] = None,
+        energy_budget: Optional[Fraction] = None,
+        power_model: Optional[PowerModel] = None,
     ) -> None:
         self.app = app
         self.constraint = (
@@ -397,9 +492,29 @@ class Evaluator:
         )
         self.fixed = dict(fixed) if fixed else None
         self.cache = cache if cache is not None else EvaluationCache()
+        self.power_budget = power_budget
+        self.energy_budget = energy_budget
+        if power_model is None and (
+            power_budget is not None or energy_budget is not None
+        ):
+            power_model = PowerModel()
+        #: ``None`` keeps power estimation off entirely -- evaluation
+        #: keys and artifacts stay byte-identical to budget-less runs.
+        self.power_model = power_model
         self._app_fingerprint = application_fingerprint(app)
         self.evaluations = 0  # cache misses that ran the full analysis
         self._count_lock = threading.Lock()
+
+    def _budget_token(self) -> Optional[str]:
+        """Cache-key part for the power configuration; ``None`` (and
+        therefore absent from the key) when estimation is off."""
+        if self.power_model is None:
+            return None
+        return (
+            f"{self.power_model.cache_token()}"
+            f",power={self.power_budget}"
+            f",energy={self.energy_budget}"
+        )
 
     def evaluate(self, candidate: CandidatePoint) -> EvaluationOutcome:
         """Analyze one candidate, consulting the cache first."""
@@ -413,6 +528,7 @@ class Evaluator:
             f"{effort.name}:{effort.max_buffer_rounds}"
             f":{effort.max_iterations}",
             strategy=candidate.strategy.cache_token(),
+            budgets=self._budget_token(),
         )
         cached = self.cache.get(key)
         if cached is not None:
@@ -434,23 +550,59 @@ class Evaluator:
                 label=candidate.label, reason=str(error)
             )
         else:
-            outcome = EvaluationOutcome(
-                label=candidate.label,
-                point=DesignPoint(
-                    tiles=candidate.tiles,
-                    interconnect=candidate.interconnect,
-                    with_ca=candidate.with_ca,
-                    throughput=result.guaranteed_throughput,
-                    area=platform_area(arch),
-                    constraint_met=result.constraint_met,
-                    mix=candidate.mix.name,
-                    effort=candidate.effort,
-                    strategy=candidate.strategy,
-                    candidate=candidate,
-                ),
-            )
+            outcome = self._score(candidate, arch, result)
         self.cache.put(key, outcome)
         return outcome
+
+    def _score(self, candidate, arch, result) -> EvaluationOutcome:
+        """Fold a successful mapping into an outcome, estimating power
+        and enforcing budgets when the model is on."""
+        power = energy = None
+        if self.power_model is not None:
+            power = platform_power(arch, self.power_model)
+            try:
+                energy = application_energy(
+                    self.app, result, arch, self.power_model
+                )
+            except PowerError as error:
+                return EvaluationOutcome(
+                    label=candidate.label, reason=str(error)
+                )
+            if not power.within_budget(self.power_budget):
+                return EvaluationOutcome(
+                    label=candidate.label,
+                    reason=(
+                        f"over power budget: "
+                        f"{float(power.total_mw):.1f} mW > "
+                        f"{float(self.power_budget):.1f} mW"
+                    ),
+                )
+            if not energy.within_budget(self.energy_budget):
+                return EvaluationOutcome(
+                    label=candidate.label,
+                    reason=(
+                        f"over energy budget: "
+                        f"{float(energy.total_nj):.2f} nJ/iter > "
+                        f"{float(self.energy_budget):.2f} nJ/iter"
+                    ),
+                )
+        return EvaluationOutcome(
+            label=candidate.label,
+            point=DesignPoint(
+                tiles=candidate.tiles,
+                interconnect=candidate.interconnect,
+                with_ca=candidate.with_ca,
+                throughput=result.guaranteed_throughput,
+                area=platform_area(arch),
+                constraint_met=result.constraint_met,
+                mix=candidate.mix.name,
+                effort=candidate.effort,
+                strategy=candidate.strategy,
+                candidate=candidate,
+                power=power,
+                energy=energy,
+            ),
+        )
 
 
 class UseCaseEvaluator:
@@ -482,6 +634,9 @@ class UseCaseEvaluator:
         constraints: Optional[Dict[str, Optional[Fraction]]] = None,
         fixed: Optional[Dict[str, Dict[str, str]]] = None,
         cache: Optional[EvaluationCache] = None,
+        power_budget: Optional[Fraction] = None,
+        energy_budget: Optional[Fraction] = None,
+        power_model: Optional[PowerModel] = None,
     ) -> None:
         if not apps:
             raise ValueError("UseCaseEvaluator needs at least one app")
@@ -498,6 +653,9 @@ class UseCaseEvaluator:
                 constraint=(constraints or {}).get(app.name),
                 fixed=(fixed or {}).get(app.name),
                 cache=self.cache,
+                power_budget=power_budget,
+                energy_budget=energy_budget,
+                power_model=power_model,
             )
             for app in apps
         ]
@@ -524,6 +682,13 @@ class UseCaseEvaluator:
                 )
             points.append(outcome.point)
         bottleneck = min(points, key=lambda p: p.throughput)
+        # the platform (and its peak power) is shared; energy reports
+        # the worst per-application iteration cost, deterministically
+        energy = None
+        if all(p.energy is not None for p in points):
+            energy = max(
+                (p.energy for p in points), key=lambda e: e.total_pj
+            )
         return EvaluationOutcome(
             label=candidate.label,
             point=DesignPoint(
@@ -537,6 +702,8 @@ class UseCaseEvaluator:
                 effort=candidate.effort,
                 strategy=candidate.strategy,
                 candidate=candidate,
+                power=bottleneck.power,
+                energy=energy,
             ),
         )
 
@@ -578,33 +745,46 @@ class ExplorationResult:
             p for p in self.points
             if not any(q.dominates(p) for q in self.points)
         ]
-        return sorted(frontier, key=lambda p: p.area.slices)
+        return sorted(frontier, key=_front_sort_key)
 
     def best_meeting_constraint(self) -> Optional[DesignPoint]:
         """Smallest design point that meets the throughput constraint."""
         feasible = [p for p in self.points if p.constraint_met]
         if not feasible:
             return None
-        return min(feasible, key=lambda p: (p.area.slices, -p.throughput))
+        return min(feasible, key=_front_sort_key)
 
     def as_table(self) -> str:
         width = max([len(p.label) for p in self.points] + [12])
+        # the energy column appears only when estimation ran, keeping
+        # budget-less renders identical to historic output
+        with_energy = any(p.energy is not None for p in self.points)
         header = (
             f"{'point':<{width}} {'throughput/Mcycle':>18} {'slices':>8} "
             f"{'BRAMs':>6} {'meets':>6} {'pareto':>7}"
         )
+        if with_energy:
+            header += f" {'nJ/iter':>10}"
         frontier = set(p.label for p in self.pareto_frontier())
         lines = [header, "-" * len(header)]
         for p in sorted(
             self.points,
             key=lambda p: (p.tiles, p.interconnect, p.with_ca, p.mix),
         ):
-            lines.append(
+            line = (
                 f"{p.label:<{width}} {float(p.throughput * 1e6):>18.4f} "
                 f"{p.area.slices:>8} {p.area.brams:>6} "
                 f"{'yes' if p.constraint_met else 'no':>6} "
                 f"{'*' if p.label in frontier else '':>7}"
             )
+            if with_energy:
+                energy = (
+                    f"{float(p.energy.total_nj):.2f}"
+                    if p.energy is not None
+                    else "-"
+                )
+                line += f" {energy:>10}"
+            lines.append(line)
         for label, reason in self.failures:
             lines.append(f"{label:<{width}} infeasible: {reason}")
         if self.skipped:
@@ -813,6 +993,9 @@ def explore_design_space(
     buffer_policy: str = "linear",
     scheduling: str = "static-order",
     seed: Optional[int] = None,
+    power_budget: Optional[Fraction] = None,
+    energy_budget: Optional[Fraction] = None,
+    power_model: Optional[PowerModel] = None,
 ) -> ExplorationResult:
     """Evaluate every template configuration in the sweep.
 
@@ -835,6 +1018,15 @@ def explore_design_space(
     ``throughput_constraint`` is used where it is ``None``) and
     ``fixed`` pins actors *per application name*
     (``{app_name: {actor: tile}}``).
+
+    Power estimation (and the energy objective) turns on when a
+    ``power_budget`` (mW), ``energy_budget`` (nJ per iteration) or
+    explicit ``power_model`` is supplied: every feasible point then
+    carries :class:`~repro.power.PowerEstimate` /
+    :class:`~repro.power.EnergyEstimate` values, over-budget points are
+    recorded as failures, and the power configuration joins the cache
+    keys.  Left at the defaults, keys, artifacts and reports are
+    byte-identical to a pre-power run.
     """
     effort_name = MappingEffort.of(effort).name
     if strategy is None:
@@ -856,7 +1048,13 @@ def explore_design_space(
     )
     if isinstance(app, ApplicationModel):
         evaluator: Union[Evaluator, UseCaseEvaluator] = Evaluator(
-            app, constraint=constraint, fixed=fixed, cache=cache
+            app,
+            constraint=constraint,
+            fixed=fixed,
+            cache=cache,
+            power_budget=power_budget,
+            energy_budget=energy_budget,
+            power_model=power_model,
         )
     else:
         apps = list(app)
@@ -869,6 +1067,9 @@ def explore_design_space(
             ),
             fixed=fixed,
             cache=cache,
+            power_budget=power_budget,
+            energy_budget=energy_budget,
+            power_model=power_model,
         )
     explorer = ParallelExplorer(evaluator, jobs=jobs)
     return explorer.explore(space, early_exit=early_exit)

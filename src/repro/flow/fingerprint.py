@@ -188,6 +188,7 @@ def evaluation_key(
     fixed: Optional[Dict[str, str]],
     effort: str,
     strategy: Optional[str] = None,
+    budgets: Optional[str] = None,
 ) -> str:
     """The content address of one design-point evaluation: application +
     architecture + every knob that steers ``map_application``.
@@ -197,16 +198,23 @@ def evaluation_key(
     evaluations of the same platform under different stage strategies
     must never share an entry.  ``None`` (legacy callers) hashes as a
     distinct marker rather than colliding with any real tuple.
+
+    ``budgets`` is the power configuration (technology node, clock,
+    power/energy budgets) when power estimation is on.  It joins the
+    digest *only when present*, so budget-less evaluations keep the
+    exact keys they had before the power subsystem existed -- warm
+    caches and persisted workspaces stay valid.
     """
     pins = ",".join(f"{a}={t}" for a, t in sorted((fixed or {}).items()))
-    return _digest(
-        [
-            "eval",
-            app_fingerprint,
-            arch_fingerprint,
-            str(constraint),
-            pins,
-            effort,
-            strategy if strategy is not None else "-",
-        ]
-    )
+    parts = [
+        "eval",
+        app_fingerprint,
+        arch_fingerprint,
+        str(constraint),
+        pins,
+        effort,
+        strategy if strategy is not None else "-",
+    ]
+    if budgets is not None:
+        parts.append(f"budgets:{budgets}")
+    return _digest(parts)

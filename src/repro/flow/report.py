@@ -125,11 +125,16 @@ def format_exploration_report(result: "ExplorationResult") -> str:
         "evaluated points):"
     )
     for point in frontier:
-        lines.append(
+        line = (
             f"  {point.label}: "
             f"{float(point.throughput * 1e6):.4f}/Mcycle, "
             f"{point.area.slices} slices"
         )
+        if point.energy is not None:
+            line += f", {float(point.energy.total_nj):.2f} nJ/iter"
+        if point.power is not None:
+            line += f", {float(point.power.total_mw):.1f} mW peak"
+        lines.append(line)
     best = result.best_meeting_constraint()
     if best is not None:
         lines.append(f"recommended (smallest feasible): {best.label}")
@@ -164,13 +169,19 @@ def exploration_csv(result: "ExplorationResult") -> str:
     frontier = {p.label for p in result.pareto_frontier()}
     rows = [
         "label,tiles,interconnect,with_ca,mix,effort,"
-        "throughput_per_mcycle,slices,brams,constraint_met,pareto,strategy"
+        "throughput_per_mcycle,slices,brams,constraint_met,pareto,"
+        "power_mw,energy_nj_per_iter,strategy"
     ]
     for p in result.points:
+        power = "" if p.power is None else f"{float(p.power.total_mw):.3f}"
+        energy = (
+            "" if p.energy is None else f"{float(p.energy.total_nj):.3f}"
+        )
         rows.append(
             f"{p.label},{p.tiles},{p.interconnect},{int(p.with_ca)},"
             f"{p.mix},{p.effort},{float(p.throughput * 1e6):.6f},"
             f"{p.area.slices},{p.area.brams},{int(p.constraint_met)},"
-            f"{int(p.label in frontier)},{p.strategy.short()}"
+            f"{int(p.label in frontier)},{power},{energy},"
+            f"{p.strategy.short()}"
         )
     return "\n".join(rows)

@@ -64,6 +64,7 @@ from repro.flow.spec import FlowSpec, load_flow_spec
 from repro.flow.usecases import UseCaseMapping
 from repro.mapping.spec import MappingResult
 from repro.runtime.manager import PlatformManager
+from repro.power import power_counters
 from repro.sdf.engine import engine_counters
 
 #: Artifact kind of the served response documents.
@@ -375,7 +376,10 @@ class FlowScheduler:
         ``engine`` exposes the process-wide throughput-engine tier
         counters (:func:`repro.sdf.engine.engine_counters`): how many
         analyses the analytic / vectorized / reference tiers served
-        since the process started.
+        since the process started.  ``power`` exposes the power-model
+        counters (:func:`repro.power.power_counters`): how many platform
+        power / application energy estimates were computed (zero unless
+        a client opted into budgets; see docs/power.md).
         """
         platform = self._platform
         return {
@@ -388,6 +392,7 @@ class FlowScheduler:
             "jobs_tracked": len(self._jobs),
             "counters": self.counters.snapshot(),
             "engine": engine_counters().snapshot(),
+            "power": power_counters().snapshot(),
             "platform": (
                 platform.occupancy()
                 if platform is not None

@@ -89,3 +89,70 @@ def test_platform_area_totals():
 def test_area_addition():
     a = AreaEstimate(10, 1) + AreaEstimate(5, 2)
     assert a.slices == 15 and a.brams == 3
+
+
+def test_memory_brams_zero_capacity():
+    assert memory_brams(0) == 0
+
+
+def test_heterogeneous_mix_saves_brams_not_slices():
+    """The compact mix (half-size slave memories) trims BRAMs only:
+    logic area is memory-independent in this model."""
+    uniform = architecture_from_template(3, "fsl")
+    compact = architecture_from_template(
+        3, "fsl", slave_instruction_kb=64, slave_data_kb=64
+    )
+    assert platform_area(compact).brams < platform_area(uniform).brams
+    assert platform_area(compact).slices == platform_area(uniform).slices
+    # the master keeps its full-size memories in the compact mix
+    assert (
+        tile_area(compact.tiles[0]).brams
+        == tile_area(uniform.tiles[0]).brams
+    )
+
+
+def test_ca_platform_delta_is_per_tile():
+    plain = architecture_from_template(4, "fsl")
+    with_ca = architecture_from_template(4, "fsl", with_ca=True)
+    delta = platform_area(with_ca).slices - platform_area(plain).slices
+    assert delta == 4 * CA_SLICES
+    assert platform_area(with_ca).brams == platform_area(plain).brams
+
+
+def test_ca_tile_brams_unchanged():
+    plain = tile_area(slave_tile("s"))
+    with_ca = tile_area(slave_tile("s", with_ca=True))
+    assert with_ca.brams == plain.brams
+
+
+def test_ip_tile_area_counts_its_small_memories():
+    area = tile_area(ip_tile("hw"))
+    # 1 kB instruction + 1 kB data each round up to one BRAM
+    assert area.brams == 2
+    assert area.slices == tile_area(ip_tile("hw2")).slices
+
+
+def test_zero_tile_architecture_rejected():
+    from repro.arch.platform import ArchitectureModel
+    from repro.exceptions import ArchitectureError
+
+    arch = ArchitectureModel("empty")
+    assert platform_area(arch).slices == 0  # the model itself is total
+    with pytest.raises(ArchitectureError, match="has no tiles"):
+        arch.validate()
+
+
+def test_multi_tile_architecture_needs_interconnect():
+    from repro.arch.platform import ArchitectureModel
+    from repro.exceptions import ArchitectureError
+
+    arch = ArchitectureModel(
+        "island", tiles=[master_tile("m"), slave_tile("s")]
+    )
+    with pytest.raises(ArchitectureError, match="no interconnect"):
+        arch.validate()
+
+
+def test_unallocated_fsl_interconnect_has_no_area():
+    arch = architecture_from_template(3, "fsl")
+    assert interconnect_area(arch.interconnect) == AreaEstimate(0, 0)

@@ -1,6 +1,6 @@
 """Property-based fuzzing of the whole flow over generated scenarios.
 
-Every seeded scenario must uphold three end-to-end properties:
+Every seeded scenario must uphold four end-to-end properties:
 
 1. **validity** -- the generated graph passes repetition-vector and
    deadlock validation (or generation fails with the typed
@@ -10,7 +10,10 @@ Every seeded scenario must uphold three end-to-end properties:
    ``Fraction`` throughput of the buffered graph;
 3. **artifact round-trip** -- the mapping result re-encodes
    byte-identically after a decode/encode cycle, so persisted
-   workspaces mean what they say.
+   workspaces mean what they say;
+4. **energy determinism** -- the mapped application's energy estimate
+   (:mod:`repro.power`) is finite, positive, and byte-identical across
+   repeated evaluations and artifact round-trips.
 
 The sweep size scales with the ``FUZZ_SCENARIOS`` environment variable:
 a small always-on sweep keeps the tier-1 suite fast, and CI's
@@ -103,6 +106,36 @@ class TestSweep:
         encoded = canonical_json(payload)
         clone = from_payload(payload)
         assert canonical_json(to_payload(clone)) == encoded
+
+    def test_energy_estimate_is_positive_and_deterministic(self, spec):
+        from repro.power import application_energy
+
+        flow_spec = scenario_flow_spec(spec)
+        app = flow_spec.build_application()
+        arch = flow_spec.build_architecture()
+        result = map_application(
+            app, arch, pipeline=flow_spec.strategies.build_pipeline()
+        )
+        energy = application_energy(app, result, arch)
+        # finite and positive: every mapped scenario burns compute and
+        # leaks static power over its period
+        assert energy.total_pj > 0
+        assert energy.compute_pj > 0
+        assert energy.static_pj > 0
+        assert energy.communication_pj >= 0
+        # byte-identical across repeated evaluations ...
+        again = application_energy(app, result, arch)
+        assert again == energy
+        assert canonical_json(to_payload(again)) == canonical_json(
+            to_payload(energy)
+        )
+        # ... and across an artifact round-trip
+        payload = to_payload(energy)
+        clone = from_payload(payload)
+        assert canonical_json(to_payload(clone)) == canonical_json(
+            payload
+        )
+        assert clone == energy
 
 
 class TestEndToEnd:

@@ -590,3 +590,69 @@ class TestRunFlagCompatibility:
                      "--workspace", str(blocker)]) == 1
         assert "cannot create artifact workspace" in \
             capsys.readouterr().err
+
+
+class TestPowerFlags:
+    def test_analyze_reports_power_and_energy(self, graph_file, capsys):
+        assert main(
+            ["analyze", graph_file, "--power-budget", "400",
+             "--energy-budget", "50", "--tech-node", "22"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "power:" in out and "22 nm" in out
+        assert "energy:" in out and "nJ/iteration" in out
+        assert "within power budget (400.0 mW):" in out
+        assert "within energy budget (50.00 nJ/iter):" in out
+
+    def test_analyze_without_flags_has_no_power_lines(self, graph_file,
+                                                      capsys):
+        assert main(["analyze", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "power" not in out and "energy" not in out
+
+    def test_analyze_json_power_section_is_opt_in(self, graph_file,
+                                                  capsys):
+        assert main(["analyze", graph_file, "--json"]) == 0
+        assert "power" not in json.loads(capsys.readouterr().out)
+        assert main(
+            ["analyze", graph_file, "--json", "--tech-node", "45",
+             "--power-budget", "1000"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        section = payload["power"]
+        assert section["platform"]["kind"] == "power-estimate"
+        assert section["application"]["kind"] == "energy-estimate"
+        assert section["within_power_budget"] is True
+        assert "within_energy_budget" not in section  # not requested
+
+    def test_invalid_budget_rejected(self, graph_file, capsys):
+        assert main(
+            ["analyze", graph_file, "--power-budget", "lots"]
+        ) == 1
+        assert "--power-budget" in capsys.readouterr().err
+        assert main(
+            ["analyze", graph_file, "--energy-budget", "-5"]
+        ) == 1
+        assert "--energy-budget" in capsys.readouterr().err
+
+    def test_unknown_tech_node_rejected(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", graph_file, "--tech-node", "7"])
+
+    def test_explore_power_budget_prunes(self, capsys):
+        assert main(
+            ["explore", "gradient", "--max-tiles", "3",
+             "--effort", "low", "--power-budget", "300"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "over power budget" in out
+        assert "nJ/iter" in out
+
+    def test_explore_energy_binding_is_selectable(self, capsys):
+        assert main(
+            ["explore", "gradient", "--max-tiles", "2",
+             "--effort", "low", "--binding", "energy",
+             "--tech-node", "32"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "nJ/iter" in out
