@@ -1,0 +1,147 @@
+"""Benchmark: thread vs process backend on a CPU-bound scenario batch.
+
+Pure-Python flow sessions contend on the GIL, so ``--jobs 4`` threads
+interleave one core while ``--backend process`` owns four.  This bench
+maps the same seeded scenario batch on both backends at ``jobs=4``,
+gates the process speedup (where the host has the cores to show it),
+and hard-fails unless the two backends wrote **byte-identical**
+``artifacts/`` trees -- the guarantee that makes the backend a pure
+deployment choice.
+
+Emits ``benchmarks/results/BENCH_service_scaling.json`` (wired into
+CI's bench-smoke job, where ``BENCH_SERVICE_MIN_SPEEDUP=1.5`` pins the
+gate) and a human-readable table next to it.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import RESULTS_DIR, write_results
+from repro.flow import run_batch
+from repro.scenarios import generate_scenarios, scenario_flow_spec
+
+#: Scenarios in the batch; heavier graphs make the per-session compute
+#: dominate the process-dispatch overhead.
+SCENARIOS = 8
+ACTORS = 18
+JOBS = 4
+
+
+def _min_speedup() -> float:
+    """The process-over-thread throughput gate.
+
+    ``BENCH_SERVICE_MIN_SPEEDUP`` pins it (CI sets 1.5 on its 4-vCPU
+    runners).  Without the pin the gate adapts to the host: a
+    single-core box *cannot* show a speedup (process dispatch only
+    adds overhead there), so the bench reports instead of failing.
+    """
+    pinned = os.environ.get("BENCH_SERVICE_MIN_SPEEDUP")
+    if pinned:
+        return float(pinned)
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        return 1.5
+    if cores >= 2:
+        return 1.1
+    return 0.0
+
+
+def _artifact_tree(workspace: Path):
+    root = workspace / "artifacts"
+    return {
+        str(path.relative_to(root)): path.read_bytes()
+        for path in sorted(root.rglob("*.json"))
+    }
+
+
+def test_process_backend_scales_cpu_bound_batches(benchmark, tmp_path):
+    specs = [
+        scenario_flow_spec(s)
+        for s in generate_scenarios(
+            "mixed", SCENARIOS, seed=29, actors=ACTORS
+        )
+    ]
+    records = {}
+
+    def run_all():
+        start = time.perf_counter()
+        thread_report = run_batch(
+            specs, tmp_path / "thread-ws", jobs=JOBS
+        )
+        thread_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        process_report = run_batch(
+            specs, tmp_path / "process-ws", jobs=JOBS,
+            backend="process",
+        )
+        process_s = time.perf_counter() - start
+
+        assert thread_report.ok and process_report.ok
+        records.update(
+            {
+                "scenarios": SCENARIOS,
+                "actors": ACTORS,
+                "jobs": JOBS,
+                "cores": os.cpu_count() or 1,
+                "thread_s": thread_s,
+                "process_s": process_s,
+                "speedup": thread_s / process_s,
+                "thread_scenarios_per_s": SCENARIOS / thread_s,
+                "process_scenarios_per_s": SCENARIOS / process_s,
+            }
+        )
+        return records
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # the hard invariant: identical bytes, whatever the backend
+    thread_tree = _artifact_tree(tmp_path / "thread-ws")
+    assert thread_tree, "thread batch wrote no artifacts"
+    assert _artifact_tree(tmp_path / "process-ws") == thread_tree, (
+        "process backend artifacts differ from thread backend"
+    )
+    records["byte_identical_artifacts"] = True
+    records["artifact_files"] = len(thread_tree)
+
+    table = "\n".join(
+        [
+            f"{'metric':<28} {'value':>14}",
+            "-" * 43,
+            f"{'scenarios x actors':<28} "
+            f"{SCENARIOS:>11} x {ACTORS}",
+            f"{'jobs / cores':<28} "
+            f"{JOBS:>11} / {records['cores']}",
+            f"{'thread batch [s]':<28} {records['thread_s']:>14.3f}",
+            f"{'process batch [s]':<28} {records['process_s']:>14.3f}",
+            f"{'process speedup':<28} {records['speedup']:>13.2f}x",
+            f"{'artifact files (identical)':<28} "
+            f"{records['artifact_files']:>14}",
+        ]
+    )
+    write_results("service_scaling.txt", table)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_service_scaling.json").write_text(
+        json.dumps(
+            {
+                "bench": "execution backends: thread vs process "
+                         f"run_batch of {SCENARIOS} CPU-bound "
+                         f"scenarios at jobs={JOBS}",
+                "unit": "seconds",
+                "results": records,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    floor = _min_speedup()
+    if floor > 0:
+        assert records["speedup"] >= floor, (
+            f"process speedup {records['speedup']:.2f}x below the "
+            f"{floor:.2f}x gate on {records['cores']} core(s)"
+        )

@@ -13,15 +13,18 @@ Commands mirror the tool invocations of the original flow:
 * ``demo [sequence] [--tiles N] [--interconnect fsl|noc]`` -- run the
   MJPEG case study end to end and print the Fig. 6-style numbers plus
   Table 1;
-* ``run --spec scenario.toml [--workspace DIR] [--json]`` -- execute a
-  declarative FlowSpec scenario (see :mod:`repro.flow.spec`) through the
-  full flow; with ``--workspace`` it runs as a resumable
-  :class:`~repro.flow.session.FlowSession` (required for
-  multi-application specs);
-* ``batch <spec>... --workspace DIR [--jobs N] [--table]`` -- run many
-  scenarios against one shared artifact workspace, resuming every stage
-  whose input fingerprints are unchanged, and emit a machine-readable
-  batch report;
+* ``run --spec scenario.toml [--workspace DIR] [--backend B] [--json]``
+  -- execute a declarative FlowSpec scenario (see
+  :mod:`repro.flow.spec`) through the full flow; with ``--workspace``
+  it runs as a resumable :class:`~repro.flow.session.FlowSession`
+  (required for multi-application specs and for
+  ``--backend process``, which computes on a worker process);
+* ``batch <spec>... --workspace DIR [--jobs N] [--backend B]
+  [--table]`` -- run many scenarios against one shared artifact
+  workspace, resuming every stage whose input fingerprints are
+  unchanged, and emit a machine-readable batch report; ``--backend
+  process`` fans sessions out across worker processes with
+  byte-identical artifacts;
 * ``explore [sequence] [--max-tiles N] [--jobs N] [--effort LEVEL]
   [--binding NAME] [--buffer-policy NAME] [--seed N] [--heterogeneous]
   [--with-ca] [--early-exit] [--csv] [--power-budget MW]
@@ -31,10 +34,19 @@ Commands mirror the tool invocations of the original flow:
   energy as a third Pareto objective and prune over-budget points
   (``dse`` is the compatible alias);
 * ``serve --workspace DIR [--host H] [--port P] [--jobs N]
-  [--max-queue N]`` -- run the flow service (:mod:`repro.service`): an
-  HTTP JSON API that accepts FlowSpec submissions, coalesces identical
-  in-flight requests, and serves repeated requests straight from the
-  workspace artifacts with zero re-analysis (see docs/service.md);
+  [--max-queue N] [--backend B] [--replica NAME]`` -- run the flow
+  service (:mod:`repro.service`): an HTTP JSON API that accepts
+  FlowSpec submissions, coalesces identical in-flight requests, and
+  serves repeated requests straight from the workspace artifacts with
+  zero re-analysis; ``--backend process`` computes flows on worker
+  processes, and replicas sharing one workspace scale across cores
+  (see docs/service.md);
+* ``loadtest [--url URL]... [--requests N] [--rps R] [--seed N]
+  [--p99-budget-ms MS] [--min-coalesced N] [--out FILE]`` -- fire a
+  seeded open-loop traffic plan (:mod:`repro.loadgen`) at one or more
+  running services, print sustained RPS / p50-p99 latency / reuse
+  counters, optionally write ``BENCH_service.json``, and exit non-zero
+  when a gate flag is missed (the CI load-smoke verdict);
 * ``scenarios generate --seed N [--family F] [--count N] --out DIR`` --
   write a deterministic corpus of synthetic-workload FlowSpec TOML
   files (:mod:`repro.scenarios`); the same seed always produces
@@ -306,8 +318,20 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.flow import DesignFlow, execute_spec, load_flow_spec
+    from repro.flow import (
+        DesignFlow,
+        execute_spec,
+        execute_spec_on,
+        load_flow_spec,
+    )
 
+    if args.jobs < 1:
+        raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
+    if args.backend == "process" and not args.workspace:
+        raise ReproError(
+            "--backend process runs the analysis-side session on a "
+            "worker process; pass --workspace DIR"
+        )
     spec = load_flow_spec(args.spec)
     if args.workspace or spec.multi:
         # the resumable session path (required for multi-app specs)
@@ -329,7 +353,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "analysis-side session path does not run; drop "
                 "--workspace to measure"
             )
-        result = execute_spec(spec, args.workspace)
+        if args.backend == "process":
+            from repro.flow import create_backend
+
+            engine = create_backend("process", args.jobs)
+            try:
+                result = execute_spec_on(
+                    spec, args.workspace, backend=engine
+                )
+            finally:
+                engine.close()
+        else:
+            result = execute_spec(spec, args.workspace)
         if args.json:
             from repro.artifacts import canonical_json, to_payload
 
@@ -369,7 +404,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     if args.jobs < 1:
         raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
-    report = run_batch(args.specs, args.workspace, jobs=args.jobs)
+    report = run_batch(
+        args.specs, args.workspace, jobs=args.jobs, backend=args.backend
+    )
     if args.table:
         print(report.as_table())
     else:
@@ -429,6 +466,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         mixes=mixes,
         effort=effort,
         jobs=args.jobs,
+        backend=args.backend,
         early_exit=args.early_exit,
         binding=args.binding,
         routing=args.routing,
@@ -579,7 +617,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.max_queue < 1:
         raise ReproError(f"--max-queue must be >= 1, got {args.max_queue}")
     scheduler = FlowScheduler(
-        args.workspace, jobs=args.jobs, max_queue=args.max_queue
+        args.workspace,
+        jobs=args.jobs,
+        max_queue=args.max_queue,
+        backend=args.backend,
+        replica=args.replica or None,
     )
     try:
         server = FlowServiceServer(
@@ -592,7 +634,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ) from None
     print(
         f"flow service on {server.url} "
-        f"(workspace {scheduler.workspace}, {args.jobs} worker(s), "
+        f"(workspace {scheduler.workspace}, replica "
+        f"{scheduler.replica}, {args.jobs} {args.backend} worker(s), "
         f"queue bound {args.max_queue})",
         flush=True,
     )
@@ -601,9 +644,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         pass
     finally:
+        # close() also terminates process-backend workers promptly, so
+        # Ctrl-C leaves no orphaned children behind
         server.server_close()
         scheduler.close()
     return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.loadgen import (
+        LoadTestConfig,
+        LoadTestGates,
+        run_load_test,
+        write_bench_report,
+    )
+
+    config = LoadTestConfig(
+        urls=tuple(args.url or ("http://127.0.0.1:8787",)),
+        family=args.family,
+        unique=args.unique,
+        requests=args.requests,
+        rps=args.rps,
+        seed=args.seed,
+        actors=args.actors,
+        timeout=args.timeout,
+    )
+    report = run_load_test(config)
+    if args.json:
+        from repro.artifacts import canonical_json
+
+        print(canonical_json(report.to_payload()))
+    else:
+        print(report.summary())
+    if args.out:
+        path = write_bench_report(report, args.out)
+        print(f"report written to {path}",
+              file=sys.stderr if args.json else sys.stdout)
+    gates = LoadTestGates(
+        p99_budget_ms=args.p99_budget_ms,
+        min_coalesced=args.min_coalesced,
+        min_rps=args.min_rps,
+        max_failures=args.max_failures,
+    )
+    violations = gates.violations(report)
+    for violation in violations:
+        print(f"gate failed: {violation}", file=sys.stderr)
+    return 1 if violations else 0
 
 
 def _add_power_arguments(
@@ -727,6 +813,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the canonical artifact payload instead of the "
              "human-readable summary (see docs/artifacts.md)",
     )
+    run.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="execution backend; 'process' computes the session on a "
+             "worker process (needs --workspace) with byte-identical "
+             "artifacts",
+    )
+    run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker count of the execution backend (default 1)",
+    )
     run.set_defaults(handler=_cmd_run)
 
     batch = commands.add_parser(
@@ -746,6 +842,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="concurrent sessions (default 1: serial; output and "
              "artifacts are identical either way)",
+    )
+    batch.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="execution backend; 'process' runs sessions on worker "
+             "processes (true multi-core) with byte-identical artifacts",
     )
     batch.add_argument(
         "--table", action="store_true",
@@ -836,10 +937,97 @@ def build_parser() -> argparse.ArgumentParser:
              "rejected with HTTP 429 (default 32)",
     )
     serve.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="execution backend; 'process' computes flows on worker "
+             "processes so replicas scale across cores "
+             "(see docs/service.md)",
+    )
+    serve.add_argument(
+        "--replica", default="",
+        help="replica name surfaced in health and job views (default: "
+             "replica-<pid>); replicas sharing one workspace need no "
+             "other coordination",
+    )
+    serve.add_argument(
         "--quiet", action="store_true",
         help="suppress per-request access logging on stderr",
     )
     serve.set_defaults(handler=_cmd_serve)
+
+    loadtest = commands.add_parser(
+        "loadtest",
+        help="fire a seeded open-loop traffic plan at running "
+             "service replicas and gate on the measured report "
+             "(see docs/service.md)",
+    )
+    loadtest.add_argument(
+        "--url", action="append", metavar="URL",
+        help="base URL of a running service; repeat to fan traffic "
+             "out round-robin across replicas "
+             "(default http://127.0.0.1:8787)",
+    )
+    loadtest.add_argument(
+        "--family",
+        choices=("chain", "splitjoin", "diamond", "cyclic", "mixed",
+                 "all"),
+        default="mixed",
+        help="scenario family of the request pool (default 'mixed')",
+    )
+    loadtest.add_argument(
+        "--unique", type=int, default=4,
+        help="distinct FlowSpec documents in the pool (default 4); "
+             "fewer unique documents means more coalescing/reuse",
+    )
+    loadtest.add_argument(
+        "--requests", type=int, default=40,
+        help="total requests to fire (default 40)",
+    )
+    loadtest.add_argument(
+        "--rps", type=float, default=20.0,
+        help="offered arrival rate in requests/second (default 20); "
+             "arrivals are open-loop Poisson and never wait for "
+             "responses",
+    )
+    loadtest.add_argument(
+        "--seed", type=int, default=7,
+        help="master seed; fully determines pool, sequence and "
+             "arrival times (default 7)",
+    )
+    loadtest.add_argument(
+        "--actors", type=int, default=None,
+        help="target actor count per scenario (default: varied); "
+             "larger graphs make heavier requests",
+    )
+    loadtest.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="per-request completion budget in seconds (default 120)",
+    )
+    loadtest.add_argument(
+        "--out", metavar="FILE",
+        help="write the canonical BENCH_service.json report here",
+    )
+    loadtest.add_argument(
+        "--json", action="store_true",
+        help="emit the full report document instead of the summary",
+    )
+    loadtest.add_argument(
+        "--p99-budget-ms", type=float, default=None, metavar="MS",
+        help="gate: fail when p99 latency exceeds this budget",
+    )
+    loadtest.add_argument(
+        "--min-coalesced", type=int, default=None, metavar="N",
+        help="gate: fail when fewer than N requests were coalesced "
+             "onto in-flight computations",
+    )
+    loadtest.add_argument(
+        "--min-rps", type=float, default=None, metavar="R",
+        help="gate: fail when sustained throughput falls below R",
+    )
+    loadtest.add_argument(
+        "--max-failures", type=int, default=0, metavar="N",
+        help="gate: tolerate at most N failed requests (default 0)",
+    )
+    loadtest.set_defaults(handler=_cmd_loadtest)
 
     platform = commands.add_parser(
         "platform",
@@ -944,6 +1132,13 @@ def build_parser() -> argparse.ArgumentParser:
         explore.add_argument(
             "--jobs", type=int, default=1,
             help="concurrent evaluation workers (default 1: serial)",
+        )
+        explore.add_argument(
+            "--backend", choices=("thread", "process"),
+            default="thread",
+            help="evaluation backend; 'process' evaluates design "
+                 "points on worker processes (true multi-core) with "
+                 "identical results",
         )
         explore.add_argument(
             "--effort", choices=("low", "normal", "high"),

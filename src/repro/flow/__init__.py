@@ -15,6 +15,15 @@ from repro.flow.report import (
     format_exploration_report,
     format_throughput_table,
 )
+from repro.flow.backend import (
+    BACKENDS,
+    BackendError,
+    ExecutionBackend,
+    ProcessBackend,
+    ThreadBackend,
+    backend_task,
+    create_backend,
+)
 from repro.flow.dse import (
     COMPACT_MIX,
     CandidatePoint,
@@ -62,10 +71,18 @@ from repro.flow.session import (
     SessionResult,
     StageRecord,
     execute_spec,
+    execute_spec_on,
     run_batch,
 )
 
 __all__ = [
+    "BACKENDS",
+    "BackendError",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "ThreadBackend",
+    "backend_task",
+    "create_backend",
     "DesignFlow",
     "FlowResult",
     "EffortReport",
@@ -112,5 +129,6 @@ __all__ = [
     "SessionResult",
     "StageRecord",
     "execute_spec",
+    "execute_spec_on",
     "run_batch",
 ]

@@ -28,9 +28,10 @@ hood.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import (
@@ -45,6 +46,12 @@ from typing import (
 )
 
 from repro.appmodel.model import ApplicationModel
+from repro.flow.backend import (  # noqa: F401  (WorkerPool re-export)
+    ExecutionBackend,
+    WorkerPool,
+    as_backend,
+    backend_task,
+)
 from repro.arch.area import AreaEstimate, platform_area
 from repro.arch.platform import ArchitectureModel
 from repro.arch.template import architecture_from_template
@@ -795,82 +802,139 @@ class ExplorationResult:
 
 
 # ----------------------------------------------------------------------
-# the worker pool (shared with the batch runner)
+# the process-shippable evaluation task
 # ----------------------------------------------------------------------
-class WorkerPool:
-    """Deterministic ordered fan-out over a thread pool.
+# Worker processes memoize one evaluator per sweep configuration: the
+# config payload rides along with every candidate (workers are
+# stateless across submissions by contract), but only the first
+# candidate a worker sees actually builds the evaluator.
+_CHILD_EVALUATORS: Dict[str, "Union[Evaluator, UseCaseEvaluator]"] = {}
 
-    ``jobs == 1`` stays strictly serial (no pool, no threads), so a
-    single-job run is bit-for-bit what a loop would do.  With more jobs,
-    work items are submitted eagerly and results are *consumed* in
-    submission order, which is what keeps parallel output identical to
-    serial output.  This is the worker plumbing behind both
-    :class:`ParallelExplorer` and the batch runner
-    (:func:`repro.flow.session.run_batch`).
-    """
 
-    def __init__(self, jobs: int = 1) -> None:
-        if jobs < 1:
-            raise ValueError(f"jobs must be >= 1, got {jobs}")
-        self.jobs = jobs
-        self._executor: Optional[ThreadPoolExecutor] = None
-        self._lock = threading.Lock()
+def _sweep_config(
+    evaluator: "Union[Evaluator, UseCaseEvaluator]",
+) -> Dict[str, object]:
+    """The JSON document a worker rebuilds this evaluator from."""
+    from repro.artifacts.schema import to_payload
 
-    def submit(self, worker, *args):
-        """Submit one call to the pool's *persistent* executor.
+    def encode_power(ev: "Evaluator") -> Optional[Dict[str, object]]:
+        if ev.power_model is None:
+            return None
+        return {
+            "tech_nm": ev.power_model.tech_nm,
+            "power_budget": (
+                None if ev.power_budget is None else str(ev.power_budget)
+            ),
+            "energy_budget": (
+                None
+                if ev.energy_budget is None
+                else str(ev.energy_budget)
+            ),
+        }
 
-        Unlike :meth:`map_ordered`, which tears its thread pool down at
-        the end of every batch, ``submit`` keeps one executor (of
-        ``jobs`` workers) alive until :meth:`close` -- the long-lived
-        mode the flow service scheduler (:mod:`repro.service`) runs on,
-        where requests arrive over time rather than as one sequence.
-        Returns the ``concurrent.futures.Future`` of the call;
-        ``jobs == 1`` still executes asynchronously on the (single)
-        worker thread, serializing submissions.
-        """
-        with self._lock:
-            if self._executor is None:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=self.jobs, thread_name_prefix="flow-pool"
+    if isinstance(evaluator, Evaluator):
+        return {
+            "multi": False,
+            "apps": [to_payload(evaluator.app)],
+            "constraints": {
+                evaluator.app.name: (
+                    None
+                    if evaluator.constraint is None
+                    else str(evaluator.constraint)
                 )
-            return self._executor.submit(worker, *args)
+            },
+            "fixed": (
+                {evaluator.app.name: evaluator.fixed}
+                if evaluator.fixed
+                else {}
+            ),
+            "power": encode_power(evaluator),
+        }
+    parts = evaluator._evaluators
+    return {
+        "multi": True,
+        "apps": [to_payload(app) for app in evaluator.apps],
+        "constraints": {
+            app.name: (
+                None if part.constraint is None else str(part.constraint)
+            )
+            for app, part in zip(evaluator.apps, parts)
+        },
+        "fixed": {
+            app.name: part.fixed
+            for app, part in zip(evaluator.apps, parts)
+            if part.fixed
+        },
+        "power": encode_power(parts[0]),
+    }
 
-    def close(self, wait: bool = True) -> None:
-        """Shut the persistent executor down.
 
-        Only needed after :meth:`submit`; :meth:`map_ordered` cleans up
-        after itself.  Idempotent.  ``wait=False`` returns without
-        joining running workers -- for shutdown paths that already
-        waited out a drain timeout and must hand control back rather
-        than block behind a wedged job.  (The interpreter still joins
-        executor threads at exit; ``wait=False`` bounds *this* call,
-        not a hung worker's lifetime.)
-        """
-        with self._lock:
-            executor, self._executor = self._executor, None
-        if executor is not None:
-            executor.shutdown(wait=wait)
+def _evaluator_from_config(
+    config: Dict[str, object],
+) -> "Union[Evaluator, UseCaseEvaluator]":
+    import repro.artifacts.codecs  # noqa: F401  (registers the codecs)
+    from repro.artifacts.schema import from_payload
 
-    def map_ordered(self, worker, items, fold=None):
-        """Apply ``worker`` to every item; results in submission order.
+    apps = [from_payload(payload) for payload in config["apps"]]
+    constraints = {
+        name: None if value is None else Fraction(value)
+        for name, value in config["constraints"].items()
+    }
+    power = config["power"]
+    power_kwargs: Dict[str, object] = {}
+    if power is not None:
+        power_kwargs = {
+            "power_model": PowerModel(tech_nm=power["tech_nm"]),
+            "power_budget": (
+                None
+                if power["power_budget"] is None
+                else Fraction(power["power_budget"])
+            ),
+            "energy_budget": (
+                None
+                if power["energy_budget"] is None
+                else Fraction(power["energy_budget"])
+            ),
+        }
+    if not config["multi"]:
+        app = apps[0]
+        return Evaluator(
+            app,
+            constraint=constraints.get(app.name),
+            fixed=config["fixed"].get(app.name),
+            **power_kwargs,
+        )
+    return UseCaseEvaluator(
+        apps,
+        constraints=constraints,
+        fixed=config["fixed"] or None,
+        **power_kwargs,
+    )
 
-        ``fold`` consumes the lazily produced result iterator and its
-        return value is returned; it may stop early (remaining futures
-        are cancelled -- workers should also honour a stop flag, since a
-        running future cannot be cancelled).  The default fold collects
-        a list.
-        """
-        if fold is None:
-            fold = list
-        if self.jobs == 1:
-            return fold(worker(item) for item in items)
-        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-            futures = [pool.submit(worker, item) for item in items]
-            try:
-                return fold(future.result() for future in futures)
-            finally:
-                for future in futures:
-                    future.cancel()  # no-op for completed futures
+
+@backend_task("dse.evaluate-candidate")
+def _evaluate_candidate_task(payload: Dict[str, object]) -> object:
+    """Evaluate one candidate in a worker process.
+
+    Payload: ``config`` (the sweep document of :func:`_sweep_config`),
+    ``config_key`` (its digest, the memoization key) and ``candidate``
+    (a canonical ``candidate-point`` payload).  Returns the canonical
+    ``evaluation-outcome`` payload.  Each worker keeps a per-process
+    evaluator (and evaluation cache) per config; results are a pure
+    function of the inputs, so the parent's fold is byte-identical to
+    a thread sweep.
+    """
+    import repro.artifacts.codecs  # noqa: F401  (registers the codecs)
+    from repro.artifacts.schema import from_payload, to_payload
+
+    key = payload["config_key"]
+    evaluator = _CHILD_EVALUATORS.get(key)
+    if evaluator is None:
+        evaluator = _evaluator_from_config(payload["config"])
+        _CHILD_EVALUATORS.clear()  # one sweep at a time per worker
+        _CHILD_EVALUATORS[key] = evaluator
+    candidate = from_payload(payload["candidate"])
+    return to_payload(evaluator.evaluate(candidate))
 
 
 # ----------------------------------------------------------------------
@@ -879,10 +943,16 @@ class WorkerPool:
 class ParallelExplorer:
     """Sweeps a :class:`DesignSpace` through an :class:`Evaluator`.
 
-    ``jobs > 1`` fans evaluations out over a ``concurrent.futures``
-    thread pool; results are collected in enumeration order, so the
-    produced point list -- and therefore the Pareto front and the
-    rendered table -- is byte-identical to a serial sweep.
+    ``jobs > 1`` fans evaluations out over an execution backend
+    (:mod:`repro.flow.backend`); results are collected in enumeration
+    order, so the produced point list -- and therefore the Pareto front
+    and the rendered table -- is byte-identical to a serial sweep.
+    ``backend`` picks where evaluations run: ``"thread"`` (default)
+    shares this process, ``"process"`` ships each candidate as a
+    canonical payload to worker processes -- pure-Python analyses then
+    scale with cores instead of contending on the GIL.  Process workers
+    keep per-process evaluation caches, so the parent's ``cache_stats``
+    only reflect its own (unused) cache.
 
     ``early_exit=True`` stops at the first candidate (in enumeration
     order) whose mapping meets the throughput constraint; later
@@ -896,11 +966,11 @@ class ParallelExplorer:
         self,
         evaluator: "Union[Evaluator, UseCaseEvaluator]",
         jobs: int = 1,
+        backend: Union[None, str, ExecutionBackend] = None,
     ) -> None:
-        if jobs < 1:
-            raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.evaluator = evaluator
-        self.jobs = jobs
+        self.backend = as_backend(backend, jobs)
+        self.jobs = self.backend.jobs
 
     def explore(
         self, space: DesignSpace, early_exit: bool = False
@@ -924,14 +994,20 @@ class ParallelExplorer:
                 return None
             return self.evaluator.evaluate(candidate)
 
-        consumed = WorkerPool(self.jobs).map_ordered(
-            run,
-            candidates,
-            fold=lambda outcomes: self._collect(
-                candidates, outcomes, points, failures, front,
-                early_exit, stopped,
-            ),
+        fold = lambda outcomes: self._collect(  # noqa: E731
+            candidates, outcomes, points, failures, front,
+            early_exit, stopped,
         )
+        if self.backend.name == "process":
+            consumed = self.backend.run_tasks_ordered(
+                "dse.evaluate-candidate",
+                self._task_payloads(candidates),
+                fold=lambda payloads: fold(
+                    self._decode_outcomes(payloads)
+                ),
+            )
+        else:
+            consumed = self.backend.map_ordered(run, candidates, fold=fold)
         skipped = len(candidates) - consumed
         return ExplorationResult(
             points=points,
@@ -943,6 +1019,31 @@ class ParallelExplorer:
             early_exit=early_exit,
             skipped=skipped,
         )
+
+    def _task_payloads(
+        self, candidates: Sequence[CandidatePoint]
+    ) -> List[Dict[str, object]]:
+        """One ``dse.evaluate-candidate`` payload per candidate."""
+        from repro.artifacts.schema import to_payload
+
+        config = _sweep_config(self.evaluator)
+        config_key = hashlib.sha256(
+            json.dumps(config, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+        return [
+            {
+                "config": config,
+                "config_key": config_key,
+                "candidate": to_payload(candidate),
+            }
+            for candidate in candidates
+        ]
+
+    @staticmethod
+    def _decode_outcomes(payloads) -> Iterator[EvaluationOutcome]:
+        from repro.artifacts.schema import from_payload
+
+        return (from_payload(payload) for payload in payloads)
 
     @staticmethod
     def _collect(
@@ -985,6 +1086,7 @@ def explore_design_space(
     mixes: Sequence[TileMix] = (UNIFORM_MIX,),
     effort: Union[str, MappingEffort] = "normal",
     jobs: int = 1,
+    backend: Union[None, str, ExecutionBackend] = None,
     early_exit: bool = False,
     cache: Optional[EvaluationCache] = None,
     strategy: Optional[StrategyTuple] = None,
@@ -1003,8 +1105,9 @@ def explore_design_space(
     recorded as failures rather than raising -- an exploration should
     report the whole space.  Pass a shared :class:`EvaluationCache` to
     reuse results across sweeps and applications, ``jobs`` to evaluate
-    concurrently, and ``early_exit=True`` to stop at the first
-    constraint-satisfying candidate.  The mapping-pipeline strategies
+    concurrently (``backend="process"`` moves evaluations onto worker
+    processes; see :mod:`repro.flow.backend`), and ``early_exit=True``
+    to stop at the first constraint-satisfying candidate.  The mapping-pipeline strategies
     can be set per stage (``binding``/``routing``/``buffer_policy``/
     ``scheduling``/``seed``) or wholesale via ``strategy``; cache keys
     embed the choice, so sweeping the same space under two strategies
@@ -1071,5 +1174,5 @@ def explore_design_space(
             energy_budget=energy_budget,
             power_model=power_model,
         )
-    explorer = ParallelExplorer(evaluator, jobs=jobs)
+    explorer = ParallelExplorer(evaluator, jobs=jobs, backend=backend)
     return explorer.explore(space, early_exit=early_exit)

@@ -19,9 +19,10 @@ Workspace layout::
       batch-report.json             last `repro batch` report
 
 :func:`run_batch` executes many specs against one shared workspace,
-fanning sessions out over the same deterministic
-:class:`~repro.flow.dse.WorkerPool` plumbing the exploration engine
-uses.  Artifacts are canonical and content-keyed, so a concurrent batch
+fanning sessions out over the same deterministic execution backend
+(:mod:`repro.flow.backend` -- threads or worker processes) plumbing
+the exploration engine uses.  Artifacts are canonical and
+content-keyed, so a concurrent batch
 writes a byte-identical ``artifacts/`` tree to a sequential one (the
 session and batch reports embed wall-clock timings and necessarily
 differ), and a second batch over the same specs resumes nearly
@@ -58,7 +59,11 @@ from repro.artifacts.store import (
     atomic_write_text,
 )
 from repro.exceptions import ReproError
-from repro.flow.dse import WorkerPool
+from repro.flow.backend import (
+    ExecutionBackend,
+    as_backend,
+    backend_task,
+)
 from repro.flow.fingerprint import (
     application_fingerprint,
     architecture_fingerprint,
@@ -457,21 +462,122 @@ class BatchReport:
         return "\n".join(lines)
 
 
+def _batch_entry(
+    item: Union[FlowSpec, str, Path],
+    workspace: Path,
+    store: Optional[ArtifactStore] = None,
+) -> BatchEntry:
+    """Run one spec of a batch; failures land in the entry."""
+    source = item.name if isinstance(item, FlowSpec) else str(item)
+    begin = time.perf_counter()
+    try:
+        outcome = execute_spec(item, workspace, store=store)
+    except Exception as error:  # noqa: BLE001 - a bad spec must be
+        # reported in its entry, never abort the sibling sessions
+        detail = str(error) if isinstance(error, ReproError) else \
+            f"{type(error).__name__}: {error}"
+        return BatchEntry(
+            spec=source,
+            name=source,
+            ok=False,
+            error=detail,
+            elapsed_seconds=time.perf_counter() - begin,
+        )
+    return BatchEntry(
+        spec=source,
+        name=outcome.spec_name,
+        ok=True,
+        stages_total=len(outcome.stages),
+        stages_resumed=len(outcome.resumed_stages),
+        elapsed_seconds=time.perf_counter() - begin,
+        guarantees={
+            name: str(value)
+            for name, value in sorted(outcome.guarantees().items())
+        },
+        constraints_met=outcome.constraints_met(),
+    )
+
+
+@backend_task("flow.batch-entry")
+def _batch_entry_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-process side of one batch spec.
+
+    The spec crosses the process boundary as its
+    :meth:`~repro.flow.spec.FlowSpec.to_document` document (or as the
+    path the caller named); the entry comes back as its canonical
+    payload.  Artifacts land in the shared workspace -- idempotent
+    content-addressed writes, so concurrent workers need no
+    coordination.
+    """
+    if "spec_path" in payload:
+        item: Union[FlowSpec, str] = payload["spec_path"]
+    else:
+        item = FlowSpec.from_dict(payload["document"])
+    entry = _batch_entry(item, Path(payload["workspace"]))
+    return to_payload(entry)
+
+
+@backend_task("flow.execute-spec")
+def _execute_spec_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-process side of one ``repro run --workspace`` session."""
+    spec = FlowSpec.from_dict(payload["document"])
+    result = execute_spec(spec, payload["workspace"])
+    return to_payload(result)
+
+
+def execute_spec_on(
+    spec: Union[FlowSpec, str, Path],
+    workspace: Union[str, Path],
+    backend: Union[None, str, ExecutionBackend] = None,
+) -> SessionResult:
+    """Run one spec as a session on an execution backend.
+
+    ``"thread"`` (or ``None``) is :func:`execute_spec` in this
+    process.  ``"process"`` ships the spec document to a worker
+    process and reassembles the :class:`SessionResult` from the
+    returned canonical payload; the artifacts land in the shared
+    workspace either way, byte-identical across backends.  A backend
+    given by name is owned (and closed) here; an
+    :class:`~repro.flow.backend.ExecutionBackend` instance stays the
+    caller's to close.
+    """
+    owned = not isinstance(backend, ExecutionBackend)
+    engine = as_backend(backend)
+    try:
+        if engine.name != "process":
+            return execute_spec(spec, workspace)
+        if not isinstance(spec, FlowSpec):
+            spec = load_flow_spec(spec)
+        payload = {
+            "document": spec.to_document(),
+            "workspace": str(Path(workspace)),
+        }
+        future = engine.submit_task("flow.execute-spec", payload)
+        return from_payload(future.result())
+    finally:
+        if owned:
+            engine.close()
+
+
 def run_batch(
     specs: Sequence[Union[FlowSpec, str, Path]],
     workspace: Union[str, Path],
     jobs: int = 1,
+    backend: Union[None, str, ExecutionBackend] = None,
 ) -> BatchReport:
     """Run many FlowSpec scenarios against one shared workspace.
 
-    Sessions fan out over a :class:`~repro.flow.dse.WorkerPool`
-    (``jobs == 1`` is strictly serial).  All sessions share one
-    :class:`~repro.artifacts.store.ArtifactStore`; concurrent writers of
+    Sessions fan out over an execution backend
+    (:mod:`repro.flow.backend`; ``jobs == 1`` on the default thread
+    backend is strictly serial).  ``backend="process"`` runs each
+    session in a worker process -- pure-Python analyses then scale
+    with cores -- shipping specs as documents and entries as canonical
+    payloads.  All sessions share one workspace; concurrent writers of
     the same content-keyed artifact are safe (atomic rename, identical
-    canonical bytes), so the workspace is byte-identical however the
-    batch is scheduled.  A failing spec is reported in its entry rather
-    than aborting the batch.  The report is also written to
-    ``<workspace>/batch-report.json``.
+    canonical bytes), so the workspace is byte-identical however and
+    wherever the batch is scheduled.  A failing spec is reported in
+    its entry rather than aborting the batch.  The report is also
+    written to ``<workspace>/batch-report.json``.
     """
     if not specs:
         raise ReproError("batch needs at least one flow spec")
@@ -479,40 +585,43 @@ def run_batch(
     store = ArtifactStore(workspace / "artifacts")
     start = time.perf_counter()
 
-    def run_one(item: Union[FlowSpec, str, Path]) -> BatchEntry:
-        source = item.name if isinstance(item, FlowSpec) else str(item)
-        begin = time.perf_counter()
-        try:
-            outcome = execute_spec(item, workspace, store=store)
-        except Exception as error:  # noqa: BLE001 - a bad spec must be
-            # reported in its entry, never abort the sibling sessions
-            detail = str(error) if isinstance(error, ReproError) else \
-                f"{type(error).__name__}: {error}"
-            return BatchEntry(
-                spec=source,
-                name=source,
-                ok=False,
-                error=detail,
-                elapsed_seconds=time.perf_counter() - begin,
+    owned = not isinstance(backend, ExecutionBackend)
+    engine = as_backend(backend, jobs)
+    try:
+        if engine.name == "process":
+            payloads: List[Dict[str, Any]] = []
+            for item in specs:
+                if isinstance(item, FlowSpec):
+                    payloads.append(
+                        {
+                            "document": item.to_document(),
+                            "workspace": str(workspace),
+                        }
+                    )
+                else:
+                    payloads.append(
+                        {
+                            "spec_path": str(item),
+                            "workspace": str(workspace),
+                        }
+                    )
+            entries = [
+                from_payload(payload)
+                for payload in engine.run_tasks_ordered(
+                    "flow.batch-entry", payloads
+                )
+            ]
+        else:
+            entries = engine.map_ordered(
+                lambda item: _batch_entry(item, workspace, store=store),
+                list(specs),
             )
-        return BatchEntry(
-            spec=source,
-            name=outcome.spec_name,
-            ok=True,
-            stages_total=len(outcome.stages),
-            stages_resumed=len(outcome.resumed_stages),
-            elapsed_seconds=time.perf_counter() - begin,
-            guarantees={
-                name: str(value)
-                for name, value in sorted(outcome.guarantees().items())
-            },
-            constraints_met=outcome.constraints_met(),
-        )
-
-    entries = WorkerPool(jobs).map_ordered(run_one, list(specs))
+    finally:
+        if owned:
+            engine.close()
     report = BatchReport(
         entries=entries,
-        jobs=jobs,
+        jobs=engine.jobs,
         elapsed_seconds=time.perf_counter() - start,
     )
     atomic_write_text(

@@ -1,0 +1,57 @@
+"""Seeded load generation for the flow service.
+
+``repro.loadgen`` answers the capacity question the scheduler alone
+cannot: how many requests per second does a deployment of ``repro
+serve`` replicas actually sustain, and at what tail latency?  Two
+modules:
+
+* :mod:`repro.loadgen.traffic` -- deterministic open-loop traffic
+  plans: a pool of unique scenario FlowSpec documents, a seeded
+  duplicate-heavy request sequence, Poisson arrival offsets, and
+  round-robin replica fan-out.
+* :mod:`repro.loadgen.harness` -- :func:`run_load_test` fires a plan
+  at live replicas through the service client, measures sustained RPS
+  and nearest-rank p50/p95/p99 latency, folds per-replica ``healthz``
+  counter deltas (coalescing, artifact hits, computed), and
+  :class:`LoadTestGates` turns the report into a CI verdict;
+  :func:`write_bench_report` emits ``BENCH_service.json``.
+
+Everything is seeded, so a load test is a replayable experiment, not a
+one-off observation.  Exposed on the CLI as ``repro loadtest``.
+"""
+
+from repro.loadgen.harness import (
+    LoadTestConfig,
+    LoadTestGates,
+    LoadTestReport,
+    ReplicaDelta,
+    RequestOutcome,
+    percentile_ms,
+    run_load_test,
+    write_bench_report,
+)
+from repro.loadgen.traffic import (
+    LoadgenError,
+    PlannedRequest,
+    arrival_offsets,
+    build_traffic,
+    request_pool,
+    request_sequence,
+)
+
+__all__ = [
+    "LoadTestConfig",
+    "LoadTestGates",
+    "LoadTestReport",
+    "LoadgenError",
+    "PlannedRequest",
+    "ReplicaDelta",
+    "RequestOutcome",
+    "arrival_offsets",
+    "build_traffic",
+    "percentile_ms",
+    "request_pool",
+    "request_sequence",
+    "run_load_test",
+    "write_bench_report",
+]

@@ -1,0 +1,372 @@
+"""The load-test harness: fire a traffic plan at live replicas.
+
+:func:`run_load_test` drives one or more ``repro serve`` instances
+through :class:`~repro.service.client.FlowServiceClient`: it snapshots
+``/v1/healthz`` on every replica, fires the seeded open-loop plan from
+:mod:`repro.loadgen.traffic` off a thread pool (each request waits for
+its arrival offset, POSTs, then polls to completion), snapshots health
+again, and folds everything into a :class:`LoadTestReport` -- sustained
+RPS, nearest-rank p50/p95/p99 latency, coalescing and artifact
+hit-rates, and per-replica counter deltas.
+
+:class:`LoadTestGates` turns a report into a pass/fail CI verdict, and
+:func:`write_bench_report` emits the canonical ``BENCH_service.json``
+(same ``{"bench", "unit", "results"}`` shape as the other benchmark
+artifacts under ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.artifacts.schema import canonical_json
+from repro.loadgen.traffic import LoadgenError, PlannedRequest, build_traffic
+from repro.service.client import FlowServiceClient, ServiceClientError
+
+#: Job states a load-test request treats as terminal.
+_TERMINAL = ("done", "failed")
+
+#: Health counters whose before/after deltas the report keeps.
+_COUNTER_KEYS = (
+    "submitted", "coalesced", "artifact_hits", "computed", "failed",
+)
+
+
+@dataclass(frozen=True)
+class LoadTestConfig:
+    """Everything a load test needs; seeded, so runs are replayable."""
+
+    urls: Tuple[str, ...]
+    family: str = "mixed"
+    unique: int = 4
+    requests: int = 40
+    rps: float = 20.0
+    seed: int = 7
+    actors: Optional[int] = None
+    #: Per-request completion budget (submit + poll), in seconds.
+    timeout: float = 120.0
+    #: Cap on concurrently in-flight requests; the open-loop schedule
+    #: degrades only when more than this many overlap.
+    max_inflight: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.urls:
+            raise LoadgenError("at least one replica URL is required")
+        if self.max_inflight < 1:
+            raise LoadgenError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """What happened to one planned request."""
+
+    index: int
+    url: str
+    spec_name: str
+    #: ``done`` / ``failed`` (flow error) / ``error`` (transport, 429,
+    #: or timeout).
+    status: str
+    offset: float
+    latency: float
+    #: Seconds after test start when the request finished (any status).
+    completed_at: float = 0.0
+    source: Optional[str] = None
+    coalesced: bool = False
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ReplicaDelta:
+    """One replica's identity and counter movement over the test."""
+
+    url: str
+    replica: str
+    backend: str
+    workers: int
+    delta: Dict[str, int]
+
+
+@dataclass
+class LoadTestReport:
+    """The folded result of one load test."""
+
+    config: LoadTestConfig
+    outcomes: List[RequestOutcome]
+    replicas: List[ReplicaDelta]
+    #: Wall-clock seconds from first arrival to last completion.
+    duration: float
+    offered_rps: float = 0.0
+    sustained_rps: float = 0.0
+    latency_ms: Dict[str, float] = field(default_factory=dict)
+    completed: int = 0
+    flow_failures: int = 0
+    transport_errors: int = 0
+    coalesced_hits: int = 0
+    artifact_hits: int = 0
+    computed: int = 0
+
+    @property
+    def failures(self) -> int:
+        """Requests that did not complete with a flow response."""
+        return self.flow_failures + self.transport_errors
+
+    @property
+    def artifact_hit_rate(self) -> float:
+        return self.artifact_hits / max(1, self.completed)
+
+    @property
+    def coalesced_rate(self) -> float:
+        return self.coalesced_hits / max(1, self.config.requests)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The canonical ``BENCH_service.json`` document."""
+        config = self.config
+        return {
+            "bench": (
+                "flow-service load test: seeded open-loop traffic vs "
+                f"{len(config.urls)} replica(s)"
+            ),
+            "unit": "seconds",
+            "config": {
+                "replicas": len(config.urls),
+                "family": config.family,
+                "unique": config.unique,
+                "requests": config.requests,
+                "offered_rps": config.rps,
+                "seed": config.seed,
+            },
+            "results": {
+                "duration_s": self.duration,
+                "offered_rps": self.offered_rps,
+                "sustained_rps": self.sustained_rps,
+                "p50_ms": self.latency_ms.get("p50"),
+                "p95_ms": self.latency_ms.get("p95"),
+                "p99_ms": self.latency_ms.get("p99"),
+                "completed": self.completed,
+                "flow_failures": self.flow_failures,
+                "transport_errors": self.transport_errors,
+                "coalesced_hits": self.coalesced_hits,
+                "coalesced_rate": self.coalesced_rate,
+                "artifact_hits": self.artifact_hits,
+                "artifact_hit_rate": self.artifact_hit_rate,
+                "computed": self.computed,
+                "replicas": [
+                    {
+                        "url": replica.url,
+                        "replica": replica.replica,
+                        "backend": replica.backend,
+                        "workers": replica.workers,
+                        "delta": dict(replica.delta),
+                    }
+                    for replica in self.replicas
+                ],
+            },
+        }
+
+    def summary(self) -> str:
+        """A terse human-readable digest (the CLI's stdout)."""
+        lat = self.latency_ms
+        lines = [
+            f"requests    {self.config.requests} "
+            f"({self.completed} completed, {self.failures} failed)",
+            f"throughput  offered {self.offered_rps:.1f} rps, "
+            f"sustained {self.sustained_rps:.1f} rps",
+            f"latency     p50 {lat.get('p50', 0.0):.1f} ms, "
+            f"p95 {lat.get('p95', 0.0):.1f} ms, "
+            f"p99 {lat.get('p99', 0.0):.1f} ms",
+            f"reuse       {self.coalesced_hits} coalesced, "
+            f"{self.artifact_hits} artifact hits, "
+            f"{self.computed} computed",
+        ]
+        for replica in self.replicas:
+            delta = replica.delta
+            lines.append(
+                f"replica     {replica.replica} ({replica.backend} x"
+                f"{replica.workers}, {replica.url}): "
+                + ", ".join(
+                    f"{key} +{delta.get(key, 0)}" for key in _COUNTER_KEYS
+                )
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class LoadTestGates:
+    """CI pass/fail thresholds over a :class:`LoadTestReport`."""
+
+    p99_budget_ms: Optional[float] = None
+    min_coalesced: Optional[int] = None
+    min_rps: Optional[float] = None
+    max_failures: int = 0
+
+    def violations(self, report: LoadTestReport) -> List[str]:
+        """Every gate the report misses (empty means pass)."""
+        found: List[str] = []
+        p99 = report.latency_ms.get("p99")
+        if self.p99_budget_ms is not None:
+            if p99 is None:
+                found.append("p99 gate set but no request completed")
+            elif p99 > self.p99_budget_ms:
+                found.append(
+                    f"p99 latency {p99:.1f} ms exceeds the "
+                    f"{self.p99_budget_ms:.1f} ms budget"
+                )
+        if (
+            self.min_coalesced is not None
+            and report.coalesced_hits < self.min_coalesced
+        ):
+            found.append(
+                f"{report.coalesced_hits} coalesced hit(s), "
+                f"need >= {self.min_coalesced}"
+            )
+        if self.min_rps is not None and report.sustained_rps < self.min_rps:
+            found.append(
+                f"sustained {report.sustained_rps:.1f} rps below the "
+                f"{self.min_rps:.1f} rps floor"
+            )
+        if report.failures > self.max_failures:
+            found.append(
+                f"{report.failures} failed request(s), "
+                f"allowed {self.max_failures}"
+            )
+        return found
+
+
+def percentile_ms(latencies: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``latencies`` (seconds), in ms."""
+    if not latencies:
+        raise LoadgenError("no latencies to take a percentile of")
+    if not 0 < q <= 100:
+        raise LoadgenError(f"percentile must be in (0, 100], got {q}")
+    ordered = sorted(latencies)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1] * 1000.0
+
+
+def run_load_test(config: LoadTestConfig) -> LoadTestReport:
+    """Fire the seeded plan at the configured replicas and fold."""
+    plan = build_traffic(
+        family=config.family,
+        unique=config.unique,
+        requests=config.requests,
+        rps=config.rps,
+        seed=config.seed,
+        replicas=len(config.urls),
+        actors=config.actors,
+    )
+    clients = [
+        FlowServiceClient(url, timeout=config.timeout)
+        for url in config.urls
+    ]
+    before = [client.health() for client in clients]
+
+    start = time.monotonic()
+
+    def fire(request: PlannedRequest) -> RequestOutcome:
+        client = clients[request.replica_index]
+        delay = start + request.offset - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        begun = time.monotonic()
+        status, source, error = "error", None, None
+        coalesced = False
+        try:
+            view = client.submit(request.document)
+            coalesced = bool(view.get("coalesced"))
+            if view["status"] not in _TERMINAL:
+                remaining = max(
+                    0.1, config.timeout - (time.monotonic() - begun)
+                )
+                view = client.wait(view["id"], timeout=remaining)
+            status = view["status"]
+            source = view.get("source")
+            error = view.get("error")
+        except ServiceClientError as exc:
+            error = str(exc)
+        ended = time.monotonic()
+        return RequestOutcome(
+            index=request.index,
+            url=client.base_url,
+            spec_name=request.spec_name,
+            status=status,
+            offset=request.offset,
+            latency=ended - begun,
+            completed_at=ended - start,
+            source=source,
+            coalesced=coalesced,
+            error=error,
+        )
+
+    workers = min(config.max_inflight, len(plan))
+    with ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="loadgen"
+    ) as pool:
+        outcomes = list(pool.map(fire, plan))
+    after = [client.health() for client in clients]
+
+    replicas = [
+        ReplicaDelta(
+            url=clients[i].base_url,
+            replica=str(post.get("replica", "")),
+            backend=str(post.get("backend", "")),
+            workers=int(post.get("worker_slots", 0)),
+            delta={
+                key: int(
+                    post.get("counters", {}).get(key, 0)
+                    - before[i].get("counters", {}).get(key, 0)
+                )
+                for key in _COUNTER_KEYS
+            },
+        )
+        for i, post in enumerate(after)
+    ]
+
+    done = [o for o in outcomes if o.status == "done"]
+    duration = max(
+        [o.completed_at for o in done], default=1e-9
+    )
+    duration = max(duration, 1e-9)
+    latency_ms: Dict[str, float] = {}
+    if done:
+        lat = [o.latency for o in done]
+        latency_ms = {
+            "p50": percentile_ms(lat, 50),
+            "p95": percentile_ms(lat, 95),
+            "p99": percentile_ms(lat, 99),
+        }
+    return LoadTestReport(
+        config=config,
+        outcomes=outcomes,
+        replicas=replicas,
+        duration=duration,
+        offered_rps=config.rps,
+        sustained_rps=len(done) / duration,
+        latency_ms=latency_ms,
+        completed=len(done),
+        flow_failures=sum(1 for o in outcomes if o.status == "failed"),
+        transport_errors=sum(1 for o in outcomes if o.status == "error"),
+        coalesced_hits=sum(
+            replica.delta.get("coalesced", 0) for replica in replicas
+        ),
+        artifact_hits=sum(1 for o in done if o.source == "artifacts"),
+        computed=sum(1 for o in done if o.source == "computed"),
+    )
+
+
+def write_bench_report(
+    report: LoadTestReport, path: Union[str, Path]
+) -> Path:
+    """Write the canonical ``BENCH_service.json`` document."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        canonical_json(report.to_payload()) + "\n", encoding="utf-8"
+    )
+    return target

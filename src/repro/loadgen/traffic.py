@@ -1,0 +1,133 @@
+"""Seeded open-loop traffic plans for load-testing the flow service.
+
+A load test is fully determined by ``(family, unique, requests, rps,
+seed, replicas)``: the request *pool* is a batch of distinct scenario
+FlowSpec documents from :func:`repro.scenarios.generate_scenarios`, the
+*sequence* assigns one pool entry to each request from a seeded stream
+(duplicate-heavy on purpose, so coalescing and artifact reuse are
+exercised), and the *arrival offsets* form an open-loop Poisson process
+at the target rate.  Open-loop means arrivals never wait for responses:
+a slow server faces a growing backlog instead of a politely throttled
+client, which is what makes the measured latency honest.
+
+The plan is plain data (:class:`PlannedRequest` rows), so the harness
+in :mod:`repro.loadgen.harness` only has to fire it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import ReproError
+from repro.scenarios import generate_scenarios, scenario_flow_spec
+
+
+class LoadgenError(ReproError):
+    """Raised for invalid traffic or harness configuration."""
+
+
+@dataclass(frozen=True)
+class PlannedRequest:
+    """One request of the plan: when to fire, at whom, with what."""
+
+    index: int
+    #: Seconds after test start at which the request is POSTed.
+    offset: float
+    #: Round-robin target replica (index into the harness URL list).
+    replica_index: int
+    #: Index into the unique-document pool (for per-spec accounting).
+    pool_index: int
+    #: The FlowSpec document to POST.
+    document: Dict[str, Any]
+
+    @property
+    def spec_name(self) -> str:
+        return str(self.document.get("name", ""))
+
+
+def request_pool(
+    family: str = "mixed",
+    unique: int = 4,
+    seed: int = 7,
+    actors: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """``unique`` distinct FlowSpec documents from one scenario family.
+
+    Documents come from the seeded scenario generator, so the same
+    ``(family, unique, seed, actors)`` always produces byte-identical
+    request bodies -- a load test is replayable by construction.
+    """
+    if unique < 1:
+        raise LoadgenError(f"unique must be >= 1, got {unique}")
+    specs = generate_scenarios(family, unique, seed, actors=actors)
+    return [scenario_flow_spec(spec).to_document() for spec in specs]
+
+
+def request_sequence(pool_size: int, requests: int, seed: int) -> List[int]:
+    """Which pool entry each request posts (seeded, duplicate-heavy).
+
+    Uniform seeded draws rather than a round-robin walk: bursts of the
+    same document occur naturally, which is exactly the traffic that
+    triggers in-flight coalescing on the server.
+    """
+    if pool_size < 1:
+        raise LoadgenError(f"pool_size must be >= 1, got {pool_size}")
+    if requests < 1:
+        raise LoadgenError(f"requests must be >= 1, got {requests}")
+    rng = random.Random(f"loadgen-sequence:{seed}")
+    return [rng.randrange(pool_size) for _ in range(requests)]
+
+
+def arrival_offsets(requests: int, rps: float, seed: int) -> List[float]:
+    """Open-loop Poisson arrival times, in seconds since test start.
+
+    Inter-arrival gaps are exponential with mean ``1/rps``; the offsets
+    are their running sum.  The schedule is independent of how fast the
+    server answers -- the defining property of an open-loop generator.
+    """
+    if requests < 1:
+        raise LoadgenError(f"requests must be >= 1, got {requests}")
+    if rps <= 0:
+        raise LoadgenError(f"rps must be > 0, got {rps}")
+    rng = random.Random(f"loadgen-arrivals:{seed}")
+    offsets: List[float] = []
+    clock = 0.0
+    for _ in range(requests):
+        clock += rng.expovariate(rps)
+        offsets.append(clock)
+    return offsets
+
+
+def build_traffic(
+    family: str = "mixed",
+    unique: int = 4,
+    requests: int = 40,
+    rps: float = 20.0,
+    seed: int = 7,
+    replicas: int = 1,
+    actors: Optional[int] = None,
+) -> List[PlannedRequest]:
+    """The full seeded plan: pool + sequence + arrivals + fan-out.
+
+    Requests round-robin across ``replicas`` targets in arrival order,
+    so replicas sharing a workspace each see a fair share of every
+    document -- including duplicates of documents first computed by a
+    sibling, which is what exercises cross-replica artifact reuse.
+    """
+    if replicas < 1:
+        raise LoadgenError(f"replicas must be >= 1, got {replicas}")
+    pool = request_pool(family, unique, seed, actors=actors)
+    sequence = request_sequence(len(pool), requests, seed)
+    offsets = arrival_offsets(requests, rps, seed)
+    return [
+        PlannedRequest(
+            index=index,
+            offset=offsets[index],
+            replica_index=index % replicas,
+            pool_index=sequence[index],
+            document=pool[sequence[index]],
+        )
+        for index in range(requests)
+    ]

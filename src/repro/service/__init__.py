@@ -11,7 +11,8 @@ Three layers, each usable on its own:
   asyncio core: accepts FlowSpec submissions from any thread,
   deduplicates and coalesces identical in-flight requests by
   :func:`~repro.flow.fingerprint.flow_request_key`, runs sessions on a
-  bounded :class:`~repro.flow.dse.WorkerPool`, and answers repeated
+  bounded :class:`~repro.flow.backend.ExecutionBackend` (threads, or
+  worker processes with ``backend="process"``), and answers repeated
   requests straight from the workspace
   :class:`~repro.artifacts.store.ArtifactStore` with zero re-analysis.
 * :class:`FlowServiceServer` / :func:`serve`

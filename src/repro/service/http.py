@@ -103,6 +103,8 @@ def serve(
     jobs: int = 2,
     max_queue: int = 32,
     quiet: bool = True,
+    backend: str = "thread",
+    replica: str = "",
 ) -> FlowServiceServer:
     """Scheduler + bound server over ``workspace`` (not yet serving).
 
@@ -110,9 +112,18 @@ def serve(
     thread) and owns shutdown: ``server.shutdown()``,
     ``server.server_close()``, then ``server.scheduler.close()``.
     ``port=0`` binds an ephemeral port -- read it back from
-    ``server.url``.
+    ``server.url``.  ``backend="process"`` computes flows on worker
+    processes; ``replica`` names this instance in health and job views
+    (replicas sharing a workspace need no other coordination -- see
+    docs/service.md).
     """
-    scheduler = FlowScheduler(workspace, jobs=jobs, max_queue=max_queue)
+    scheduler = FlowScheduler(
+        workspace,
+        jobs=jobs,
+        max_queue=max_queue,
+        backend=backend,
+        replica=replica or None,
+    )
     return FlowServiceServer(scheduler, host=host, port=port, quiet=quiet)
 
 

@@ -19,10 +19,19 @@ thread), which serializes all bookkeeping without locks:
   re-analysis -- sequentially, concurrently, or after a server restart
   over a warm workspace.
 * **bounded execution** -- computations run on a persistent
-  :class:`~repro.flow.dse.WorkerPool` (the same worker plumbing
-  :func:`repro.flow.session.run_batch` fans out on) with at most
-  ``max_queue`` jobs queued or running; excess submissions are rejected
-  with :class:`QueueFullError` (HTTP 429 at the API layer).
+  :class:`~repro.flow.backend.ExecutionBackend` (the same worker
+  plumbing :func:`repro.flow.session.run_batch` fans out on) with at
+  most ``max_queue`` jobs queued or running; excess submissions are
+  rejected with :class:`QueueFullError` (HTTP 429 at the API layer).
+  ``backend="process"`` runs each session in a worker *process* --
+  specs ship as :meth:`~repro.flow.spec.FlowSpec.to_document` JSON,
+  responses come back as canonical payloads, and the pure-Python
+  analyses scale with cores instead of contending on the GIL.  N
+  replicas of the scheduler may share one workspace with no
+  coordination beyond the filesystem: the store's atomic idempotent
+  writes make concurrent computation of the same key safe, and each
+  replica carries an identity (``replica`` in health and job views)
+  so per-replica counters stay attributable under load.
 * **per-stage progress** -- each job subscribes to the session's
   :data:`~repro.flow.session.ProgressCallback`, so a status poll of a
   running job reports which stage is executing and which stages
@@ -43,6 +52,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import os
 import threading
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass
@@ -57,7 +67,11 @@ from repro.artifacts.schema import (
 )
 from repro.artifacts.store import ArtifactStore
 from repro.exceptions import ReproError, UnknownAppError
-from repro.flow.dse import WorkerPool
+from repro.flow.backend import (
+    ExecutionBackend,
+    as_backend,
+    backend_task,
+)
 from repro.flow.fingerprint import flow_request_key
 from repro.flow.session import SessionResult, StageRecord, execute_spec
 from repro.flow.spec import FlowSpec, load_flow_spec
@@ -183,11 +197,18 @@ class Job:
     lives behind one lock and escapes only as :meth:`view` snapshots.
     """
 
-    def __init__(self, job_id: str, request_key: str, spec: FlowSpec):
+    def __init__(
+        self,
+        job_id: str,
+        request_key: str,
+        spec: FlowSpec,
+        replica: str = "",
+    ):
         self.id = job_id
         self.request_key = request_key
         self.spec = spec
         self.spec_name = spec.name
+        self.replica = replica
         self.done = threading.Event()
         self._lock = threading.Lock()
         self._status = QUEUED
@@ -211,6 +232,16 @@ class Job:
                         entry["status"] = record.status
                         entry["seconds"] = record.seconds
                         break
+
+    def replace_stages(self, entries: List[Dict[str, Any]]) -> None:
+        """Backfill stage records computed in a worker process.
+
+        A process-backed job cannot stream per-stage progress across
+        the boundary; the worker returns the finished stage list with
+        its result and it lands here in one shot.
+        """
+        with self._lock:
+            self._stages = [dict(entry) for entry in entries]
 
     # -- scheduler-side transitions ------------------------------------
     def mark_running(self) -> None:
@@ -257,6 +288,7 @@ class Job:
                 "source": self._source,
                 "error": self._error,
                 "coalesced": coalesced,
+                "replica": self.replica,
                 "stages": [dict(entry) for entry in self._stages],
             }
 
@@ -282,6 +314,40 @@ class ServiceCounters:
 
 
 # ----------------------------------------------------------------------
+# the process-shippable computation
+# ----------------------------------------------------------------------
+@backend_task("service.compute-response")
+def _compute_response_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-process side of one flow computation.
+
+    The request crosses the boundary as its spec document plus the
+    request key; the worker runs the session against the shared
+    workspace, persists the ``flow-response`` artifact (atomic,
+    idempotent -- concurrent workers and replicas computing the same
+    key write identical bytes) and returns the exact canonical
+    response text plus the finished stage records for the job view.
+    """
+    spec = FlowSpec.from_dict(payload["document"])
+    workspace = Path(payload["workspace"])
+    store = ArtifactStore(workspace / "artifacts")
+    result = execute_spec(spec, workspace, store=store)
+    response = FlowResponse.from_session(payload["request_key"], result)
+    document = to_payload(response)
+    store.put(RESPONSE_KIND, payload["request_key"], document)
+    return {
+        "text": canonical_json(document) + "\n",
+        "stages": [
+            {
+                "stage": record.stage,
+                "status": record.status,
+                "seconds": record.seconds,
+            }
+            for record in result.stages
+        ],
+    }
+
+
+# ----------------------------------------------------------------------
 # the scheduler
 # ----------------------------------------------------------------------
 class FlowScheduler:
@@ -301,6 +367,8 @@ class FlowScheduler:
         max_queue: int = 32,
         store: Optional[ArtifactStore] = None,
         history_limit: int = 1024,
+        backend: Union[None, str, ExecutionBackend] = None,
+        replica: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise FlowServiceError(f"jobs must be >= 1, got {jobs}")
@@ -320,7 +388,20 @@ class FlowScheduler:
         )
         self.max_queue = max_queue
         self.history_limit = history_limit
-        self.pool = WorkerPool(jobs)
+        #: The execution backend ("pool" is its historic name here):
+        #: "thread" computes in this process, "process" on worker
+        #: processes (platform operations stay thread-side either way).
+        self.pool = as_backend(backend, jobs)
+        #: Replica identity, surfaced in health and every job view so
+        #: load tests can attribute per-replica computed/coalesced
+        #: counts when N schedulers share one workspace.
+        self.replica = (
+            replica if replica else f"replica-{os.getpid()}"
+        )
+        # fork the process-backend workers now, while this process is
+        # quiet -- forking lazily at first request risks inheriting a
+        # lock another thread holds mid-operation
+        self.pool.warm()
         self.counters = ServiceCounters()
         self._jobs: Dict[str, Job] = {}
         self._inflight: Dict[str, Job] = {}
@@ -385,6 +466,8 @@ class FlowScheduler:
         return {
             "status": "ok",
             "workspace": str(self.workspace),
+            "replica": self.replica,
+            "backend": self.pool.name,
             "worker_slots": self.pool.jobs,
             "max_queue": self.max_queue,
             "history_limit": self.history_limit,
@@ -434,6 +517,9 @@ class FlowScheduler:
         Bounded by ``timeout``: if the drain times out (a wedged job),
         the pool is released without joining its workers, so the caller
         gets control back instead of blocking behind the hung session.
+        On the process backend that prompt path *terminates* the worker
+        processes (and cancels queued work), so an interrupted
+        ``repro serve`` leaves no orphaned children behind a hung job.
         """
         if self._closed:
             return
@@ -492,9 +578,27 @@ class FlowScheduler:
 
     async def _run(self, job: Job) -> None:
         try:
-            text = await asyncio.wrap_future(
-                self.pool.submit(self._compute, job)
-            )
+            if self.pool.name == "process":
+                # the job leaves this process: mark it running at
+                # dispatch (no cross-process progress stream) and
+                # backfill its stage records with the result
+                job.mark_running()
+                outcome = await asyncio.wrap_future(
+                    self.pool.submit_task(
+                        "service.compute-response",
+                        {
+                            "document": job.spec.to_document(),
+                            "workspace": str(self.workspace),
+                            "request_key": job.request_key,
+                        },
+                    )
+                )
+                job.replace_stages(outcome["stages"])
+                text = outcome["text"]
+            else:
+                text = await asyncio.wrap_future(
+                    self.pool.submit(self._compute, job)
+                )
         except Exception as error:  # noqa: BLE001 - job outcomes are
             # reported through the job, never crash the scheduler loop
             detail = (
@@ -646,7 +750,9 @@ class FlowScheduler:
         gets 404, and resubmitting the request is an artifact hit.
         Loop-thread only, like all ``_jobs`` mutations.
         """
-        job = Job(f"job-{next(self._ids):06d}", key, spec)
+        job = Job(
+            f"job-{next(self._ids):06d}", key, spec, replica=self.replica
+        )
         self._jobs[job.id] = job
         if len(self._jobs) > self.history_limit:
             for old in list(self._jobs.values()):

@@ -1,0 +1,164 @@
+"""Tests for the load-test harness (repro.loadgen.harness)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.loadgen import (
+    LoadTestConfig,
+    LoadTestGates,
+    LoadTestReport,
+    LoadgenError,
+    percentile_ms,
+    run_load_test,
+    write_bench_report,
+)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        latencies = [0.010, 0.020, 0.030, 0.040]  # seconds
+        assert percentile_ms(latencies, 50) == 20.0
+        assert percentile_ms(latencies, 75) == 30.0
+        assert percentile_ms(latencies, 100) == 40.0
+        assert percentile_ms([0.005], 99) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(LoadgenError, match="no latencies"):
+            percentile_ms([], 50)
+        with pytest.raises(LoadgenError, match="percentile"):
+            percentile_ms([0.1], 0)
+
+
+class TestConfig:
+    def test_requires_a_url(self):
+        with pytest.raises(LoadgenError, match="replica URL"):
+            LoadTestConfig(urls=())
+
+
+def synthetic_report(**overrides):
+    base = dict(
+        config=LoadTestConfig(urls=("http://x",), requests=10),
+        outcomes=[],
+        replicas=[],
+        duration=2.0,
+        offered_rps=20.0,
+        sustained_rps=5.0,
+        latency_ms={"p50": 10.0, "p95": 40.0, "p99": 90.0},
+        completed=9,
+        flow_failures=1,
+        transport_errors=0,
+        coalesced_hits=2,
+        artifact_hits=4,
+        computed=3,
+    )
+    base.update(overrides)
+    return LoadTestReport(**base)
+
+
+class TestGates:
+    def test_passing_report_has_no_violations(self):
+        gates = LoadTestGates(
+            p99_budget_ms=100.0, min_coalesced=1, min_rps=1.0,
+            max_failures=1,
+        )
+        assert gates.violations(synthetic_report()) == []
+
+    def test_each_gate_fires(self):
+        report = synthetic_report()
+        assert LoadTestGates(p99_budget_ms=50.0).violations(report)
+        assert LoadTestGates(min_coalesced=5).violations(report)
+        assert LoadTestGates(min_rps=10.0).violations(report)
+        # max_failures defaults to 0; the report has one flow failure
+        assert LoadTestGates().violations(report)
+
+    def test_no_gates_no_failures_passes(self):
+        report = synthetic_report(flow_failures=0, completed=10)
+        assert LoadTestGates().violations(report) == []
+
+    def test_p99_gate_with_nothing_completed(self):
+        report = synthetic_report(
+            latency_ms={}, completed=0, flow_failures=0,
+            transport_errors=10,
+        )
+        gates = LoadTestGates(p99_budget_ms=100.0, max_failures=10)
+        assert any(
+            "no request completed" in v for v in gates.violations(report)
+        )
+
+
+class TestAgainstLiveService:
+    @pytest.fixture(scope="class")
+    def server(self, tmp_path_factory):
+        from repro.service import serve
+
+        workspace = tmp_path_factory.mktemp("loadgen") / "ws"
+        server = serve(workspace, port=0, jobs=2, replica="lg-test")
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+        server.scheduler.close()
+
+    def test_end_to_end_report(self, server, tmp_path):
+        config = LoadTestConfig(
+            urls=(server.url,),
+            family="chain",
+            unique=2,
+            requests=10,
+            rps=50.0,
+            seed=13,
+            actors=4,
+            timeout=60.0,
+        )
+        report = run_load_test(config)
+        assert report.completed == 10
+        assert report.failures == 0
+        assert report.sustained_rps > 0
+        assert set(report.latency_ms) == {"p50", "p95", "p99"}
+        assert (
+            report.latency_ms["p50"]
+            <= report.latency_ms["p95"]
+            <= report.latency_ms["p99"]
+        )
+        # 10 requests over 2 unique documents: reuse must show up,
+        # split between coalesced joins and artifact hits
+        assert report.coalesced_hits + report.artifact_hits >= 8
+        [replica] = report.replicas
+        assert replica.replica == "lg-test"
+        assert replica.backend == "thread"
+        assert replica.delta["submitted"] == 10
+
+        path = write_bench_report(
+            report, tmp_path / "BENCH_service.json"
+        )
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["unit"] == "seconds"
+        results = document["results"]
+        for field in (
+            "sustained_rps", "p50_ms", "p99_ms", "coalesced_hits",
+            "artifact_hit_rate", "completed",
+        ):
+            assert field in results
+        assert results["completed"] == 10
+
+    def test_unreachable_replica_counts_as_transport_errors(
+        self, tmp_path
+    ):
+        config = LoadTestConfig(
+            urls=("http://127.0.0.1:1",),  # nothing listens here
+            family="chain",
+            unique=1,
+            requests=3,
+            rps=100.0,
+            seed=1,
+            timeout=5.0,
+        )
+        with pytest.raises(Exception):
+            # the health pre-flight already fails: a dead replica is a
+            # configuration error, not a measurement
+            run_load_test(config)

@@ -1,0 +1,101 @@
+"""Tests for the seeded traffic planner (repro.loadgen.traffic)."""
+
+import pytest
+
+from repro.loadgen import (
+    LoadgenError,
+    arrival_offsets,
+    build_traffic,
+    request_pool,
+    request_sequence,
+)
+
+
+class TestRequestPool:
+    def test_same_seed_same_documents(self):
+        assert request_pool("chain", 3, seed=5) == request_pool(
+            "chain", 3, seed=5
+        )
+
+    def test_documents_are_distinct_flow_specs(self):
+        pool = request_pool("mixed", 4, seed=9)
+        assert len(pool) == 4
+        names = [doc["name"] for doc in pool]
+        assert len(set(names)) == 4
+        # each entry is a parseable FlowSpec document
+        from repro.flow.spec import FlowSpec
+
+        for doc in pool:
+            assert FlowSpec.from_dict(doc).name == doc["name"]
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(LoadgenError, match="unique must be >= 1"):
+            request_pool("chain", 0, seed=1)
+
+
+class TestRequestSequence:
+    def test_deterministic_and_in_range(self):
+        first = request_sequence(3, 50, seed=2)
+        assert first == request_sequence(3, 50, seed=2)
+        assert len(first) == 50
+        assert set(first) <= {0, 1, 2}
+
+    def test_duplicates_occur(self):
+        # duplicate-heavy by design: far more requests than documents
+        assert len(set(request_sequence(2, 40, seed=3))) <= 2
+
+    def test_validation(self):
+        with pytest.raises(LoadgenError, match="pool_size"):
+            request_sequence(0, 10, seed=1)
+        with pytest.raises(LoadgenError, match="requests"):
+            request_sequence(2, 0, seed=1)
+
+
+class TestArrivalOffsets:
+    def test_strictly_increasing_and_deterministic(self):
+        offsets = arrival_offsets(100, rps=50.0, seed=4)
+        assert offsets == arrival_offsets(100, rps=50.0, seed=4)
+        assert all(b > a for a, b in zip(offsets, offsets[1:]))
+
+    def test_mean_gap_tracks_the_rate(self):
+        offsets = arrival_offsets(2000, rps=40.0, seed=8)
+        mean_gap = offsets[-1] / len(offsets)
+        assert 1 / 40.0 * 0.8 < mean_gap < 1 / 40.0 * 1.2
+
+    def test_validation(self):
+        with pytest.raises(LoadgenError, match="rps must be > 0"):
+            arrival_offsets(10, rps=0.0, seed=1)
+        with pytest.raises(LoadgenError, match="requests"):
+            arrival_offsets(0, rps=1.0, seed=1)
+
+
+class TestBuildTraffic:
+    def test_plan_is_fully_deterministic(self):
+        kwargs = dict(
+            family="mixed", unique=3, requests=20, rps=25.0, seed=6,
+            replicas=2,
+        )
+        assert build_traffic(**kwargs) == build_traffic(**kwargs)
+
+    def test_round_robin_replica_fanout(self):
+        plan = build_traffic(
+            "chain", unique=2, requests=10, rps=10.0, seed=1,
+            replicas=3,
+        )
+        assert [r.replica_index for r in plan] == [
+            i % 3 for i in range(10)
+        ]
+
+    def test_documents_come_from_the_pool(self):
+        plan = build_traffic(
+            "chain", unique=2, requests=12, rps=10.0, seed=1,
+        )
+        pool = request_pool("chain", 2, seed=1)
+        for request in plan:
+            assert request.document == pool[request.pool_index]
+            assert request.spec_name == request.document["name"]
+
+    def test_rejects_bad_replica_count(self):
+        with pytest.raises(LoadgenError, match="replicas"):
+            build_traffic("chain", requests=5, rps=1.0, seed=1,
+                          replicas=0)

@@ -656,3 +656,127 @@ class TestPowerFlags:
         ) == 0
         out = capsys.readouterr().out
         assert "nJ/iter" in out
+
+
+class TestBackendFlags:
+    def write_spec(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(
+            "\n".join([
+                'name = "backend-cli"',
+                "[app]",
+                "frames = 1",
+                "[architecture]",
+                "tiles = 2",
+                "[mapping.fixed]",
+                'VLD = "tile0"',
+            ]),
+            encoding="utf-8",
+        )
+        return path
+
+    def test_run_process_backend_needs_workspace(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        assert main(
+            ["run", "--spec", str(spec), "--backend", "process"]
+        ) == 1
+        assert "--workspace" in capsys.readouterr().err
+
+    def test_run_process_backend_matches_thread_run(self, tmp_path,
+                                                    capsys):
+        spec = self.write_spec(tmp_path)
+        assert main(
+            ["run", "--spec", str(spec), "--json",
+             "--workspace", str(tmp_path / "t")]
+        ) == 0
+        thread = json.loads(capsys.readouterr().out)
+        assert main(
+            ["run", "--spec", str(spec), "--json",
+             "--workspace", str(tmp_path / "p"),
+             "--backend", "process"]
+        ) == 0
+        process = json.loads(capsys.readouterr().out)
+        assert process["kind"] == thread["kind"] == "session-result"
+        assert process["spec_name"] == thread["spec_name"]
+        assert [s["stage"] for s in process["stages"]] == [
+            s["stage"] for s in thread["stages"]
+        ]
+
+    def test_batch_process_backend(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        assert main(
+            ["batch", str(spec), "--workspace", str(tmp_path / "ws"),
+             "--jobs", "2", "--backend", "process"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["jobs"] == 2
+
+    def test_explore_process_backend_matches_thread(self, capsys):
+        argv = ["explore", "gradient", "--max-tiles", "2",
+                "--effort", "low", "--csv"]
+        assert main(argv) == 0
+        thread = capsys.readouterr().out
+        assert main(argv + ["--backend", "process", "--jobs", "2"]) == 0
+        process = capsys.readouterr().out
+        assert process == thread
+
+
+class TestLoadtest:
+    @pytest.fixture
+    def live_server(self, tmp_path):
+        import threading
+
+        from repro.service import serve
+
+        server = serve(tmp_path / "ws", port=0, jobs=2,
+                       replica="cli-lg")
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+        server.scheduler.close()
+
+    def test_summary_and_bench_report(self, live_server, tmp_path,
+                                      capsys):
+        out_file = tmp_path / "BENCH_service.json"
+        assert main(
+            ["loadtest", "--url", live_server.url,
+             "--family", "chain", "--unique", "2", "--requests", "8",
+             "--rps", "50", "--seed", "3", "--actors", "4",
+             "--out", str(out_file)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sustained" in out
+        assert "cli-lg" in out
+        document = json.loads(out_file.read_text(encoding="utf-8"))
+        assert document["results"]["completed"] == 8
+
+    def test_gate_failure_sets_exit_code(self, live_server, capsys):
+        assert main(
+            ["loadtest", "--url", live_server.url,
+             "--family", "chain", "--unique", "1", "--requests", "4",
+             "--rps", "50", "--seed", "3", "--actors", "4",
+             "--min-rps", "100000"]
+        ) == 1
+        assert "gate failed" in capsys.readouterr().err
+
+    def test_json_report_output(self, live_server, capsys):
+        assert main(
+            ["loadtest", "--url", live_server.url,
+             "--family", "chain", "--unique", "1", "--requests", "4",
+             "--rps", "50", "--seed", "3", "--actors", "4", "--json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["results"]["completed"] == 4
+        assert document["config"]["requests"] == 4
+
+    def test_unreachable_service_fails_cleanly(self, capsys):
+        assert main(
+            ["loadtest", "--url", "http://127.0.0.1:1",
+             "--requests", "1", "--timeout", "2"]
+        ) == 1
+        assert "cannot reach" in capsys.readouterr().err
